@@ -1,0 +1,97 @@
+// bench_minimize: Ablation A (DESIGN.md) — SAT-call complexity of
+// minimize_assumptions (paper Algorithm 1, O(max{log N, M})) versus the
+// naive one-at-a-time deletion loop (O(N)).
+//
+// Instances: N selector variables, M of which form the only minimal core
+// (clause structure forces exactly those M). Counters report SAT calls.
+
+#include <benchmark/benchmark.h>
+
+#include "sat/minimize.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using eco::sat::Lit;
+using eco::sat::LitVec;
+using eco::sat::MinimizeStats;
+using eco::sat::Solver;
+using eco::sat::mk_lit;
+
+/// Builds a solver with n selectors of which the `core` (given indices) is
+/// the unique minimal UNSAT subset: one clause (OR of their negations).
+void build_selector_problem(Solver& solver, LitVec& selectors, int n,
+                            const std::vector<int>& core) {
+  for (int i = 0; i < n; ++i) selectors.push_back(mk_lit(solver.new_var()));
+  LitVec clause;
+  for (const int c : core) clause.push_back(~selectors[static_cast<size_t>(c)]);
+  solver.add_clause(clause);
+}
+
+std::vector<int> spread_core(int n, int m, eco::Rng& rng) {
+  std::vector<int> core;
+  while (static_cast<int>(core.size()) < m) {
+    const int c = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+    if (std::find(core.begin(), core.end(), c) == core.end()) core.push_back(c);
+  }
+  return core;
+}
+
+void BM_MinimizeAssumptions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  eco::Rng rng(42);
+  int64_t total_calls = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    LitVec selectors;
+    build_selector_problem(solver, selectors, n, spread_core(n, m, rng));
+    LitVec assumps = selectors;
+    LitVec ctx;
+    (void)solver.solve(assumps);  // establish UNSAT (precondition)
+    state.ResumeTiming();
+    MinimizeStats stats;
+    const int kept = eco::sat::minimize_assumptions(solver, assumps, ctx, &stats);
+    benchmark::DoNotOptimize(kept);
+    total_calls += stats.sat_calls;
+  }
+  state.counters["sat_calls"] =
+      benchmark::Counter(static_cast<double>(total_calls), benchmark::Counter::kAvgIterations);
+}
+
+void BM_MinimizeNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  eco::Rng rng(42);
+  int64_t total_calls = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    LitVec selectors;
+    build_selector_problem(solver, selectors, n, spread_core(n, m, rng));
+    LitVec assumps = selectors;
+    LitVec ctx;
+    (void)solver.solve(assumps);
+    state.ResumeTiming();
+    MinimizeStats stats;
+    const int kept = eco::sat::minimize_assumptions_naive(solver, assumps, ctx, &stats);
+    benchmark::DoNotOptimize(kept);
+    total_calls += stats.sat_calls;
+  }
+  state.counters["sat_calls"] =
+      benchmark::Counter(static_cast<double>(total_calls), benchmark::Counter::kAvgIterations);
+}
+
+}  // namespace
+
+// Sweep N with a small core (paper's log(N) regime) and growing cores.
+BENCHMARK(BM_MinimizeAssumptions)
+    ->Args({64, 2})->Args({256, 2})->Args({1024, 2})->Args({4096, 2})
+    ->Args({1024, 8})->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MinimizeNaive)
+    ->Args({64, 2})->Args({256, 2})->Args({1024, 2})->Args({4096, 2})
+    ->Args({1024, 8})->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);

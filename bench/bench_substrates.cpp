@@ -1,0 +1,140 @@
+// bench_substrates: microbenchmarks of the library substrates — CDCL SAT
+// solving, AIG construction/strashing, Tseitin encoding + equivalence
+// checking, max-flow, and SOP factoring. These calibrate the absolute
+// runtimes reported by bench_table1 on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.hpp"
+#include "cec/cec.hpp"
+#include "flow/maxflow.hpp"
+#include "sat/solver.hpp"
+#include "sop/factor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    eco::sat::Solver solver;
+    const int pigeons = holes + 1;
+    std::vector<eco::sat::Var> vars;
+    for (int i = 0; i < pigeons * holes; ++i) vars.push_back(solver.new_var());
+    auto var_of = [&](int p, int h) { return vars[static_cast<size_t>(p * holes + h)]; };
+    for (int p = 0; p < pigeons; ++p) {
+      eco::sat::LitVec clause;
+      for (int h = 0; h < holes; ++h) clause.push_back(eco::sat::mk_lit(var_of(p, h)));
+      solver.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int p1 = 0; p1 < pigeons; ++p1)
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+          solver.add_binary(eco::sat::mk_lit(var_of(p1, h), true),
+                            eco::sat::mk_lit(var_of(p2, h), true));
+    const auto verdict = solver.solve();
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  eco::Rng rng(5);
+  for (auto _ : state) {
+    eco::sat::Solver solver;
+    for (int i = 0; i < n; ++i) solver.new_var();
+    for (int c = 0; c < static_cast<int>(4.1 * n); ++c) {
+      eco::sat::LitVec clause;
+      for (int k = 0; k < 3; ++k)
+        clause.push_back(eco::sat::mk_lit(
+            static_cast<eco::sat::Var>(rng.below(static_cast<uint64_t>(n))), rng.chance(1, 2)));
+      solver.add_clause(clause);
+    }
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_AigStrash(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  eco::Rng rng(11);
+  for (auto _ : state) {
+    eco::aig::Aig g;
+    std::vector<eco::aig::Lit> pool;
+    for (int i = 0; i < 32; ++i) pool.push_back(g.add_pi());
+    for (int i = 0; i < n; ++i) {
+      const eco::aig::Lit a = pool[rng.below(pool.size())];
+      const eco::aig::Lit b = pool[rng.below(pool.size())];
+      pool.push_back(g.add_and(eco::aig::lit_notif(a, rng.chance(1, 2)),
+                               eco::aig::lit_notif(b, rng.chance(1, 2))));
+    }
+    benchmark::DoNotOptimize(g.num_ands());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AigStrash)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_CecEquivalentAdders(benchmark::State& state) {
+  // Two structurally different but equivalent mux trees.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    eco::aig::Aig a, b;
+    std::vector<eco::aig::Lit> pa, pb;
+    for (int i = 0; i < depth + 2; ++i) {
+      pa.push_back(a.add_pi());
+      pb.push_back(b.add_pi());
+    }
+    eco::aig::Lit ra = pa[0], rb = pb[0];
+    for (int i = 0; i < depth; ++i) {
+      ra = a.add_mux(pa[static_cast<size_t>(i + 1)], ra, pa[static_cast<size_t>(i + 2) % pa.size()]);
+      rb = b.add_or(b.add_and(pb[static_cast<size_t>(i + 1)], rb),
+                    b.add_and(eco::aig::lit_not(pb[static_cast<size_t>(i + 1)]),
+                              pb[static_cast<size_t>(i + 2) % pb.size()]));
+    }
+    a.add_po(ra);
+    b.add_po(rb);
+    benchmark::DoNotOptimize(eco::cec::check_equivalence(a, b).status);
+  }
+}
+BENCHMARK(BM_CecEquivalentAdders)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_MaxFlowGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  eco::Rng rng(13);
+  for (auto _ : state) {
+    const int n = side * side;
+    eco::flow::MaxFlow mf(n);
+    for (int r = 0; r < side; ++r)
+      for (int c = 0; c < side; ++c) {
+        const int v = r * side + c;
+        if (c + 1 < side) mf.add_edge(v, v + 1, static_cast<int64_t>(1 + rng.below(9)));
+        if (r + 1 < side) mf.add_edge(v, v + side, static_cast<int64_t>(1 + rng.below(9)));
+      }
+    benchmark::DoNotOptimize(mf.run(0, n - 1));
+  }
+}
+BENCHMARK(BM_MaxFlowGrid)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SopFactor(benchmark::State& state) {
+  const int cubes = static_cast<int>(state.range(0));
+  eco::Rng rng(17);
+  eco::sop::Cover cover;
+  cover.num_vars = 24;
+  for (int c = 0; c < cubes; ++c) {
+    std::vector<eco::sop::Lit> lits;
+    for (uint32_t v = 0; v < cover.num_vars; ++v) {
+      const uint64_t r = rng.below(4);
+      if (r == 0) lits.push_back(eco::sop::lit_pos(v));
+      if (r == 1) lits.push_back(eco::sop::lit_neg(v));
+    }
+    cover.cubes.push_back(eco::sop::Cube(std::move(lits)));
+  }
+  for (auto _ : state) {
+    const auto tree = eco::sop::factor(cover);
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_SopFactor)->Arg(32)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

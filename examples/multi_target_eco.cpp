@@ -1,0 +1,59 @@
+// multi_target_eco: rectifying several targets at once (paper §3.1).
+//
+// A 4-lane comparator bank gets a specification change touching three
+// signals. The engine processes the targets one at a time, universally
+// quantifying the not-yet-patched targets out of the ECO miter, so that
+// every patch only covers the minterms that *no other target* could fix —
+// Theorem 1 of the paper guarantees this sequential scheme succeeds exactly
+// when the target set is sufficient.
+//
+// Build & run:  cmake --build build && ./build/examples/multi_target_eco
+
+#include <cstdio>
+
+#include "benchgen/circuits.hpp"
+#include "benchgen/mutate.hpp"
+#include "benchgen/weightgen.hpp"
+#include "eco/engine.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  eco::Rng rng(77);
+  const eco::net::Network base = eco::benchgen::make_comparator(6, 4);
+  const eco::benchgen::EcoInstance instance =
+      eco::benchgen::make_eco_instance(base, /*num_targets=*/3, rng);
+  eco::Rng wrng(4242);
+  const eco::net::WeightMap weights = eco::benchgen::make_weights(
+      instance.impl, eco::benchgen::WeightType::kT4, wrng);
+
+  std::printf("Instance: %zu-gate comparator bank, 3 targets:", base.num_gates());
+  for (const auto& t : instance.target_names) std::printf(" %s", t.c_str());
+  std::printf("\n\n");
+
+  for (const auto algorithm : {eco::core::Algorithm::kBaseline,
+                               eco::core::Algorithm::kMinimize,
+                               eco::core::Algorithm::kSatPruneCegarMin}) {
+    eco::core::EngineOptions options;
+    options.algorithm = algorithm;
+    options.time_budget = 30;
+    const eco::core::EcoOutcome outcome =
+        eco::core::run_eco(instance.impl, instance.spec, weights, options);
+    static const char* kNames[] = {"baseline (analyze_final)", "minimize_assumptions",
+                                   "SAT_prune + CEGAR_min"};
+    std::printf("== %s ==\n", kNames[static_cast<int>(algorithm)]);
+    if (outcome.status != eco::core::EcoOutcome::Status::kPatched) {
+      std::printf("   failed (status %d)\n\n", static_cast<int>(outcome.status));
+      continue;
+    }
+    std::printf("   cost %lld, %u patch gates, %.2fs, method %s, verified %s\n",
+                static_cast<long long>(outcome.total_cost), outcome.patch_gates,
+                outcome.seconds, outcome.method.c_str(),
+                outcome.verified ? "yes" : "NO");
+    for (const auto& target : outcome.targets) {
+      std::printf("   %-12s <= %s\n", target.target_name.c_str(),
+                  target.sop.empty() ? "(structural circuit)" : target.sop.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

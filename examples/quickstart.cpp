@@ -1,0 +1,72 @@
+// quickstart: the smallest complete ECO run.
+//
+// The old implementation computed y = t | c where the logic driving t has
+// been cut out (t is a free input — the rectification point). The new
+// specification wants y = (a & b) | c. The engine finds the patch t = ab,
+// reusing the existing internal signal `ab` because it is the cheapest
+// sufficient divisor.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <sstream>
+
+#include "eco/engine.hpp"
+#include "net/aignet.hpp"
+#include "net/verilog.hpp"
+
+int main() {
+  // The old implementation. Contest convention: the target signal `t`
+  // appears as an extra primary input.
+  const eco::net::Network impl = eco::net::parse_verilog_string(R"(
+    module impl (a, b, c, t, y, z);
+      input a, b, c, t;
+      output y, z;
+      or  g1 (y, t, c);
+      xor g2 (z, a, b);
+      and g3 (ab, a, b);   // existing logic the patch can reuse
+    endmodule
+  )");
+
+  // The new specification (no structural similarity assumed).
+  const eco::net::Network spec = eco::net::parse_verilog_string(R"(
+    module spec (a, b, c, y, z);
+      input a, b, c;
+      output y, z;
+      and g1 (w, a, b);
+      or  g2 (y, w, c);
+      xor g3 (z, a, b);
+    endmodule
+  )");
+
+  // Resource costs: using `ab` as a patch input is cheap, the raw inputs
+  // are expensive (think: routing congestion near them).
+  eco::net::WeightMap weights;
+  weights.weights = {{"a", 5}, {"b", 5}, {"c", 2}, {"ab", 1}, {"y", 9}, {"z", 7}};
+
+  eco::core::EngineOptions options;
+  options.algorithm = eco::core::Algorithm::kMinimize;  // the contest-winning config
+  const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
+
+  if (outcome.status != eco::core::EcoOutcome::Status::kPatched) {
+    std::printf("ECO failed (status %d)\n", static_cast<int>(outcome.status));
+    return 1;
+  }
+
+  std::printf("ECO solved and verified in %.3fs\n", outcome.seconds);
+  std::printf("  method      : %s\n", outcome.method.c_str());
+  std::printf("  total cost  : %lld\n", static_cast<long long>(outcome.total_cost));
+  std::printf("  patch gates : %u\n", outcome.patch_gates);
+  for (const auto& target : outcome.targets) {
+    std::printf("  target %-4s : %s   (inputs:", target.target_name.c_str(),
+                target.sop.c_str());
+    for (const auto& s : target.support) std::printf(" %s", s.c_str());
+    std::printf(", cost %lld)\n", static_cast<long long>(target.support_cost));
+  }
+
+  // Export the patch as a contest-style Verilog module.
+  std::ostringstream patch_v;
+  eco::net::write_verilog(patch_v, eco::net::aig_to_network(outcome.patch_module, "patch"));
+  std::printf("\npatch.v:\n%s", patch_v.str().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// resource_aware: how the weight distribution steers patch-support
+// selection (paper §2.5 and §4.1).
+//
+// One ECO instance — an ALU whose bit-3 result logic changed — is solved
+// under the contest's eight weight distributions T1..T8. The function of the
+// patch is always the same; *where its inputs are tapped from* changes with
+// the costs, which is exactly the resource-aware behaviour the 2017 CAD
+// Contest scored.
+//
+// Build & run:  cmake --build build && ./build/examples/resource_aware
+
+#include <cstdio>
+
+#include "benchgen/circuits.hpp"
+#include "benchgen/mutate.hpp"
+#include "benchgen/weightgen.hpp"
+#include "eco/engine.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  eco::Rng rng(2024);
+  const eco::net::Network base = eco::benchgen::make_alu(8);
+  const eco::benchgen::EcoInstance instance =
+      eco::benchgen::make_eco_instance(base, /*num_targets=*/1, rng);
+
+  std::printf("Instance: %zu-gate ALU, target signal '%s'\n\n",
+              base.num_gates(), instance.target_names[0].c_str());
+  std::printf("%-4s | %8s | %6s | %s\n", "wt", "cost", "gates", "patch inputs");
+
+  for (int wt = 0; wt < 8; ++wt) {
+    eco::Rng wrng(static_cast<uint64_t>(7000 + wt));
+    const eco::net::WeightMap weights = eco::benchgen::make_weights(
+        instance.impl, static_cast<eco::benchgen::WeightType>(wt), wrng);
+
+    eco::core::EngineOptions options;
+    options.algorithm = eco::core::Algorithm::kMinimize;
+    options.time_budget = 20;
+    const eco::core::EcoOutcome outcome =
+        eco::core::run_eco(instance.impl, instance.spec, weights, options);
+
+    if (outcome.status != eco::core::EcoOutcome::Status::kPatched) {
+      std::printf("%-4s | ECO failed\n", eco::benchgen::weight_type_name(
+                                             static_cast<eco::benchgen::WeightType>(wt)));
+      continue;
+    }
+    std::printf("%-4s | %8lld | %6u |", eco::benchgen::weight_type_name(
+                                            static_cast<eco::benchgen::WeightType>(wt)),
+                static_cast<long long>(outcome.total_cost), outcome.patch_gates);
+    for (const auto& s : outcome.targets[0].support) std::printf(" %s", s.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nThe same functional fix lands on different support signals as the\n"
+              "weight landscape changes — the engine minimizes cost, not just size.\n");
+  return 0;
+}

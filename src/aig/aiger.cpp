@@ -1,0 +1,218 @@
+#include "aig/aiger.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace eco::aig {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("aiger: " + msg);
+}
+
+uint32_t read_binary_delta(std::istream& in) {
+  uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) fail("truncated binary delta");
+    value |= static_cast<uint32_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 28) fail("binary delta too large");
+  }
+}
+
+void write_binary_delta(std::ostream& out, uint32_t delta) {
+  while (delta >= 0x80) {
+    out.put(static_cast<char>((delta & 0x7f) | 0x80));
+    delta >>= 7;
+  }
+  out.put(static_cast<char>(delta));
+}
+
+struct AndDef {
+  uint32_t lhs, rhs0, rhs1;
+};
+
+Aig build(uint32_t max_var, uint32_t num_inputs, const std::vector<uint32_t>& outputs,
+          const std::vector<AndDef>& ands) {
+  Aig g;
+  // node index -> our literal (AIGER var k maps to node k when in order,
+  // but ands may appear in any order in ASCII files).
+  std::vector<Lit> lit_of(max_var + 1, kLitInvalid);
+  lit_of[0] = kLitFalse;
+  for (uint32_t i = 0; i < num_inputs; ++i) lit_of[i + 1] = g.add_pi("i" + std::to_string(i));
+
+  std::vector<int32_t> def_of(max_var + 1, -1);
+  for (size_t i = 0; i < ands.size(); ++i) {
+    const uint32_t v = ands[i].lhs / 2;
+    if ((ands[i].lhs & 1u) != 0 || v > max_var) fail("invalid AND lhs");
+    if (def_of[v] != -1 || lit_of[v] != kLitInvalid) fail("redefined variable");
+    def_of[v] = static_cast<int32_t>(i);
+  }
+
+  // Iterative topological construction (ASCII allows any order).
+  std::vector<uint32_t> stack;
+  auto ensure = [&](uint32_t var) {
+    if (lit_of[var] != kLitInvalid) return;
+    stack.push_back(var);
+    while (!stack.empty()) {
+      const uint32_t v = stack.back();
+      if (lit_of[v] != kLitInvalid) {
+        stack.pop_back();
+        continue;
+      }
+      if (def_of[v] < 0) fail("variable " + std::to_string(v) + " is never defined");
+      const AndDef& def = ands[static_cast<size_t>(def_of[v])];
+      const uint32_t v0 = def.rhs0 / 2;
+      const uint32_t v1 = def.rhs1 / 2;
+      if (v0 > max_var || v1 > max_var) fail("AND input out of range");
+      bool ready = true;
+      if (lit_of[v0] == kLitInvalid) {
+        if (v0 == v) fail("self-referential AND");
+        stack.push_back(v0);
+        ready = false;
+      }
+      if (lit_of[v1] == kLitInvalid) {
+        if (v1 == v) fail("self-referential AND");
+        stack.push_back(v1);
+        ready = false;
+      }
+      if (!ready) {
+        if (stack.size() > static_cast<size_t>(max_var) + 2) fail("cyclic AND definitions");
+        continue;
+      }
+      lit_of[v] = g.add_and(lit_notif(lit_of[v0], (def.rhs0 & 1u) != 0),
+                            lit_notif(lit_of[v1], (def.rhs1 & 1u) != 0));
+      stack.pop_back();
+    }
+  };
+  for (const auto& def : ands) ensure(def.lhs / 2);
+  for (size_t o = 0; o < outputs.size(); ++o) {
+    const uint32_t v = outputs[o] / 2;
+    if (v > max_var) fail("output literal out of range");
+    if (lit_of[v] == kLitInvalid) ensure(v);
+    g.add_po(lit_notif(lit_of[v], (outputs[o] & 1u) != 0), "o" + std::to_string(o));
+  }
+  return g;
+}
+
+void read_symbols(std::istream& in, Aig& g) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'c') break;  // comment section
+    std::istringstream ls(line);
+    std::string tag, name;
+    if (!(ls >> tag)) continue;
+    std::getline(ls, name);
+    const size_t first = name.find_first_not_of(' ');
+    if (first != std::string::npos) name = name.substr(first);
+    if (tag.size() < 2) continue;
+    const uint32_t index = static_cast<uint32_t>(std::strtoul(tag.c_str() + 1, nullptr, 10));
+    if (tag[0] == 'i' && index < g.num_pis()) g.set_pi_name(index, name);
+    if (tag[0] == 'o' && index < g.num_pos()) g.set_po_name(index, name);
+  }
+}
+
+}  // namespace
+
+Aig read_aiger(std::istream& in) {
+  std::string magic;
+  uint32_t max_var = 0, num_in = 0, num_latch = 0, num_out = 0, num_and = 0;
+  if (!(in >> magic >> max_var >> num_in >> num_latch >> num_out >> num_and))
+    fail("malformed header");
+  if (magic != "aag" && magic != "aig") fail("unknown magic '" + magic + "'");
+  if (num_latch != 0) fail("sequential AIGER files are not supported");
+  if (static_cast<uint64_t>(num_in) + num_and > max_var) fail("inconsistent header counts");
+
+  std::vector<uint32_t> outputs;
+  std::vector<AndDef> ands;
+  if (magic == "aag") {
+    for (uint32_t i = 0; i < num_in; ++i) {
+      uint32_t lit = 0;
+      if (!(in >> lit)) fail("missing input literal");
+      if (lit != 2 * (i + 1)) fail("non-canonical input literal");
+    }
+    for (uint32_t o = 0; o < num_out; ++o) {
+      uint32_t lit = 0;
+      if (!(in >> lit)) fail("missing output literal");
+      outputs.push_back(lit);
+    }
+    for (uint32_t a = 0; a < num_and; ++a) {
+      AndDef def{};
+      if (!(in >> def.lhs >> def.rhs0 >> def.rhs1)) fail("missing AND definition");
+      ands.push_back(def);
+    }
+  } else {
+    for (uint32_t o = 0; o < num_out; ++o) {
+      uint32_t lit = 0;
+      if (!(in >> lit)) fail("missing output literal");
+      outputs.push_back(lit);
+    }
+    in.get();  // consume the newline before the binary section
+    for (uint32_t a = 0; a < num_and; ++a) {
+      const uint32_t lhs = 2 * (num_in + a + 1);
+      const uint32_t delta0 = read_binary_delta(in);
+      const uint32_t delta1 = read_binary_delta(in);
+      if (delta0 > lhs) fail("invalid binary delta");
+      const uint32_t rhs0 = lhs - delta0;
+      if (delta1 > rhs0) fail("invalid binary delta");
+      ands.push_back(AndDef{lhs, rhs0, rhs0 - delta1});
+    }
+  }
+  Aig g = build(max_var, num_in, outputs, ands);
+  in.ignore(1, '\n');
+  read_symbols(in, g);
+  return g;
+}
+
+Aig read_aiger_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_aiger(in);
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open file: " + path);
+  return read_aiger(in);
+}
+
+void write_aiger(std::ostream& out, const Aig& g, bool binary) {
+  const uint32_t max_var = g.num_nodes() - 1;
+  out << (binary ? "aig " : "aag ") << max_var << ' ' << g.num_pis() << " 0 "
+      << g.num_pos() << ' ' << g.num_ands() << '\n';
+  if (!binary)
+    for (uint32_t i = 0; i < g.num_pis(); ++i) out << 2 * g.pi_node(i) << '\n';
+  for (uint32_t o = 0; o < g.num_pos(); ++o) out << g.po_lit(o) << '\n';
+  for (Node n = g.num_pis() + 1; n < g.num_nodes(); ++n) {
+    // AIGER wants rhs0 >= rhs1; our fanins are sorted ascending.
+    const uint32_t rhs0 = std::max(g.fanin0(n), g.fanin1(n));
+    const uint32_t rhs1 = std::min(g.fanin0(n), g.fanin1(n));
+    if (binary) {
+      write_binary_delta(out, 2 * n - rhs0);
+      write_binary_delta(out, rhs0 - rhs1);
+    } else {
+      out << 2 * n << ' ' << rhs0 << ' ' << rhs1 << '\n';
+    }
+  }
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    if (!g.pi_name(i).empty()) out << 'i' << i << ' ' << g.pi_name(i) << '\n';
+  for (uint32_t o = 0; o < g.num_pos(); ++o)
+    if (!g.po_name(o).empty()) out << 'o' << o << ' ' << g.po_name(o) << '\n';
+  out << "c\necopatch\n";
+}
+
+void write_aiger_file(const std::string& path, const Aig& g, bool binary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open file for writing: " + path);
+  write_aiger(out, g, binary);
+}
+
+}  // namespace eco::aig

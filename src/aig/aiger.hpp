@@ -1,0 +1,30 @@
+/// \file aiger.hpp
+/// \brief AIGER reader/writer (combinational subset).
+///
+/// AIGER is the interchange format of the AIG ecosystem the paper's tooling
+/// (ABC, MiniSat-based flows) lives in. Both the ASCII ("aag") and binary
+/// ("aig") variants are supported for purely combinational circuits;
+/// latches are rejected. Symbol tables for inputs/outputs are read and
+/// written.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace eco::aig {
+
+/// Parses an AIGER file (auto-detects "aag" vs "aig" from the header).
+/// Throws std::runtime_error on malformed input or sequential content.
+Aig read_aiger(std::istream& in);
+Aig read_aiger_string(const std::string& text);
+Aig read_aiger_file(const std::string& path);
+
+/// Writes in ASCII ("aag") or binary ("aig") format. Binary requires the
+/// AIG to be in topological order with PIs first, which this library's Aig
+/// guarantees by construction.
+void write_aiger(std::ostream& out, const Aig& g, bool binary = false);
+void write_aiger_file(const std::string& path, const Aig& g, bool binary = false);
+
+}  // namespace eco::aig

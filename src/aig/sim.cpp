@@ -1,0 +1,103 @@
+#include "aig/sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace eco::aig {
+
+std::vector<uint64_t> simulate(const Aig& g, std::span<const uint64_t> pi_words) {
+  assert(pi_words.size() == g.num_pis());
+  std::vector<uint64_t> words(g.num_nodes(), 0);
+  for (uint32_t i = 0; i < g.num_pis(); ++i) words[g.pi_node(i)] = pi_words[i];
+  for (Node n = g.num_pis() + 1; n < g.num_nodes(); ++n)
+    words[n] = sim_value(words, g.fanin0(n)) & sim_value(words, g.fanin1(n));
+  return words;
+}
+
+std::vector<std::vector<uint64_t>> simulate_words(
+    const Aig& g, const std::vector<std::vector<uint64_t>>& pi_words) {
+  assert(pi_words.size() == g.num_pis());
+  const size_t width = pi_words.empty() ? 0 : pi_words[0].size();
+  std::vector<std::vector<uint64_t>> words(g.num_nodes(),
+                                           std::vector<uint64_t>(width, 0));
+  for (uint32_t i = 0; i < g.num_pis(); ++i) {
+    assert(pi_words[i].size() == width);
+    words[g.pi_node(i)] = pi_words[i];
+  }
+  for (Node n = g.num_pis() + 1; n < g.num_nodes(); ++n) {
+    const Lit a = g.fanin0(n);
+    const Lit b = g.fanin1(n);
+    const auto& wa = words[lit_node(a)];
+    const auto& wb = words[lit_node(b)];
+    auto& wn = words[n];
+    const uint64_t ma = lit_compl(a) ? ~0ULL : 0ULL;
+    const uint64_t mb = lit_compl(b) ? ~0ULL : 0ULL;
+    for (size_t w = 0; w < width; ++w) wn[w] = (wa[w] ^ ma) & (wb[w] ^ mb);
+  }
+  return words;
+}
+
+std::vector<bool> eval(const Aig& g, const std::vector<bool>& pi_values) {
+  assert(pi_values.size() == g.num_pis());
+  std::vector<uint64_t> pi_words(g.num_pis());
+  for (uint32_t i = 0; i < g.num_pis(); ++i) pi_words[i] = pi_values[i] ? ~0ULL : 0ULL;
+  const std::vector<uint64_t> words = simulate(g, pi_words);
+  std::vector<bool> out(g.num_pos());
+  for (uint32_t i = 0; i < g.num_pos(); ++i)
+    out[i] = (sim_value(words, g.po_lit(i)) & 1ULL) != 0;
+  return out;
+}
+
+namespace {
+std::vector<std::vector<uint64_t>> exhaustive_pi_words(const Aig& g) {
+  if (g.num_pis() > 16)
+    throw std::invalid_argument("truth_table: too many PIs (max 16)");
+  const uint32_t n = g.num_pis();
+  const size_t num_minterms = 1ULL << n;
+  const size_t num_words = std::max<size_t>(1, num_minterms / 64);
+  std::vector<std::vector<uint64_t>> pi_words(n, std::vector<uint64_t>(num_words, 0));
+  for (size_t m = 0; m < num_minterms; ++m)
+    for (uint32_t i = 0; i < n; ++i)
+      if ((m >> i) & 1ULL) pi_words[i][m / 64] |= 1ULL << (m % 64);
+  return pi_words;
+}
+}  // namespace
+
+std::vector<uint64_t> truth_table(const Aig& g, Lit l) {
+  const auto words = simulate_words(g, exhaustive_pi_words(g));
+  std::vector<uint64_t> tt = words[lit_node(l)];
+  if (lit_compl(l))
+    for (auto& w : tt) w = ~w;
+  // Mask the unused upper bits for < 6 inputs.
+  if (g.num_pis() < 6) {
+    const uint64_t mask = (1ULL << (1u << g.num_pis())) - 1;
+    tt[0] &= mask;
+  }
+  return tt;
+}
+
+std::vector<std::vector<uint64_t>> po_truth_tables(const Aig& g) {
+  const auto words = simulate_words(g, exhaustive_pi_words(g));
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(g.num_pos());
+  for (uint32_t i = 0; i < g.num_pos(); ++i) {
+    const Lit l = g.po_lit(i);
+    std::vector<uint64_t> tt = words[lit_node(l)];
+    if (lit_compl(l))
+      for (auto& w : tt) w = ~w;
+    if (g.num_pis() < 6) {
+      const uint64_t mask = (1ULL << (1u << g.num_pis())) - 1;
+      tt[0] &= mask;
+    }
+    out.push_back(std::move(tt));
+  }
+  return out;
+}
+
+std::vector<uint64_t> random_pi_words(const Aig& g, eco::Rng& rng) {
+  std::vector<uint64_t> out(g.num_pis());
+  for (auto& w : out) w = rng.next();
+  return out;
+}
+
+}  // namespace eco::aig

@@ -1,0 +1,47 @@
+/// \file sim.hpp
+/// \brief Bit-parallel simulation of AIGs.
+///
+/// Simulation serves three roles in the library: functional validation in
+/// tests (truth tables for small cones), candidate-equivalence detection for
+/// CEGAR_min resubstitution (paper §3.6.3), and counterexample screening in
+/// the equivalence checker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace eco::aig {
+
+/// Simulates one 64-pattern word per PI; returns one word per node
+/// (indexed by node, bit i = value under pattern i).
+std::vector<uint64_t> simulate(const Aig& g, std::span<const uint64_t> pi_words);
+
+/// Multi-word simulation: \p pi_words is [pi][word]; the result is
+/// [node][word].
+std::vector<std::vector<uint64_t>> simulate_words(
+    const Aig& g, const std::vector<std::vector<uint64_t>>& pi_words);
+
+/// Evaluates all POs under a single input pattern.
+std::vector<bool> eval(const Aig& g, const std::vector<bool>& pi_values);
+
+/// Value of literal \p l in a node-indexed simulation vector.
+inline uint64_t sim_value(std::span<const uint64_t> words, Lit l) {
+  const uint64_t w = words[lit_node(l)];
+  return lit_compl(l) ? ~w : w;
+}
+
+/// Truth table of literal \p l as a function of all PIs (\pre num_pis <= 16).
+/// Bit m of the result's word m/64 is the value under minterm m.
+std::vector<uint64_t> truth_table(const Aig& g, Lit l);
+
+/// Truth tables of all POs (\pre num_pis <= 16).
+std::vector<std::vector<uint64_t>> po_truth_tables(const Aig& g);
+
+/// Fills one random 64-pattern word per PI.
+std::vector<uint64_t> random_pi_words(const Aig& g, eco::Rng& rng);
+
+}  // namespace eco::aig

@@ -1,0 +1,51 @@
+#include "aig/window.hpp"
+
+namespace eco::aig {
+
+std::vector<uint8_t> tfi_mark(const Aig& g, std::span<const Node> roots) {
+  std::vector<uint8_t> mark(g.num_nodes(), 0);
+  std::vector<Node> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const Node n = stack.back();
+    stack.pop_back();
+    if (mark[n]) continue;
+    mark[n] = 1;
+    if (g.is_and(n)) {
+      stack.push_back(lit_node(g.fanin0(n)));
+      stack.push_back(lit_node(g.fanin1(n)));
+    }
+  }
+  return mark;
+}
+
+std::vector<uint8_t> tfo_mark(const Aig& g, std::span<const Node> seeds) {
+  std::vector<uint8_t> mark(g.num_nodes(), 0);
+  for (const Node s : seeds) mark[s] = 1;
+  // One forward pass suffices: nodes are in topological order.
+  for (Node n = g.num_pis() + 1; n < g.num_nodes(); ++n) {
+    if (mark[n]) continue;
+    if (mark[lit_node(g.fanin0(n))] || mark[lit_node(g.fanin1(n))]) mark[n] = 1;
+  }
+  return mark;
+}
+
+std::vector<uint32_t> support_pis(const Aig& g, std::span<const Lit> roots) {
+  std::vector<Node> nodes;
+  nodes.reserve(roots.size());
+  for (const Lit l : roots) nodes.push_back(lit_node(l));
+  const std::vector<uint8_t> mark = tfi_mark(g, nodes);
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    if (mark[g.pi_node(i)]) out.push_back(i);
+  return out;
+}
+
+std::vector<uint32_t> tfo_pos(const Aig& g, std::span<const Node> seeds) {
+  const std::vector<uint8_t> mark = tfo_mark(g, seeds);
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < g.num_pos(); ++i)
+    if (mark[lit_node(g.po_lit(i))]) out.push_back(i);
+  return out;
+}
+
+}  // namespace eco::aig

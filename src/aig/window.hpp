@@ -1,0 +1,28 @@
+/// \file window.hpp
+/// \brief Structural traversal utilities: TFI/TFO cones and supports
+/// (paper §2.2 and the structural-pruning step of §3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace eco::aig {
+
+/// Marks (by node) the transitive fanin cone of \p roots, including the
+/// roots themselves.
+std::vector<uint8_t> tfi_mark(const Aig& g, std::span<const Node> roots);
+
+/// Marks (by node) the transitive fanout cone of \p seeds, including the
+/// seeds themselves.
+std::vector<uint8_t> tfo_mark(const Aig& g, std::span<const Node> seeds);
+
+/// PI indices in the support (TFI) of \p root literals.
+std::vector<uint32_t> support_pis(const Aig& g, std::span<const Lit> roots);
+
+/// PO indices whose cone intersects the TFO of \p seeds (the "TFO support",
+/// paper §2.2).
+std::vector<uint32_t> tfo_pos(const Aig& g, std::span<const Node> seeds);
+
+}  // namespace eco::aig

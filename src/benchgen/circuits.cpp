@@ -1,0 +1,243 @@
+#include "benchgen/circuits.hpp"
+
+#include <string>
+
+namespace eco::benchgen {
+
+using net::Gate;
+using net::GateType;
+using net::Network;
+
+namespace {
+
+std::string sig(const std::string& base, int i) { return base + std::to_string(i); }
+
+void gate(Network& net, GateType type, std::string out, std::vector<std::string> ins) {
+  net.gates.push_back(Gate{type, std::move(out), std::move(ins), ""});
+}
+
+/// Adds a full adder producing sum/carry signals with the given names.
+void full_adder(Network& net, const std::string& a, const std::string& b,
+                const std::string& cin, const std::string& sum, const std::string& cout,
+                const std::string& prefix) {
+  const std::string t1 = prefix + "_p";
+  const std::string t2 = prefix + "_g";
+  const std::string t3 = prefix + "_h";
+  gate(net, GateType::kXor, t1, {a, b});
+  gate(net, GateType::kXor, sum, {t1, cin});
+  gate(net, GateType::kAnd, t2, {a, b});
+  gate(net, GateType::kAnd, t3, {t1, cin});
+  gate(net, GateType::kOr, cout, {t2, t3});
+}
+
+}  // namespace
+
+Network make_adder(int width) {
+  Network net;
+  net.name = "adder" + std::to_string(width);
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("a", i));
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("b", i));
+  net.inputs.push_back("cin");
+  std::string carry = "cin";
+  for (int i = 0; i < width; ++i) {
+    const std::string cout = i + 1 == width ? "cout" : sig("c", i);
+    full_adder(net, sig("a", i), sig("b", i), carry, sig("s", i), cout,
+               "fa" + std::to_string(i));
+    carry = cout;
+  }
+  for (int i = 0; i < width; ++i) net.outputs.push_back(sig("s", i));
+  net.outputs.push_back("cout");
+  return net;
+}
+
+Network make_multiplier(int width) {
+  Network net;
+  net.name = "mult" + std::to_string(width);
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("a", i));
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("b", i));
+  // Partial products.
+  for (int i = 0; i < width; ++i)
+    for (int j = 0; j < width; ++j)
+      gate(net, GateType::kAnd, "pp" + std::to_string(i) + "_" + std::to_string(j),
+           {sig("a", i), sig("b", j)});
+  // Row-by-row carry-save style accumulation with ripple rows.
+  // acc row 0 = pp0_*.
+  std::vector<std::string> acc(static_cast<size_t>(2 * width), "");
+  gate(net, GateType::kConst0, "mzero", {});
+  for (int k = 0; k < 2 * width; ++k) acc[static_cast<size_t>(k)] = "mzero";
+  for (int j = 0; j < width; ++j) acc[static_cast<size_t>(j)] = "pp0_" + std::to_string(j);
+  for (int i = 1; i < width; ++i) {
+    std::string carry = "mzero";
+    for (int j = 0; j < width; ++j) {
+      const int k = i + j;
+      const std::string prefix = "m" + std::to_string(i) + "_" + std::to_string(j);
+      const std::string sum = prefix + "_s";
+      const std::string cout = prefix + "_c";
+      full_adder(net, acc[static_cast<size_t>(k)],
+                 "pp" + std::to_string(i) + "_" + std::to_string(j), carry, sum, cout, prefix);
+      acc[static_cast<size_t>(k)] = sum;
+      carry = cout;
+    }
+    // Propagate the final carry into the next accumulator column.
+    const int k = i + width;
+    const std::string prefix = "mc" + std::to_string(i);
+    gate(net, GateType::kXor, prefix + "_s", {acc[static_cast<size_t>(k)], carry});
+    gate(net, GateType::kAnd, prefix + "_c", {acc[static_cast<size_t>(k)], carry});
+    acc[static_cast<size_t>(k)] = prefix + "_s";
+    if (k + 1 < 2 * width) {
+      gate(net, GateType::kOr, prefix + "_p",
+           {acc[static_cast<size_t>(k + 1)], prefix + "_c"});
+      acc[static_cast<size_t>(k + 1)] = prefix + "_p";
+    }
+  }
+  for (int k = 0; k < 2 * width; ++k) {
+    const std::string po = sig("p", k);
+    gate(net, GateType::kBuf, po, {acc[static_cast<size_t>(k)]});
+    net.outputs.push_back(po);
+  }
+  return net;
+}
+
+Network make_alu(int width) {
+  Network net;
+  net.name = "alu" + std::to_string(width);
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("a", i));
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("b", i));
+  net.inputs.push_back("op0");
+  net.inputs.push_back("op1");
+  gate(net, GateType::kConst0, "azero", {});
+  // Ops: 00 add, 01 and, 10 or, 11 xor.
+  std::string carry = "azero";
+  for (int i = 0; i < width; ++i) {
+    const std::string pre = "au" + std::to_string(i);
+    full_adder(net, sig("a", i), sig("b", i), carry, pre + "_sum", pre + "_cout", pre);
+    carry = pre + "_cout";
+    gate(net, GateType::kAnd, pre + "_and", {sig("a", i), sig("b", i)});
+    gate(net, GateType::kOr, pre + "_or", {sig("a", i), sig("b", i)});
+    gate(net, GateType::kXor, pre + "_xor", {sig("a", i), sig("b", i)});
+    // Result mux by (op1, op0).
+    gate(net, GateType::kNot, pre + "_nop0", {"op0"});
+    gate(net, GateType::kNot, pre + "_nop1", {"op1"});
+    gate(net, GateType::kAnd, pre + "_m0", {pre + "_sum", pre + "_nop1", pre + "_nop0"});
+    gate(net, GateType::kAnd, pre + "_m1", {pre + "_and", pre + "_nop1", "op0"});
+    gate(net, GateType::kAnd, pre + "_m2", {pre + "_or", "op1", pre + "_nop0"});
+    gate(net, GateType::kAnd, pre + "_m3", {pre + "_xor", "op1", "op0"});
+    gate(net, GateType::kOr, sig("r", i), {pre + "_m0", pre + "_m1", pre + "_m2", pre + "_m3"});
+    net.outputs.push_back(sig("r", i));
+  }
+  gate(net, GateType::kBuf, "carry_out", {carry});
+  net.outputs.push_back("carry_out");
+  return net;
+}
+
+Network make_comparator(int width, int lanes) {
+  Network net;
+  net.name = "cmp" + std::to_string(width) + "x" + std::to_string(lanes);
+  for (int l = 0; l < lanes; ++l)
+    for (int i = 0; i < width; ++i) {
+      net.inputs.push_back("x" + std::to_string(l) + "_" + std::to_string(i));
+      net.inputs.push_back("y" + std::to_string(l) + "_" + std::to_string(i));
+    }
+  for (int l = 0; l < lanes; ++l) {
+    const std::string lp = "lane" + std::to_string(l);
+    // Bitwise equality, then AND tree; greater-than prefix chain.
+    std::string eq_acc;
+    std::string gt_acc;
+    for (int i = width - 1; i >= 0; --i) {
+      const std::string x = "x" + std::to_string(l) + "_" + std::to_string(i);
+      const std::string y = "y" + std::to_string(l) + "_" + std::to_string(i);
+      const std::string e = lp + "_eq" + std::to_string(i);
+      const std::string g = lp + "_gt" + std::to_string(i);
+      gate(net, GateType::kXnor, e, {x, y});
+      const std::string ny = lp + "_ny" + std::to_string(i);
+      gate(net, GateType::kNot, ny, {y});
+      gate(net, GateType::kAnd, g, {x, ny});
+      if (eq_acc.empty()) {
+        eq_acc = e;
+        gt_acc = g;
+      } else {
+        const std::string ne = lp + "_ea" + std::to_string(i);
+        gate(net, GateType::kAnd, ne, {eq_acc, e});
+        const std::string t = lp + "_gm" + std::to_string(i);
+        gate(net, GateType::kAnd, t, {eq_acc, g});
+        const std::string ng = lp + "_ga" + std::to_string(i);
+        gate(net, GateType::kOr, ng, {gt_acc, t});
+        eq_acc = ne;
+        gt_acc = ng;
+      }
+    }
+    gate(net, GateType::kBuf, lp + "_equal", {eq_acc});
+    gate(net, GateType::kBuf, lp + "_greater", {gt_acc});
+    net.outputs.push_back(lp + "_equal");
+    net.outputs.push_back(lp + "_greater");
+  }
+  return net;
+}
+
+Network make_random_logic(int num_inputs, int num_outputs, int num_gates, Rng& rng) {
+  Network net;
+  net.name = "rand" + std::to_string(num_gates);
+  std::vector<std::string> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    net.inputs.push_back(sig("i", i));
+    pool.push_back(net.inputs.back());
+  }
+  static constexpr GateType kTypes[] = {GateType::kAnd, GateType::kOr,  GateType::kNand,
+                                        GateType::kNor, GateType::kXor, GateType::kXnor,
+                                        GateType::kNot};
+  for (int g = 0; g < num_gates; ++g) {
+    const GateType type = kTypes[rng.below(std::size(kTypes))];
+    const int arity = type == GateType::kNot ? 1 : 2 + static_cast<int>(rng.below(2));
+    std::vector<std::string> ins;
+    for (int a = 0; a < arity; ++a) {
+      // Bias toward recent signals to get depth.
+      const size_t lo = pool.size() > 24 && rng.chance(2, 3) ? pool.size() - 24 : 0;
+      ins.push_back(pool[lo + rng.below(pool.size() - lo)]);
+    }
+    const std::string out = sig("w", g);
+    gate(net, type, out, std::move(ins));
+    pool.push_back(out);
+  }
+  for (int o = 0; o < num_outputs; ++o) {
+    const std::string po = sig("z", o);
+    gate(net, GateType::kBuf, po,
+         {pool[pool.size() - 1 - rng.below(std::min<uint64_t>(pool.size(), 4 * static_cast<uint64_t>(num_outputs)))]});
+    net.outputs.push_back(po);
+  }
+  return net;
+}
+
+Network make_parity_masks(int width, int masks, Rng& rng) {
+  Network net;
+  net.name = "parity" + std::to_string(width) + "x" + std::to_string(masks);
+  for (int i = 0; i < width; ++i) net.inputs.push_back(sig("d", i));
+  for (int m = 0; m < masks; ++m) {
+    const std::string mp = "mask" + std::to_string(m);
+    std::string acc;
+    int used = 0;
+    for (int i = 0; i < width; ++i) {
+      if (!rng.chance(1, 2)) continue;
+      const std::string masked = mp + "_m" + std::to_string(i);
+      // AND with a neighbour to add non-linearity.
+      gate(net, GateType::kAnd, masked, {sig("d", i), sig("d", (i + 1) % width)});
+      if (acc.empty()) {
+        acc = masked;
+      } else {
+        const std::string nx = mp + "_x" + std::to_string(i);
+        gate(net, GateType::kXor, nx, {acc, masked});
+        acc = nx;
+      }
+      ++used;
+    }
+    const std::string po = mp + "_p";
+    if (used == 0) {
+      gate(net, GateType::kConst0, po, {});
+    } else {
+      gate(net, GateType::kBuf, po, {acc});
+    }
+    net.outputs.push_back(po);
+  }
+  return net;
+}
+
+}  // namespace eco::benchgen

@@ -1,0 +1,38 @@
+/// \file circuits.hpp
+/// \brief Parameterized gate-level circuit generators.
+///
+/// These stand in for the ISCAS-85/89, ITC-99, IWLS-2005, OpenCore and
+/// LGSynth-93 designs underlying the ICCAD'17 contest suite (paper §4.1, see
+/// DESIGN.md §3 for the substitution rationale). Each generator produces a
+/// well-formed combinational Network with deterministic structure from its
+/// parameters, covering arithmetic, control, and unstructured random logic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace eco::benchgen {
+
+/// Ripple-carry adder: 2*width inputs + cin, width+1 outputs.
+net::Network make_adder(int width);
+
+/// Array multiplier: 2*width inputs, 2*width outputs.
+net::Network make_multiplier(int width);
+
+/// Small ALU: two operands, 2 op-select bits; ops = add, and, or, xor.
+net::Network make_alu(int width);
+
+/// Priority-encoded comparator bank: equality/greater trees with shared
+/// prefixes (control-flavoured logic).
+net::Network make_comparator(int width, int lanes);
+
+/// Random DAG of mixed primitives; roughly \p num_gates gates over
+/// \p num_inputs inputs with \p num_outputs outputs.
+net::Network make_random_logic(int num_inputs, int num_outputs, int num_gates, Rng& rng);
+
+/// Parity/ECC-style network: XOR trees with AND-mask layers.
+net::Network make_parity_masks(int width, int masks, Rng& rng);
+
+}  // namespace eco::benchgen

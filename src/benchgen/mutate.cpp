@@ -1,0 +1,205 @@
+#include "benchgen/mutate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aig/sim.hpp"
+#include "net/elaborate.hpp"
+
+namespace eco::benchgen {
+
+using net::Gate;
+using net::GateType;
+using net::Network;
+
+namespace {
+
+/// Signals (transitively) reaching a primary output.
+std::unordered_set<std::string> observable_signals(const Network& net) {
+  std::unordered_map<std::string, const Gate*> driver;
+  for (const auto& g : net.gates) driver.emplace(g.output, &g);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> stack(net.outputs.begin(), net.outputs.end());
+  while (!stack.empty()) {
+    const std::string s = std::move(stack.back());
+    stack.pop_back();
+    if (!seen.insert(s).second) continue;
+    const auto it = driver.find(s);
+    if (it == driver.end()) continue;
+    for (const auto& in : it->second->inputs) stack.push_back(in);
+  }
+  return seen;
+}
+
+/// Signals in the transitive fanout of \p seed (including itself).
+std::unordered_set<std::string> fanout_signals(const Network& net, const std::string& seed) {
+  std::unordered_set<std::string> tfo{seed};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& g : net.gates) {
+      if (tfo.count(g.output)) continue;
+      for (const auto& in : g.inputs)
+        if (tfo.count(in)) {
+          tfo.insert(g.output);
+          changed = true;
+          break;
+        }
+    }
+  }
+  return tfo;
+}
+
+GateType mutate_type(GateType type, Rng& rng) {
+  static constexpr GateType kBinary[] = {GateType::kAnd, GateType::kOr,  GateType::kNand,
+                                         GateType::kNor, GateType::kXor, GateType::kXnor};
+  if (type == GateType::kBuf) return GateType::kNot;
+  if (type == GateType::kNot) return GateType::kBuf;
+  if (type == GateType::kConst0) return GateType::kConst1;
+  if (type == GateType::kConst1) return GateType::kConst0;
+  for (;;) {
+    const GateType next = kBinary[rng.below(std::size(kBinary))];
+    if (next != type) return next;
+  }
+}
+
+/// Applies one random local mutation to each chosen gate of a copy of
+/// \p base (the "specification change").
+Network mutate_gates(const Network& base, const std::vector<size_t>& chosen, Rng& rng) {
+  Network spec = base;
+  for (const size_t gi : chosen) {
+    Gate& g = spec.gates[gi];
+    const uint64_t kind = rng.below(3);
+    if (kind == 0 || g.inputs.size() < 2) {
+      g.type = mutate_type(g.type, rng);
+    } else if (kind == 1) {
+      // Rewire one input to a random signal outside this gate's fanout.
+      // The fanout is computed on the *current* spec so that successive
+      // rewires can never close a combinational cycle: the edge that would
+      // complete a cycle is exactly the one this check rejects.
+      const auto tfo = fanout_signals(spec, g.output);
+      std::vector<std::string> candidates;
+      for (const auto& in : spec.inputs)
+        if (!tfo.count(in)) candidates.push_back(in);
+      for (const auto& other : spec.gates)
+        if (!tfo.count(other.output)) candidates.push_back(other.output);
+      if (!candidates.empty())
+        g.inputs[rng.below(g.inputs.size())] = candidates[rng.below(candidates.size())];
+      else
+        g.type = mutate_type(g.type, rng);
+    } else {
+      // Both: retype and swap two inputs (swap matters for none of the
+      // symmetric primitives, so retype carries the change).
+      g.type = mutate_type(g.type, rng);
+      std::swap(g.inputs[0], g.inputs[g.inputs.size() - 1]);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+EcoInstance make_eco_instance(const Network& base, int num_targets, Rng& rng) {
+  base.validate();
+  const auto observable = observable_signals(base);
+
+  // Eligible rectification points: observable internal gates. Real ECOs are
+  // local changes, so prefer gates whose fanout cone is small — this also
+  // keeps the final verification miter mostly shared between the netlists.
+  std::vector<size_t> eligible;
+  {
+    // The cap shrinks with the target count: many-point ECOs whose fanout
+    // cones overlap would make the universal-quantification expansion of
+    // the miter (paper §3.1) blow up exponentially, which real multi-point
+    // rectifications do not do. Computing exact fanout cones for every gate
+    // is quadratic, so only a random sample of observable gates is
+    // examined — far more than the handful of targets ever needed.
+    const size_t tfo_cap = std::max<size_t>(
+        8, base.gates.size() / (8 * static_cast<size_t>(std::max(1, num_targets))));
+    std::vector<size_t> observable_gates;
+    for (size_t i = 0; i < base.gates.size(); ++i)
+      if (observable.count(base.gates[i].output)) observable_gates.push_back(i);
+    std::vector<size_t> sample = observable_gates;
+    const size_t kSampleCap = 192;
+    if (sample.size() > kSampleCap) {
+      for (size_t i = 0; i < kSampleCap; ++i)
+        std::swap(sample[i], sample[i + rng.below(sample.size() - i)]);
+      sample.resize(kSampleCap);
+    }
+    for (const size_t i : sample)
+      if (fanout_signals(base, base.gates[i].output).size() <= tfo_cap)
+        eligible.push_back(i);
+    if (static_cast<int>(eligible.size()) < num_targets) eligible = observable_gates;
+  }
+  if (static_cast<int>(eligible.size()) < num_targets)
+    throw std::runtime_error("make_eco_instance: not enough observable gates");
+
+  EcoInstance out;
+  std::vector<size_t> chosen;
+  Network spec;
+
+  // Draw target sets until the mutated spec is observably different from
+  // the base netlist (checked by random simulation); an unobservable
+  // mutation would yield a degenerate instance whose patches are constants.
+  const auto base_elab = net::elaborate(base);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    chosen.clear();
+    while (static_cast<int>(chosen.size()) < num_targets) {
+      const size_t pick = eligible[rng.below(eligible.size())];
+      if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) chosen.push_back(pick);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    spec = mutate_gates(base, chosen, rng);
+    const auto spec_elab = net::elaborate(spec);
+    Rng sim_rng(0xB0B0 + static_cast<uint64_t>(attempt));
+    bool differs = false;
+    for (int round = 0; round < 4 && !differs; ++round) {
+      const auto pi_words = aig::random_pi_words(base_elab.aig, sim_rng);
+      const auto base_words = aig::simulate(base_elab.aig, pi_words);
+      const auto spec_words = aig::simulate(spec_elab.aig, pi_words);
+      for (uint32_t po = 0; po < base_elab.aig.num_pos() && !differs; ++po)
+        differs = aig::sim_value(base_words, base_elab.aig.po_lit(po)) !=
+                  aig::sim_value(spec_words, spec_elab.aig.po_lit(po));
+    }
+    if (differs) break;
+  }
+
+  // Rename internal wires so the spec shares no internal names with the
+  // implementation (the paper stresses no structural similarity is assumed).
+  {
+    std::unordered_set<std::string> keep(spec.inputs.begin(), spec.inputs.end());
+    keep.insert(spec.outputs.begin(), spec.outputs.end());
+    std::unordered_map<std::string, std::string> rename;
+    int counter = 0;
+    for (const auto& g : spec.gates)
+      if (!keep.count(g.output))
+        rename.emplace(g.output, "sp_" + std::to_string(counter++));
+    for (auto& g : spec.gates) {
+      if (const auto it = rename.find(g.output); it != rename.end()) g.output = it->second;
+      for (auto& in : g.inputs)
+        if (const auto it = rename.find(in); it != rename.end()) in = it->second;
+    }
+  }
+  spec.name = base.name + "_spec";
+  spec.validate();
+
+  // ---- Implementation: cut the chosen signals into inputs. --------------
+  Network impl = base;
+  impl.name = base.name + "_impl";
+  std::vector<size_t> reversed(chosen.rbegin(), chosen.rend());
+  for (const size_t gi : reversed) {
+    out.target_names.push_back(impl.gates[gi].output);
+    impl.inputs.push_back(impl.gates[gi].output);
+    impl.gates.erase(impl.gates.begin() + static_cast<long>(gi));
+  }
+  std::reverse(out.target_names.begin(), out.target_names.end());
+  impl.validate();
+
+  out.impl = std::move(impl);
+  out.spec = std::move(spec);
+  return out;
+}
+
+}  // namespace eco::benchgen

@@ -1,0 +1,35 @@
+/// \file mutate.hpp
+/// \brief ECO instance creation by specification mutation.
+///
+/// An instance is derived from a base netlist B the way the contest
+/// instances were derived from real designs:
+///  - the *specification* is B with the local functions of k chosen signals
+///    changed (gate retyped and/or rewired) and its internal wires renamed —
+///    no structural correspondence with the implementation is kept;
+///  - the *implementation* is B with those k signals cut loose: their
+///    driving gates are removed and the signals become primary inputs (the
+///    contest's rectification-point convention).
+///
+/// By construction the instance is feasible: driving each cut signal with
+/// its new specification function rectifies the implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace eco::benchgen {
+
+struct EcoInstance {
+  net::Network impl;  ///< old implementation; targets are extra inputs
+  net::Network spec;  ///< new specification
+  std::vector<std::string> target_names;
+};
+
+/// Creates an instance with \p num_targets rectification points.
+/// Throws std::runtime_error if the base netlist has too few eligible gates.
+EcoInstance make_eco_instance(const net::Network& base, int num_targets, Rng& rng);
+
+}  // namespace eco::benchgen

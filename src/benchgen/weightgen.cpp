@@ -1,0 +1,157 @@
+#include "benchgen/weightgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eco::benchgen {
+
+using net::Network;
+using net::WeightMap;
+
+const char* weight_type_name(WeightType type) noexcept {
+  switch (type) {
+    case WeightType::kT1: return "T1";
+    case WeightType::kT2: return "T2";
+    case WeightType::kT3: return "T3";
+    case WeightType::kT4: return "T4";
+    case WeightType::kT5: return "T5";
+    case WeightType::kT6: return "T6";
+    case WeightType::kT7: return "T7";
+    case WeightType::kT8: return "T8";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Logic depth of each signal (inputs at 0), computed by fixpoint since the
+/// gate list is not necessarily topological.
+std::unordered_map<std::string, int> signal_depths(const Network& net) {
+  std::unordered_map<std::string, int> depth;
+  for (const auto& in : net.inputs) depth.emplace(in, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& g : net.gates) {
+      int d = 0;
+      bool ready = true;
+      for (const auto& in : g.inputs) {
+        const auto it = depth.find(in);
+        if (it == depth.end()) {
+          ready = false;
+          break;
+        }
+        d = std::max(d, it->second);
+      }
+      if (!ready) continue;
+      const int nd = d + 1;
+      const auto it = depth.find(g.output);
+      if (it == depth.end() || it->second != nd) {
+        depth[g.output] = nd;
+        changed = true;
+      }
+    }
+  }
+  return depth;
+}
+
+/// Chooses "parts of the circuit": a random subset of signals grown from a
+/// few seeds through the fanout relation.
+std::unordered_set<std::string> pick_parts(const Network& net, Rng& rng, double fraction) {
+  const auto signals = net.all_signals();
+  std::unordered_set<std::string> region;
+  if (signals.empty()) return region;
+  const size_t want = std::max<size_t>(1, static_cast<size_t>(fraction * signals.size()));
+  // Fanout adjacency.
+  std::unordered_map<std::string, std::vector<std::string>> fanout;
+  for (const auto& g : net.gates)
+    for (const auto& in : g.inputs) fanout[in].push_back(g.output);
+  std::vector<std::string> frontier;
+  while (region.size() < want) {
+    if (frontier.empty()) frontier.push_back(signals[rng.below(signals.size())]);
+    const std::string s = std::move(frontier.back());
+    frontier.pop_back();
+    if (!region.insert(s).second) continue;
+    const auto it = fanout.find(s);
+    if (it != fanout.end())
+      for (const auto& next : it->second)
+        if (rng.chance(2, 3)) frontier.push_back(next);
+  }
+  return region;
+}
+
+/// Random PI -> PO paths (as signal sets), walking drivers backwards.
+std::unordered_set<std::string> pick_paths(const Network& net, Rng& rng, int num_paths) {
+  std::unordered_map<std::string, const net::Gate*> driver;
+  for (const auto& g : net.gates) driver.emplace(g.output, &g);
+  std::unordered_set<std::string> on_path;
+  for (int p = 0; p < num_paths; ++p) {
+    if (net.outputs.empty()) break;
+    std::string cur = net.outputs[rng.below(net.outputs.size())];
+    while (true) {
+      on_path.insert(cur);
+      const auto it = driver.find(cur);
+      if (it == driver.end() || it->second->inputs.empty()) break;
+      cur = it->second->inputs[rng.below(it->second->inputs.size())];
+    }
+  }
+  return on_path;
+}
+
+int64_t jitter(Rng& rng, int64_t base, int64_t spread) {
+  return std::max<int64_t>(0, base + rng.range(-spread, spread));
+}
+
+}  // namespace
+
+WeightMap make_weights(const Network& impl, WeightType type, Rng& rng) {
+  WeightMap wm;
+  const auto depth = signal_depths(impl);
+  int max_depth = 1;
+  for (const auto& [name, d] : depth) max_depth = std::max(max_depth, d);
+
+  const auto parts = pick_parts(impl, rng, 0.4);
+  const auto paths = pick_paths(impl, rng, std::max<int>(2, static_cast<int>(impl.outputs.size() / 4)));
+  const auto region = pick_parts(impl, rng, 0.25);
+  const double freq = 0.5 + rng.uniform() * 2.0;
+  const double phase = rng.uniform() * 6.28318;
+
+  for (const auto& name : impl.all_signals()) {
+    const int d = depth.count(name) ? depth.at(name) : 0;
+    const double rel = static_cast<double>(d) / max_depth;
+    int64_t w = 1 + static_cast<int64_t>(rng.below(3));  // background 1..3
+    auto add_t1 = [&] {
+      if (parts.count(name)) w += jitter(rng, static_cast<int64_t>(40 * (1.0 - rel)), 4);
+    };
+    auto add_t2 = [&] {
+      if (parts.count(name)) w += jitter(rng, static_cast<int64_t>(40 * rel), 4);
+    };
+    auto add_t3 = [&] {
+      if (paths.count(name)) w += jitter(rng, 30, 6);
+    };
+    auto add_t4 = [&] {
+      if (region.count(name)) w += jitter(rng, 35, 8);
+    };
+    switch (type) {
+      case WeightType::kT1: add_t1(); break;
+      case WeightType::kT2: add_t2(); break;
+      case WeightType::kT3: add_t3(); break;
+      case WeightType::kT4: add_t4(); break;
+      case WeightType::kT5: add_t1(); add_t3(); break;
+      case WeightType::kT6: add_t2(); add_t3(); break;
+      case WeightType::kT7: add_t1(); add_t4(); break;
+      case WeightType::kT8: {
+        const double wave = (1.0 + std::sin(d * freq + phase)) / 2.0;
+        w += jitter(rng, static_cast<int64_t>(50 * wave), 10);
+        if (paths.count(name)) w += static_cast<int64_t>(rng.below(20));
+        break;
+      }
+    }
+    wm.weights.emplace(name, w);
+  }
+  return wm;
+}
+
+}  // namespace eco::benchgen

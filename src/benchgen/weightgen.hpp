@@ -1,0 +1,27 @@
+/// \file weightgen.hpp
+/// \brief The eight contest weight distributions T1–T8 (paper §4.1).
+#pragma once
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace eco::benchgen {
+
+enum class WeightType {
+  kT1,  ///< distance-aware A: larger closer to PIs, in parts of the circuit
+  kT2,  ///< distance-aware B: larger farther from PIs, in parts
+  kT3,  ///< path-aware: nodes on some PI->PO paths weigh more
+  kT4,  ///< locality-aware: some regions weigh more
+  kT5,  ///< T1 + T3
+  kT6,  ///< T2 + T3
+  kT7,  ///< T1 + T4
+  kT8,  ///< highly mixed, undulating
+};
+
+const char* weight_type_name(WeightType type) noexcept;
+
+/// Assigns a weight to every signal of \p impl following distribution
+/// \p type.
+net::WeightMap make_weights(const net::Network& impl, WeightType type, Rng& rng);
+
+}  // namespace eco::benchgen

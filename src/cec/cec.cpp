@@ -1,0 +1,98 @@
+#include "cec/cec.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "aig/ops.hpp"
+#include "aig/sim.hpp"
+#include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace eco::cec {
+
+aig::Aig build_miter(const aig::Aig& a, const aig::Aig& b) {
+  if (!aig::interfaces_match(a, b))
+    throw std::invalid_argument("build_miter: PI/PO interfaces differ");
+  aig::Aig m;
+  std::vector<aig::Lit> pis;
+  pis.reserve(a.num_pis());
+  for (uint32_t i = 0; i < a.num_pis(); ++i) pis.push_back(m.add_pi(a.pi_name(i)));
+  const std::vector<aig::Lit> outs_a = aig::append(a, m, pis);
+  const std::vector<aig::Lit> outs_b = aig::append(b, m, pis);
+  std::vector<aig::Lit> diffs;
+  diffs.reserve(outs_a.size());
+  for (size_t i = 0; i < outs_a.size(); ++i)
+    diffs.push_back(m.add_xor(outs_a[i], outs_b[i]));
+  m.add_po(m.add_or_multi(diffs), "miter");
+  return m;
+}
+
+namespace {
+
+std::vector<bool> extract_pattern(const aig::Aig& g, cnf::Encoder& enc,
+                                  const sat::Solver& solver) {
+  std::vector<bool> pattern(g.num_pis(), false);
+  for (uint32_t i = 0; i < g.num_pis(); ++i) {
+    const aig::Node n = g.pi_node(i);
+    if (enc.encoded(n)) pattern[i] = solver.model_value(sat::mk_lit(enc.var(n)));
+  }
+  return pattern;
+}
+
+}  // namespace
+
+CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget,
+                       const eco::Deadline& deadline) {
+  CecResult result;
+  if (root == aig::kLitFalse) {
+    result.status = Status::kEquivalent;
+    return result;
+  }
+  if (root == aig::kLitTrue) {
+    result.status = Status::kNotEquivalent;
+    result.counterexample.assign(g.num_pis(), false);
+    return result;
+  }
+  sat::Solver solver;
+  solver.set_deadline(deadline);
+  cnf::Encoder enc(g, solver);
+  const sat::Lit out = enc.lit(root);
+  solver.add_unit(out);
+  if (conflict_budget >= 0) solver.set_conflict_budget(conflict_budget);
+  const sat::LBool verdict = solver.solve();
+  if (verdict.is_false()) {
+    result.status = Status::kEquivalent;
+  } else if (verdict.is_true()) {
+    result.status = Status::kNotEquivalent;
+    result.counterexample = extract_pattern(g, enc, solver);
+  }
+  return result;
+}
+
+CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
+                            int64_t conflict_budget, uint64_t sim_rounds,
+                            const eco::Deadline& deadline) {
+  const aig::Aig miter = build_miter(a, b);
+  const aig::Lit out = miter.po_lit(0);
+
+  // Cheap screening by random simulation.
+  Rng rng(0x5eedULL);
+  for (uint64_t round = 0; round < sim_rounds; ++round) {
+    const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
+    const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
+    const uint64_t diff = aig::sim_value(words, out);
+    if (diff != 0) {
+      const int bit = __builtin_ctzll(diff);
+      CecResult result;
+      result.status = Status::kNotEquivalent;
+      result.counterexample.resize(miter.num_pis());
+      for (uint32_t i = 0; i < miter.num_pis(); ++i)
+        result.counterexample[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
+      return result;
+    }
+  }
+  return check_const0(miter, out, conflict_budget, deadline);
+}
+
+}  // namespace eco::cec

@@ -1,0 +1,47 @@
+/// \file cec.hpp
+/// \brief Combinational equivalence checking (paper §3.2, ref. [12]).
+///
+/// Used twice by the ECO engine: to verify that the target set is sufficient
+/// (on the universally-quantified miter) and to verify the final patched
+/// implementation against the specification before a result is reported.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/timer.hpp"
+
+namespace eco::cec {
+
+enum class Status {
+  kEquivalent,
+  kNotEquivalent,
+  kUnknown,  ///< resource budget exhausted
+};
+
+struct CecResult {
+  Status status = Status::kUnknown;
+  /// For kNotEquivalent: a distinguishing input pattern (one value per PI).
+  std::vector<bool> counterexample;
+};
+
+/// Builds the standard single-output miter: OR over pairwise XORs of the POs
+/// of \p a and \p b (which must have matching interfaces). PIs are shared.
+aig::Aig build_miter(const aig::Aig& a, const aig::Aig& b);
+
+/// Checks functional equivalence of \p a and \p b.
+///
+/// Random simulation screens for cheap counterexamples first; the residue is
+/// decided by SAT. \p conflict_budget < 0 means unlimited.
+CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
+                            int64_t conflict_budget = -1, uint64_t sim_rounds = 8,
+                            const eco::Deadline& deadline = {});
+
+/// Decides whether the single-output function rooted in \p g is constant
+/// false. Returns kEquivalent when it is, kNotEquivalent (with a satisfying
+/// pattern) when it is not.
+CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget = -1,
+                       const eco::Deadline& deadline = {});
+
+}  // namespace eco::cec

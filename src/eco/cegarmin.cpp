@@ -1,0 +1,233 @@
+#include "eco/cegarmin.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "aig/ops.hpp"
+#include "aig/sim.hpp"
+#include "cnf/tseitin.hpp"
+#include "flow/maxflow.hpp"
+#include "sat/solver.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace eco::core {
+
+namespace {
+
+/// Canonical simulation signature: complement-normalized so a node and its
+/// inverse collide (the complement flag is recovered separately).
+struct Signature {
+  std::vector<uint64_t> words;
+  bool complemented = false;  ///< true when words were inverted to normalize
+
+  bool operator==(const Signature& o) const { return words == o.words; }
+};
+
+Signature normalize(const std::vector<uint64_t>& words) {
+  Signature s;
+  s.words = words;
+  if (!words.empty() && (words[0] & 1ULL)) {
+    s.complemented = true;
+    for (auto& w : s.words) w = ~w;
+  }
+  return s;
+}
+
+struct SigHash {
+  size_t operator()(const std::vector<uint64_t>& words) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const uint64_t w : words) h = (h ^ w) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& patches,
+                                     const CegarMinOptions& options) {
+  const uint32_t num_targets = patches.num_pos();
+  std::vector<TargetRewrite> result(num_targets);
+
+  // Combined AIG: shared inputs, implementation divisors, patch cones.
+  aig::Aig combined;
+  std::vector<aig::Lit> x;
+  for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
+    x.push_back(combined.add_pi(problem.spec.pi_name(i)));
+
+  // Implementation divisors (target PIs mapped to constant 0 — divisors do
+  // not depend on targets, so the value is irrelevant).
+  std::vector<aig::Lit> div_in_combined;
+  {
+    std::vector<aig::Lit> map(problem.impl.num_nodes(), aig::kLitInvalid);
+    map[0] = aig::kLitFalse;
+    for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
+      map[problem.impl.pi_node(i)] = x[i];
+    for (uint32_t t = 0; t < problem.num_targets(); ++t)
+      map[problem.impl.pi_node(problem.target_pi(t))] = aig::kLitFalse;
+    std::vector<aig::Lit> roots;
+    roots.reserve(problem.divisors.size());
+    for (const auto& d : problem.divisors) roots.push_back(d.lit);
+    div_in_combined = aig::transfer(problem.impl, combined, roots, map);
+  }
+
+  // Patch cones; keep the full node map to relate patch nodes to `combined`.
+  std::vector<aig::Lit> patch_map(patches.num_nodes(), aig::kLitInvalid);
+  {
+    patch_map[0] = aig::kLitFalse;
+    for (uint32_t i = 0; i < patches.num_pis(); ++i)
+      patch_map[patches.pi_node(i)] = x[i];
+    std::vector<aig::Lit> roots;
+    for (uint32_t t = 0; t < num_targets; ++t) roots.push_back(patches.po_lit(t));
+    aig::transfer(patches, combined, roots, patch_map);
+  }
+
+  // Random-simulation signatures over `combined`.
+  Rng rng(options.rng_seed);
+  std::vector<std::vector<uint64_t>> pi_words(combined.num_pis());
+  for (auto& words : pi_words) {
+    words.resize(static_cast<size_t>(options.sim_words));
+    for (auto& w : words) w = rng.next();
+  }
+  const auto sim = aig::simulate_words(combined, pi_words);
+
+  // Divisor lookup: normalized signature -> divisor indices (cost-sorted,
+  // since problem.divisors is cost-sorted).
+  std::unordered_map<std::vector<uint64_t>, std::vector<size_t>, SigHash> sig_to_div;
+  std::vector<Signature> div_sig(problem.divisors.size());
+  for (size_t i = 0; i < problem.divisors.size(); ++i) {
+    const aig::Lit dl = div_in_combined[i];
+    std::vector<uint64_t> words = sim[aig::lit_node(dl)];
+    if (aig::lit_compl(dl))
+      for (auto& w : words) w = ~w;
+    div_sig[i] = normalize(words);
+    sig_to_div[div_sig[i].words].push_back(i);
+  }
+
+  // One incremental solver over `combined` answers all equivalence queries.
+  sat::Solver solver;
+  solver.set_deadline(options.deadline);
+  cnf::Encoder enc(combined, solver);
+  // Equivalence cache shared between targets: patch node -> match or miss.
+  struct Match {
+    bool tried = false;
+    bool found = false;
+    size_t divisor = 0;
+    bool complemented = false;
+  };
+  std::unordered_map<aig::Node, Match> cache;
+
+  auto find_equivalent = [&](aig::Node patch_node) -> Match& {
+    Match& m = cache[patch_node];
+    if (m.tried) return m;
+    m.tried = true;
+    if (options.deadline.expired()) return m;  // no time to confirm: no match
+    const aig::Lit cl = patch_map[patch_node];  // uncomplemented node lit image
+    std::vector<uint64_t> words = sim[aig::lit_node(cl)];
+    if (aig::lit_compl(cl))
+      for (auto& w : words) w = ~w;
+    const Signature sig = normalize(words);
+    const auto it = sig_to_div.find(sig.words);
+    if (it == sig_to_div.end()) return m;
+    int checks = 0;
+    for (const size_t di : it->second) {
+      if (checks++ >= options.max_checks_per_node) break;
+      // Candidate polarity: equal normalized signatures; the real relation
+      // is (node == div) xor (sig flips differ).
+      const bool complemented = sig.complemented != div_sig[di].complemented;
+      const aig::Lit diff =
+          combined.add_xor(cl, aig::lit_notif(div_in_combined[di], complemented));
+      if (diff == aig::kLitFalse) {  // structurally identical
+        m.found = true;
+        m.divisor = di;
+        m.complemented = complemented;
+        return m;
+      }
+      if (diff == aig::kLitTrue) continue;
+      solver.set_conflict_budget(options.conflict_budget);
+      const sat::LBool verdict = solver.solve({enc.lit(diff)});
+      solver.clear_budgets();
+      if (verdict.is_false()) {
+        m.found = true;
+        m.divisor = di;
+        m.complemented = complemented;
+        return m;
+      }
+    }
+    return m;
+  };
+
+  // Per-target min cut.
+  for (uint32_t t = 0; t < num_targets; ++t) {
+    const aig::Lit root = patches.po_lit(t);
+    const aig::Node root_node = aig::lit_node(root);
+    if (patches.is_const0(root_node)) {
+      result[t].used_cut = true;  // constant patch: empty support
+      result[t].cut_cost = 0;
+      continue;
+    }
+
+    // Collect the cone of `root` in the patch AIG.
+    std::vector<aig::Node> cone;
+    {
+      std::vector<uint8_t> mark(patches.num_nodes(), 0);
+      std::vector<aig::Node> stack{root_node};
+      while (!stack.empty()) {
+        const aig::Node n = stack.back();
+        stack.pop_back();
+        if (mark[n] || patches.is_const0(n)) continue;
+        mark[n] = 1;
+        cone.push_back(n);
+        if (patches.is_and(n)) {
+          stack.push_back(aig::lit_node(patches.fanin0(n)));
+          stack.push_back(aig::lit_node(patches.fanin1(n)));
+        }
+      }
+    }
+
+    std::unordered_map<aig::Node, int> index_of;
+    for (size_t i = 0; i < cone.size(); ++i) index_of[cone[i]] = static_cast<int>(i);
+
+    flow::NodeCutGraph graph(static_cast<int>(cone.size()));
+    std::vector<Match> node_match(cone.size());
+    for (size_t i = 0; i < cone.size(); ++i) {
+      const aig::Node n = cone[i];
+      const Match& m = find_equivalent(n);
+      node_match[i] = m;
+      graph.set_node_capacity(static_cast<int>(i),
+                              m.found ? problem.divisors[m.divisor].cost : flow::kInfinite);
+      if (patches.is_pi(n)) graph.mark_source(static_cast<int>(i));
+      if (patches.is_and(n)) {
+        for (const aig::Lit f : {patches.fanin0(n), patches.fanin1(n)}) {
+          const aig::Node fn = aig::lit_node(f);
+          if (!patches.is_const0(fn)) graph.add_edge(index_of.at(fn), static_cast<int>(i));
+        }
+      }
+    }
+    graph.mark_sink(index_of.at(root_node));
+
+    const auto cut = graph.solve();
+    if (cut.cut_value >= flow::kInfinite) continue;  // keep PI-based patch
+    result[t].used_cut = true;
+    result[t].cut_cost = cut.cut_value;
+    for (const int ci : cut.cut_nodes) {
+      const Match& m = node_match[static_cast<size_t>(ci)];
+      result[t].node_assignment.emplace_back(cone[static_cast<size_t>(ci)],
+                                             std::make_pair(m.divisor, m.complemented));
+    }
+  }
+  return result;
+}
+
+aig::Lit rebuild_patch_on_cut(aig::Aig& impl, const std::vector<Divisor>& divisors,
+                              const aig::Aig& patches, uint32_t target,
+                              const TargetRewrite& rewrite) {
+  std::vector<aig::Lit> map(patches.num_nodes(), aig::kLitInvalid);
+  map[0] = aig::kLitFalse;
+  for (const auto& [node, assignment] : rewrite.node_assignment)
+    map[node] = aig::lit_notif(divisors[assignment.first].lit, assignment.second);
+  const aig::Lit roots[] = {patches.po_lit(target)};
+  return aig::transfer(patches, impl, roots, map)[0];
+}
+
+}  // namespace eco::core

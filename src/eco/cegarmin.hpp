@@ -1,0 +1,67 @@
+/// \file cegarmin.hpp
+/// \brief CEGAR_min (paper §3.6.3): structural patch improvement by
+/// max-flow/min-cut resubstitution.
+///
+/// A structural patch is a circuit over primary inputs. Many of its internal
+/// signals are functionally equivalent (possibly up to complement) to cheap
+/// implementation signals; any set of such signals that *cuts* every path
+/// from the patch inputs to the patch output can serve as the new patch
+/// support. Equivalences are found by random simulation (signature
+/// matching) and confirmed by SAT; the cheapest cut is a minimum node cut
+/// computed with max-flow (see flow/maxflow.hpp).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "eco/problem.hpp"
+#include "util/timer.hpp"
+
+namespace eco::core {
+
+struct CegarMinOptions {
+  int sim_words = 4;                ///< 64-pattern words for signatures
+  int max_checks_per_node = 4;      ///< SAT confirmations tried per node
+  int64_t conflict_budget = 10000;  ///< per equivalence query
+  uint64_t rng_seed = 0xEC0ULL;
+  /// Wall-clock bound for the whole analysis; once expired no further SAT
+  /// equivalences are confirmed (simulation-only matches are discarded, so
+  /// the result stays sound, just less effective).
+  eco::Deadline deadline{};
+};
+
+/// Outcome for one target's patch cone.
+struct TargetRewrite {
+  /// True when a finite min cut was found and the patch can be re-expressed
+  /// over implementation divisors; false keeps the PI-based patch.
+  bool used_cut = false;
+  /// For each cut node of the patch AIG: the replacing divisor and whether
+  /// the divisor appears complemented.
+  std::vector<std::pair<aig::Node, std::pair<size_t, bool>>> node_assignment;
+  int64_t cut_cost = 0;
+
+  /// Divisor indices on the cut (the new patch support).
+  std::vector<size_t> support() const {
+    std::vector<size_t> out;
+    out.reserve(node_assignment.size());
+    for (const auto& [node, div] : node_assignment) out.push_back(div.first);
+    return out;
+  }
+};
+
+/// Analyses the patch bundle (\p patches: PIs = shared inputs, PO t = patch
+/// of target t) against the implementation and returns, per target, the
+/// cheapest equivalent-signal cut.
+std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& patches,
+                                     const CegarMinOptions& options = {});
+
+/// Rebuilds patch \p target of \p patches inside \p impl (which must use the
+/// problem's PI conventions), replacing the cut nodes by their equivalent
+/// divisor signals. \pre rewrite.used_cut.
+aig::Lit rebuild_patch_on_cut(aig::Aig& impl, const std::vector<Divisor>& divisors,
+                              const aig::Aig& patches, uint32_t target,
+                              const TargetRewrite& rewrite);
+
+}  // namespace eco::core

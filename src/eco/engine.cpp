@@ -1,0 +1,534 @@
+#include "eco/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "aig/ops.hpp"
+#include "aig/window.hpp"
+#include "cec/cec.hpp"
+#include "eco/miter.hpp"
+#include "eco/patchfunc.hpp"
+#include "eco/resub.hpp"
+#include "eco/structural.hpp"
+#include "eco/window.hpp"
+#include "sop/synth.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace eco::core {
+
+namespace {
+
+/// One computed patch, expressed inside an implementation-space AIG.
+struct BuiltPatch {
+  aig::Lit lit = aig::kLitFalse;   ///< in the work AIG (kept up to date)
+  std::vector<size_t> support;     ///< global divisor indices
+  bool structural = false;
+  std::string sop;
+};
+
+/// Replaces PI \p pi_index of \p impl by \p patch_lit (a literal of \p impl
+/// whose cone must not contain that PI) and remaps every literal in
+/// \p tracked into the new AIG.
+aig::Aig substitute_target(const aig::Aig& impl, uint32_t pi_index, aig::Lit patch_lit,
+                           std::vector<aig::Lit>& tracked) {
+  aig::Aig out;
+  std::vector<aig::Lit> pi_map;
+  pi_map.reserve(impl.num_pis());
+  for (uint32_t i = 0; i < impl.num_pis(); ++i) pi_map.push_back(out.add_pi(impl.pi_name(i)));
+
+  std::vector<aig::Lit> map(impl.num_nodes(), aig::kLitInvalid);
+  map[0] = aig::kLitFalse;
+  for (uint32_t i = 0; i < impl.num_pis(); ++i)
+    if (i != pi_index) map[impl.pi_node(i)] = pi_map[i];
+  const aig::Lit patch_roots[] = {patch_lit};
+  const aig::Lit replacement = aig::transfer(impl, out, patch_roots, map)[0];
+  map[impl.pi_node(pi_index)] = replacement;
+
+  std::vector<aig::Lit> roots;
+  roots.reserve(impl.num_pos() + tracked.size());
+  for (uint32_t i = 0; i < impl.num_pos(); ++i) roots.push_back(impl.po_lit(i));
+  for (const aig::Lit l : tracked) roots.push_back(l);
+  const std::vector<aig::Lit> images = aig::transfer(impl, out, roots, map);
+  for (uint32_t i = 0; i < impl.num_pos(); ++i) out.add_po(images[i], impl.po_name(i));
+  for (size_t i = 0; i < tracked.size(); ++i) tracked[i] = images[impl.num_pos() + i];
+  return out;
+}
+
+/// Extracts the standalone patch module: PIs = the union of the supports,
+/// PO t = patch t. Patch cones are cut at the support divisor nodes.
+aig::Aig build_patch_module(const aig::Aig& work, const std::vector<aig::Lit>& div_lits,
+                            const EcoProblem& problem, const std::vector<BuiltPatch>& built) {
+  aig::Aig module;
+  std::vector<size_t> input_divisors;  // union, in first-use order
+  std::unordered_map<size_t, aig::Lit> module_pi_of_divisor;
+  for (const auto& bp : built) {
+    for (const size_t g : bp.support) {
+      if (module_pi_of_divisor.count(g)) continue;
+      module_pi_of_divisor.emplace(g, module.add_pi(problem.divisors[g].name));
+      input_divisors.push_back(g);
+    }
+  }
+  std::vector<aig::Lit> map(work.num_nodes(), aig::kLitInvalid);
+  map[0] = aig::kLitFalse;
+  for (const size_t g : input_divisors) {
+    const aig::Lit dl = div_lits[g];
+    map[aig::lit_node(dl)] = aig::lit_notif(module_pi_of_divisor.at(g), aig::lit_compl(dl));
+  }
+  for (size_t t = 0; t < built.size(); ++t) {
+    const aig::Lit roots[] = {built[t].lit};
+    const aig::Lit image = aig::transfer(work, module, roots, map)[0];
+    module.add_po(image, "t_" + std::to_string(t));
+  }
+  return module.cleanup();
+}
+
+/// Verifies the patched implementation against the spec over the shared PIs.
+cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
+                           int64_t conflict_budget, const Deadline& deadline) {
+  aig::Aig check;
+  std::vector<aig::Lit> x;
+  for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
+    x.push_back(check.add_pi(problem.spec.pi_name(i)));
+
+  std::vector<aig::Lit> impl_map(patched.num_nodes(), aig::kLitInvalid);
+  impl_map[0] = aig::kLitFalse;
+  for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
+    impl_map[patched.pi_node(i)] = x[i];
+  for (uint32_t t = 0; t < problem.num_targets(); ++t)
+    impl_map[patched.pi_node(problem.target_pi(t))] = aig::kLitFalse;  // unused
+  std::vector<aig::Lit> impl_roots;
+  for (uint32_t i = 0; i < patched.num_pos(); ++i) impl_roots.push_back(patched.po_lit(i));
+  const auto impl_pos = aig::transfer(patched, check, impl_roots, impl_map);
+
+  std::vector<aig::Lit> spec_map(problem.spec.num_nodes(), aig::kLitInvalid);
+  spec_map[0] = aig::kLitFalse;
+  for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
+    spec_map[problem.spec.pi_node(i)] = x[i];
+  std::vector<aig::Lit> spec_roots;
+  for (uint32_t i = 0; i < problem.spec.num_pos(); ++i)
+    spec_roots.push_back(problem.spec.po_lit(i));
+  const auto spec_pos = aig::transfer(problem.spec, check, spec_roots, spec_map);
+
+  std::vector<aig::Lit> diffs;
+  for (size_t i = 0; i < impl_pos.size(); ++i)
+    diffs.push_back(check.add_xor(impl_pos[i], spec_pos[i]));
+  const aig::Lit out = check.add_or_multi(diffs);
+  return cec::check_const0(check, out, conflict_budget, deadline).status;
+}
+
+std::string cover_to_named_sop(const sop::Cover& cover, const std::vector<size_t>& support,
+                               const EcoProblem& problem) {
+  if (cover.cubes.empty()) return "0";
+  std::string out;
+  for (const auto& cube : cover.cubes) {
+    if (!out.empty()) out += " + ";
+    if (cube.empty()) {
+      out += "1";
+      continue;
+    }
+    bool first = true;
+    for (const sop::Lit l : cube.lits()) {
+      if (!first) out += " & ";
+      first = false;
+      if (sop::lit_negated(l)) out += '!';
+      out += problem.divisors[support[sop::lit_var(l)]].name;
+    }
+  }
+  return out;
+}
+
+int64_t union_cost(const std::vector<BuiltPatch>& built, const EcoProblem& problem) {
+  std::vector<uint8_t> seen(problem.divisors.size(), 0);
+  int64_t total = 0;
+  for (const auto& bp : built)
+    for (const size_t g : bp.support)
+      if (!seen[g]) {
+        seen[g] = 1;
+        total += problem.divisors[g].cost;
+      }
+  return total;
+}
+
+void fill_target_info(EcoOutcome& outcome, const std::vector<BuiltPatch>& built,
+                      const EcoProblem& problem) {
+  for (size_t t = 0; t < built.size(); ++t) {
+    TargetPatchInfo info;
+    info.target_name = problem.target_names[t];
+    info.structural = built[t].structural;
+    info.sop = built[t].sop;
+    for (const size_t g : built[t].support) {
+      info.support.push_back(problem.divisors[g].name);
+      info.support_cost += problem.divisors[g].cost;
+    }
+    outcome.targets.push_back(std::move(info));
+  }
+}
+
+/// The SAT-based per-target loop (paper §3.1, §3.4, §3.5). Returns true on
+/// success; false means "fall back to the structural path".
+bool run_sat_path(const EcoProblem& problem, const Window& window,
+                  const EngineOptions& options, const Deadline& deadline,
+                  std::vector<BuiltPatch>& built, aig::Aig& work,
+                  std::vector<aig::Lit>& div_lits, bool& proven_infeasible) {
+  const uint32_t k = problem.num_targets();
+  std::vector<aig::Lit> patch_lits;
+
+  for (uint32_t t = 0; t < k; ++t) {
+    if (deadline.expired()) return false;
+
+    std::vector<Divisor> cur_div = problem.divisors;
+    for (size_t i = 0; i < cur_div.size(); ++i) cur_div[i].lit = div_lits[i];
+    const EcoMiter m = build_eco_miter(work, problem.spec, cur_div, window.affected_pos);
+
+    std::vector<uint32_t> remaining;
+    for (uint32_t u = t + 1; u < k; ++u) remaining.push_back(u);
+    EcoMiter mq;
+    try {
+      mq = quantify_targets(m, remaining, options.max_expansion_nodes);
+    } catch (const std::runtime_error&) {
+      log_info("engine: quantification expansion too large; structural fallback");
+      return false;
+    }
+
+    SupportInstance inst(mq, t, problem.divisors, window.divisor_indices);
+    inst.solver().set_deadline(deadline);
+    SupportOptions sopt;
+    sopt.mode = options.algorithm == Algorithm::kBaseline ? SupportMode::kAnalyzeFinal
+                                                          : SupportMode::kMinimizeAssumptions;
+    sopt.last_gasp = options.last_gasp && options.algorithm != Algorithm::kBaseline;
+    sopt.conflict_budget = options.conflict_budget;
+    Timer support_timer;
+    SupportResult support = compute_support(inst, problem.divisors, sopt);
+    log_info("engine: target %u support: feasible=%d |S|=%zu cost=%lld in %.2fs (%d calls)",
+             t, support.feasible, support.chosen.size(),
+             static_cast<long long>(support.cost), support_timer.seconds(),
+             support.sat_calls);
+    if (support.budget_expired) return false;
+    if (!support.feasible) {
+      proven_infeasible = true;
+      return false;
+    }
+
+    if (options.algorithm == Algorithm::kSatPruneCegarMin) {
+      SatPruneOptions po = options.satprune;
+      if (po.conflict_budget < 0) po.conflict_budget = options.conflict_budget;
+      if (po.time_budget <= 0 && deadline.remaining() < 1e17)
+        po.time_budget = std::max(0.1, deadline.remaining() * 0.5);
+      const SatPruneResult pruned = sat_prune(inst, problem.divisors, po, &support.chosen);
+      if (pruned.feasible && pruned.cost <= support.cost) {
+        support.chosen = pruned.chosen;
+        support.cost = pruned.cost;
+      }
+    }
+
+    // Cost-ascending order makes cube expansion drop expensive literals.
+    std::sort(support.chosen.begin(), support.chosen.end(), [&](size_t a, size_t b) {
+      if (problem.divisors[a].cost != problem.divisors[b].cost)
+        return problem.divisors[a].cost < problem.divisors[b].cost;
+      return a < b;
+    });
+
+    PatchFuncOptions pf_opt;
+    pf_opt.use_minimize = options.algorithm != Algorithm::kBaseline;
+    pf_opt.max_cubes = options.max_cubes;
+    pf_opt.conflict_budget = options.conflict_budget;
+    pf_opt.deadline = deadline;
+    const PatchFuncResult pf = compute_patch_cover(mq, t, problem.divisors,
+                                                   support.chosen, pf_opt);
+    if (!pf.ok) return false;
+
+    // Keep only the divisors the SOP actually uses.
+    std::vector<uint8_t> used(support.chosen.size(), 0);
+    for (const auto& cube : pf.cover.cubes)
+      for (const sop::Lit l : cube.lits()) used[sop::lit_var(l)] = 1;
+    std::vector<size_t> final_support;
+    std::vector<uint32_t> var_remap(support.chosen.size(), 0);
+    for (size_t i = 0; i < support.chosen.size(); ++i)
+      if (used[i]) {
+        var_remap[i] = static_cast<uint32_t>(final_support.size());
+        final_support.push_back(support.chosen[i]);
+      }
+    sop::Cover cover;
+    cover.num_vars = static_cast<uint32_t>(final_support.size());
+    for (const auto& cube : pf.cover.cubes) {
+      std::vector<sop::Lit> lits;
+      for (const sop::Lit l : cube.lits())
+        lits.push_back(sop::lit_negated(l) ? sop::lit_neg(var_remap[sop::lit_var(l)])
+                                           : sop::lit_pos(var_remap[sop::lit_var(l)]));
+      cover.cubes.push_back(sop::Cube(std::move(lits)));
+    }
+
+    // Realize the patch inside the work AIG over the current divisor lits.
+    std::vector<aig::Lit> var_lits;
+    var_lits.reserve(final_support.size());
+    for (const size_t g : final_support) var_lits.push_back(div_lits[g]);
+    const aig::Lit patch_lit = sop::synthesize_cover(work, cover, var_lits);
+
+    BuiltPatch bp;
+    bp.support = final_support;
+    bp.sop = cover_to_named_sop(cover, final_support, problem);
+    built.push_back(bp);
+
+    // Substitute and remap every tracked literal.
+    std::vector<aig::Lit> tracked = div_lits;
+    tracked.insert(tracked.end(), patch_lits.begin(), patch_lits.end());
+    tracked.push_back(patch_lit);
+    work = substitute_target(work, problem.target_pi(t), patch_lit, tracked);
+    std::copy(tracked.begin(), tracked.begin() + static_cast<long>(div_lits.size()),
+              div_lits.begin());
+    patch_lits.assign(tracked.begin() + static_cast<long>(div_lits.size()), tracked.end());
+  }
+
+  for (size_t t = 0; t < built.size(); ++t) built[t].lit = patch_lits[t];
+  return true;
+}
+
+/// Structural path (paper §3.6): PI-based patches, optionally CEGAR_min.
+bool run_structural_path(const EcoProblem& problem, const Window& window,
+                         const qbf::Qbf2Result& qbf_result, const EngineOptions& options,
+                         std::vector<BuiltPatch>& built, aig::Aig& work,
+                         std::vector<aig::Lit>& div_lits, std::string& method) {
+  const uint32_t k = problem.num_targets();
+  const EcoMiter m =
+      build_eco_miter(problem.impl, problem.spec, problem.divisors, window.affected_pos);
+
+  StructuralPatches patches;
+  if (k == 1) {
+    patches = structural_patch_single(m, 0);
+  } else {
+    patches = structural_patch_multi(m, qbf_result);
+    if (!patches.ok) {
+      // No usable QBF certificate: fall back to the naive 2^k - 1 cofactor
+      // expansion the paper contrasts the certificate route against.
+      patches = structural_patch_multi_expansion(
+          m, std::max<uint32_t>(4 * options.max_expansion_nodes, 1u));
+    }
+  }
+  if (!patches.ok) return false;
+  method = "structural";
+
+  std::vector<TargetRewrite> rewrites(k);
+  if (options.algorithm == Algorithm::kSatPruneCegarMin) {
+    CegarMinOptions copt = options.cegarmin;
+    // The structural path often runs after the main deadline: grant a
+    // bounded grace window instead of unbounded work.
+    copt.deadline = Deadline(options.time_budget > 0 ? std::max(options.time_budget, 20.0)
+                                                     : 120.0);
+    rewrites = cegar_min(problem, patches.patch, copt);
+    method = "structural+cegar_min";
+  }
+
+  // Impl node -> divisor index, for the PI-based supports. (Lookup is by
+  // node, not by name: a PI can share its node with a buffered alias, and
+  // the divisor list keeps only the cheapest name per node.)
+  std::unordered_map<aig::Node, size_t> divisor_of_node;
+  for (size_t i = 0; i < problem.divisors.size(); ++i)
+    divisor_of_node.emplace(aig::lit_node(problem.divisors[i].lit), i);
+
+  work = problem.impl;
+  div_lits.clear();
+  for (const auto& d : problem.divisors) div_lits.push_back(d.lit);
+
+  std::vector<aig::Lit> patch_lits(k);
+  for (uint32_t t = 0; t < k; ++t) {
+    BuiltPatch bp;
+    bp.structural = true;
+
+    // Variant 1 (always available): the PI-based patch as-is.
+    aig::Lit pi_lit;
+    std::vector<size_t> pi_support;
+    int64_t best_cost = 0;
+    {
+      std::vector<aig::Lit> map(patches.patch.num_nodes(), aig::kLitInvalid);
+      map[0] = aig::kLitFalse;
+      for (uint32_t i = 0; i < patches.patch.num_pis(); ++i)
+        map[patches.patch.pi_node(i)] = work.pi_lit(i);
+      const aig::Lit roots[] = {patches.patch.po_lit(t)};
+      pi_lit = aig::transfer(patches.patch, work, roots, map)[0];
+      for (const uint32_t pi : aig::support_pis(patches.patch, roots)) {
+        const auto it = divisor_of_node.find(problem.impl.pi_node(pi));
+        if (it == divisor_of_node.end())
+          throw std::logic_error("structural patch uses a PI with no divisor entry");
+        pi_support.push_back(it->second);
+        best_cost += problem.divisors[it->second].cost;
+      }
+    }
+    patch_lits[t] = pi_lit;
+    bp.support = pi_support;
+
+    // Variant 2: the CEGAR_min max-flow cut (paper §3.6.3, structural).
+    if (rewrites[t].used_cut && rewrites[t].cut_cost <= best_cost) {
+      patch_lits[t] = rebuild_patch_on_cut(work, problem.divisors, patches.patch, t,
+                                           rewrites[t]);
+      bp.support = rewrites[t].support();
+      std::sort(bp.support.begin(), bp.support.end());
+      bp.support.erase(std::unique(bp.support.begin(), bp.support.end()), bp.support.end());
+      best_cost = rewrites[t].cut_cost;
+    }
+
+    // Variant 3: functional resubstitution (paper §3.6.3, SAT-based),
+    // attempted in the SAT_prune+CEGAR_min configuration only.
+    if (options.algorithm == Algorithm::kSatPruneCegarMin) {
+      ResubOptions ropt;
+      ropt.conflict_budget = options.conflict_budget < 0
+                                 ? 50000
+                                 : std::min<int64_t>(options.conflict_budget, 50000);
+      ropt.deadline = Deadline(options.time_budget > 0 ? std::max(options.time_budget, 20.0)
+                                                       : 120.0);
+      const ResubResult resub =
+          functional_resub(work, pi_lit, problem.divisors, window.divisor_indices, ropt);
+      if (resub.ok && resub.cost < best_cost) {
+        std::vector<aig::Lit> var_lits;
+        var_lits.reserve(resub.support.size());
+        for (const size_t g : resub.support) var_lits.push_back(problem.divisors[g].lit);
+        patch_lits[t] = sop::synthesize_cover(work, resub.cover, var_lits);
+        bp.support = resub.support;
+        bp.sop = cover_to_named_sop(resub.cover, resub.support, problem);
+        best_cost = resub.cost;
+      }
+    }
+
+    bp.lit = patch_lits[t];
+    built.push_back(std::move(bp));
+  }
+  return true;
+}
+
+}  // namespace
+
+EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
+  Timer timer;
+  Deadline deadline(options.time_budget);
+  EcoOutcome outcome;
+  const uint32_t k = problem.num_targets();
+
+  // 1. Structural pruning (paper §3.3).
+  Timer phase_timer;
+  const Window window = compute_window(problem, options.conflict_budget);
+  log_info("engine: window computed in %.2fs (%zu affected POs, %zu divisors)",
+           phase_timer.seconds(), window.affected_pos.size(), window.divisor_indices.size());
+  phase_timer.reset();
+  if (!window.outside_equal) {
+    outcome.status = EcoOutcome::Status::kInfeasible;
+    outcome.method = "window";
+    outcome.seconds = timer.seconds();
+    log_info("engine: infeasible — PO %u outside the target cone differs", window.mismatch_po);
+    return outcome;
+  }
+
+  // 2. Target-sufficiency check via 2QBF CEGAR (paper §3.2).
+  const EcoMiter feas_miter =
+      build_eco_miter(problem.impl, problem.spec, {}, window.affected_pos);
+  // The QBF check gets a bounded slice of the effort: if it cannot decide
+  // quickly, the SAT path both solves the problem and detects infeasibility
+  // itself (an insufficient full divisor set is exactly step infeasibility).
+  qbf::Qbf2Options qopt = options.qbf;
+  if (qopt.conflict_budget < 0)
+    qopt.conflict_budget =
+        options.conflict_budget < 0 ? 20000 : std::min<int64_t>(options.conflict_budget, 20000);
+  if (qopt.time_budget <= 0)
+    qopt.time_budget = options.time_budget > 0 ? options.time_budget * 0.25 : 30.0;
+  const qbf::Qbf2Result qbf_result =
+      qbf::solve_exists_forall(feas_miter.aig, feas_miter.out, feas_miter.num_x, qopt);
+  log_info("engine: qbf feasibility finished in %.2fs (status %d, %d iterations)",
+           phase_timer.seconds(), static_cast<int>(qbf_result.status), qbf_result.iterations);
+  phase_timer.reset();
+  if (qbf_result.status == qbf::Qbf2Status::kTrue) {
+    outcome.status = EcoOutcome::Status::kInfeasible;
+    outcome.method = "qbf";
+    outcome.seconds = timer.seconds();
+    return outcome;
+  }
+
+  // 3. SAT-based per-target loop, falling back to the structural path.
+  std::vector<BuiltPatch> built;
+  aig::Aig work = problem.impl;
+  std::vector<aig::Lit> div_lits;
+  for (const auto& d : problem.divisors) div_lits.push_back(d.lit);
+  bool ok = false;
+  bool proven_infeasible = false;
+  outcome.method = "sat";
+  if (!options.force_structural) {
+    ok = run_sat_path(problem, window, options, deadline, built, work, div_lits,
+                      proven_infeasible);
+    log_info("engine: sat path %s in %.2fs", ok ? "succeeded" : "failed",
+             phase_timer.seconds());
+    phase_timer.reset();
+  }
+  if (proven_infeasible) {
+    outcome.status = EcoOutcome::Status::kInfeasible;
+    outcome.seconds = timer.seconds();
+    return outcome;
+  }
+  if (!ok) {
+    built.clear();
+    work = problem.impl;
+    if (!run_structural_path(problem, window, qbf_result, options, built, work, div_lits,
+                             outcome.method)) {
+      outcome.status = EcoOutcome::Status::kUnknown;
+      outcome.seconds = timer.seconds();
+      return outcome;
+    }
+  }
+
+  // 4. Assemble the patch module and the patched implementation.
+  outcome.patch_module = build_patch_module(work, div_lits, problem, built);
+  outcome.patch_gates = outcome.patch_module.num_ands();
+  outcome.total_cost = union_cost(built, problem);
+  fill_target_info(outcome, built, problem);
+
+  // Substitute all targets at once (patches never depend on target PIs).
+  {
+    std::vector<aig::Lit> tracked;
+    aig::Aig patched = work;
+    for (uint32_t t = 0; t < k; ++t) {
+      tracked.clear();
+      for (uint32_t u = t + 1; u < k; ++u) tracked.push_back(built[u].lit);
+      patched = substitute_target(patched, problem.target_pi(t), built[t].lit, tracked);
+      for (uint32_t u = t + 1; u < k; ++u) built[u].lit = tracked[u - t - 1];
+    }
+    outcome.patched_impl = patched.cleanup();
+  }
+
+  // 5. Verification (paper Fig. 2 final check).
+  phase_timer.reset();
+  // Verification gets its own grace window so a hard CEC cannot hang the
+  // engine. An inconclusive check ships the patch but flags it, matching
+  // the paper's behaviour when the prover times out (§3.2); a refutation is
+  // reported as failure.
+  double verify_budget = options.verify_time_budget;
+  if (verify_budget <= 0)
+    verify_budget = options.time_budget > 0 ? std::max(options.time_budget, 30.0) : 0;
+  const cec::Status check =
+      verify_patched(problem, outcome.patched_impl, /*conflict_budget=*/-1,
+                     Deadline(verify_budget));
+  switch (check) {
+    case cec::Status::kEquivalent:
+      outcome.verification = EcoOutcome::Verification::kVerified;
+      outcome.verified = true;
+      outcome.status = EcoOutcome::Status::kPatched;
+      break;
+    case cec::Status::kUnknown:
+      outcome.verification = EcoOutcome::Verification::kInconclusive;
+      outcome.status = EcoOutcome::Status::kPatched;
+      break;
+    case cec::Status::kNotEquivalent:
+      outcome.verification = EcoOutcome::Verification::kRefuted;
+      outcome.status = EcoOutcome::Status::kUnknown;
+      break;
+  }
+  log_info("engine: verification finished in %.2fs (%s)", phase_timer.seconds(),
+           outcome.verified ? "equivalent"
+                            : (check == cec::Status::kUnknown ? "inconclusive" : "REFUTED"));
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+EcoOutcome run_eco(const net::Network& impl, const net::Network& spec,
+                   const net::WeightMap& weights, const EngineOptions& options) {
+  return run_eco(make_problem(impl, spec, weights), options);
+}
+
+}  // namespace eco::core

@@ -1,0 +1,105 @@
+/// \file engine.hpp
+/// \brief The full ECO engine: orchestration of Figure 2 of the paper.
+///
+/// Pipeline: structural pruning (window) -> target-sufficiency check via
+/// 2QBF CEGAR -> per-target loop {universal quantification of the remaining
+/// targets, cost-aware support computation, cube-enumeration patch
+/// function, substitution} -> verification. On resource exhaustion the
+/// engine falls back to structural patches in terms of primary inputs
+/// (single-target cofactor / multi-target QBF certificate), optionally
+/// improved with CEGAR_min.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "eco/cegarmin.hpp"
+#include "eco/problem.hpp"
+#include "eco/satprune.hpp"
+#include "eco/support.hpp"
+#include "net/network.hpp"
+#include "qbf/qbf2.hpp"
+
+namespace eco::core {
+
+/// The three configurations compared in Table 1 of the paper.
+enum class Algorithm {
+  kBaseline,           ///< analyze_final only ("w/o minimize_assumptions")
+  kMinimize,           ///< "w/ minimize_assumptions" (contest-winning config)
+  kSatPruneCegarMin,   ///< "SAT_prune + CEGAR_min"
+};
+
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kMinimize;
+  /// Conflict budget per SAT query in the SAT-based path (< 0 unlimited).
+  int64_t conflict_budget = 500000;
+  /// Overall wall-clock budget in seconds (<= 0 unlimited). When exceeded
+  /// the engine switches to the structural path.
+  double time_budget = 0;
+  /// Node cap for the universal-quantification expansion (paper §3.1);
+  /// exceeding it triggers the structural fallback.
+  uint32_t max_expansion_nodes = 4'000'000;
+  /// Wall-clock budget for the final verification (0 = auto: at least 30s).
+  double verify_time_budget = 0;
+  /// Cap on enumerated patch cubes per target.
+  uint64_t max_cubes = 100000;
+  /// Force the structural path (used by tests and the ablation bench).
+  bool force_structural = false;
+  qbf::Qbf2Options qbf{};
+  SatPruneOptions satprune{};
+  CegarMinOptions cegarmin{};
+  /// Last-gasp support improvement (paper §3.4.1), on for non-baseline.
+  bool last_gasp = true;
+};
+
+/// Per-target report.
+struct TargetPatchInfo {
+  std::string target_name;
+  std::vector<std::string> support;  ///< names of the patch inputs
+  int64_t support_cost = 0;          ///< sum of their weights
+  bool structural = false;           ///< produced by the structural path
+  std::string sop;                   ///< printable SOP (SAT path only)
+};
+
+/// Result of a full ECO run.
+struct EcoOutcome {
+  enum class Status {
+    kPatched,     ///< patch computed and verified
+    kInfeasible,  ///< the target set cannot rectify the implementation
+    kUnknown,     ///< budgets exhausted before an answer
+  };
+  /// Outcome of the final equivalence check.
+  enum class Verification {
+    kVerified,      ///< patched implementation proven equivalent to the spec
+    kInconclusive,  ///< the check ran out of budget (patch shipped as-is,
+                    ///< like the paper's timeout path in §3.2)
+    kRefuted,       ///< the check found a mismatch — the patch is wrong
+  };
+  Status status = Status::kUnknown;
+  bool verified = false;  ///< verification == kVerified
+  Verification verification = Verification::kInconclusive;
+  std::string method;  ///< "sat", "structural", "structural+cegar_min"
+  /// Total resource cost: each distinct patch input weighted once.
+  int64_t total_cost = 0;
+  /// AND-node count of the combined patch module.
+  uint32_t patch_gates = 0;
+  double seconds = 0;
+  std::vector<TargetPatchInfo> targets;
+  /// The patch as a standalone module: PIs = patch inputs (named after the
+  /// implementation signals), PO t = the function for target t.
+  aig::Aig patch_module;
+  /// The implementation with all patches substituted (target PIs unused).
+  aig::Aig patched_impl;
+};
+
+/// Runs the complete flow on \p problem.
+EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options = {});
+
+/// Convenience: parse-netlists front end (contest-style files already merged
+/// into Networks + weights).
+EcoOutcome run_eco(const net::Network& impl, const net::Network& spec,
+                   const net::WeightMap& weights, const EngineOptions& options = {});
+
+}  // namespace eco::core

@@ -1,0 +1,55 @@
+/// \file patchfunc.hpp
+/// \brief Patch function computation by cube enumeration (paper §3.5).
+///
+/// With the support fixed, the patch's on-set is enumerated from the n=0
+/// copy of the extended miter, one satisfying assignment at a time. Each
+/// assignment's divisor values form a cube that is expanded into a *prime*
+/// implicant against the n=1 copy using ``minimize_assumptions`` (a minimal
+/// subset of cube literals keeping the off-set copy UNSAT is exactly a
+/// prime cube), then blocked and collected. The result is an irredundant
+/// prime SOP over the divisors, which is subsequently factored and realized
+/// as AIG logic (see sop/).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eco/miter.hpp"
+#include "util/timer.hpp"
+#include "sop/cover.hpp"
+
+namespace eco::core {
+
+struct PatchFuncOptions {
+  /// Expand cubes with minimize_assumptions (true) or take the solver's
+  /// final-conflict core as the expanded cube (the baseline configuration).
+  bool use_minimize = true;
+  /// Safety cap on enumerated cubes.
+  uint64_t max_cubes = 200000;
+  /// Conflict budget per SAT query (< 0 unlimited).
+  int64_t conflict_budget = -1;
+  /// Wall-clock deadline enforced inside every SAT query.
+  eco::Deadline deadline{};
+  /// Run the exact SAT-based irredundancy pass after enumeration: a cube is
+  /// dropped when every on-set point it covers is covered by another cube.
+  /// Enumeration already yields a near-irredundant cover (each cube was
+  /// grown from a then-uncovered point); the pass removes the residue.
+  bool make_irredundant = true;
+};
+
+struct PatchFuncResult {
+  bool ok = false;          ///< false when a budget expired mid-enumeration
+  sop::Cover cover;         ///< SOP over support (variable i = support[i])
+  uint64_t cubes_enumerated = 0;
+  int sat_calls = 0;
+};
+
+/// Computes the patch SOP for \p target over the chosen \p support
+/// (indices into \p divisors). \p m must have all other targets quantified
+/// or substituted. The support must be valid (see compute_support).
+PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
+                                    const std::vector<Divisor>& divisors,
+                                    const std::vector<size_t>& support,
+                                    const PatchFuncOptions& options);
+
+}  // namespace eco::core

@@ -1,0 +1,94 @@
+#include "eco/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aig/window.hpp"
+
+namespace eco::core {
+
+EcoProblem make_problem(const net::Network& impl, const net::Network& spec,
+                        const net::WeightMap& weights) {
+  // Output interfaces must match by name (order taken from the spec).
+  if (impl.outputs.size() != spec.outputs.size())
+    throw std::runtime_error("make_problem: output counts differ");
+  {
+    const std::unordered_set<std::string> impl_outs(impl.outputs.begin(), impl.outputs.end());
+    for (const auto& o : spec.outputs)
+      if (!impl_outs.count(o))
+        throw std::runtime_error("make_problem: spec output '" + o +
+                                 "' missing from implementation");
+  }
+
+  // Inputs: spec inputs must all exist in impl; the surplus are targets.
+  const std::unordered_set<std::string> spec_ins(spec.inputs.begin(), spec.inputs.end());
+  std::vector<std::string> targets;
+  for (const auto& in : impl.inputs) {
+    if (!spec_ins.count(in)) targets.push_back(in);
+  }
+  {
+    const std::unordered_set<std::string> impl_ins(impl.inputs.begin(), impl.inputs.end());
+    for (const auto& in : spec.inputs)
+      if (!impl_ins.count(in))
+        throw std::runtime_error("make_problem: spec input '" + in +
+                                 "' missing from implementation");
+  }
+  if (targets.empty())
+    throw std::runtime_error("make_problem: no target inputs found in implementation");
+
+  // Re-order implementation inputs: shared first (spec order), targets last.
+  net::Network impl_ordered = impl;
+  impl_ordered.inputs = spec.inputs;
+  impl_ordered.inputs.insert(impl_ordered.inputs.end(), targets.begin(), targets.end());
+
+  EcoProblem problem;
+  net::ElaboratedAig impl_elab = elaborate(impl_ordered);
+  net::ElaboratedAig spec_elab = elaborate(spec);
+
+  // Align the implementation PO order to the spec's output list.
+  problem.impl = std::move(impl_elab.aig);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(spec.outputs.size()); ++i) {
+    problem.impl.set_po(i, impl_elab.signal_lits.at(spec.outputs[i]));
+    problem.impl.set_po_name(i, spec.outputs[i]);
+  }
+  problem.spec = std::move(spec_elab.aig);
+  problem.target_names = targets;
+
+  // Divisors: shared inputs + gate outputs outside TFO(targets).
+  std::vector<aig::Node> target_nodes;
+  for (uint32_t t = 0; t < problem.num_targets(); ++t)
+    target_nodes.push_back(problem.impl.pi_node(problem.target_pi(t)));
+  const std::vector<uint8_t> tfo = aig::tfo_mark(problem.impl, target_nodes);
+
+  std::unordered_map<aig::Lit, size_t> best_for_lit;  // canonical lit -> divisor index
+  auto consider = [&](const std::string& name, aig::Lit lit) {
+    if (lit == aig::kLitFalse || lit == aig::kLitTrue) return;
+    if (tfo[aig::lit_node(lit)]) return;
+    const int64_t cost = weights.weight_of(name);
+    const aig::Lit canonical = lit & ~1u;  // node, ignore polarity
+    const auto it = best_for_lit.find(canonical);
+    if (it == best_for_lit.end()) {
+      best_for_lit.emplace(canonical, problem.divisors.size());
+      problem.divisors.push_back(Divisor{lit, name, cost});
+    } else if (cost < problem.divisors[it->second].cost) {
+      problem.divisors[it->second] = Divisor{lit, name, cost};
+    }
+  };
+  const std::unordered_set<std::string> target_set(targets.begin(), targets.end());
+  for (const auto& in : impl_ordered.inputs)
+    if (!target_set.count(in)) consider(in, impl_elab.signal_lits.at(in));
+  for (const auto& gate : impl_ordered.gates)
+    consider(gate.output, impl_elab.signal_lits.at(gate.output));
+
+  // Deterministic order: by cost, then name.
+  std::sort(problem.divisors.begin(), problem.divisors.end(),
+            [](const Divisor& a, const Divisor& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.name < b.name;
+            });
+  return problem;
+}
+
+}  // namespace eco::core

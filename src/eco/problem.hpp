@@ -1,0 +1,60 @@
+/// \file problem.hpp
+/// \brief The ECO problem instance (paper §2.5).
+///
+/// An instance consists of:
+///  - the old *implementation* netlist, in which every target signal appears
+///    as an extra primary input (the ICCAD'17 contest convention: the
+///    original logic of a target has been cut away and the patch must drive
+///    the freed input),
+///  - the new *specification* netlist over the original inputs,
+///  - a list of *divisor candidates*: named implementation signals allowed
+///    as patch inputs, each with a resource cost (weight).
+///
+/// Conventions inside \ref EcoProblem:
+///  - impl PIs are ordered: first the shared inputs in spec PI order, then
+///    the target inputs;
+///  - spec PIs are exactly the shared inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "net/elaborate.hpp"
+#include "net/network.hpp"
+
+namespace eco::core {
+
+/// A candidate patch input.
+struct Divisor {
+  aig::Lit lit = aig::kLitFalse;  ///< signal in the implementation AIG
+  std::string name;
+  int64_t cost = 1;
+};
+
+/// A ready-to-solve ECO instance.
+struct EcoProblem {
+  aig::Aig impl;  ///< PIs: shared inputs (spec order) then targets
+  aig::Aig spec;
+  std::vector<std::string> target_names;  ///< one per target PI, in PI order
+  std::vector<Divisor> divisors;
+
+  uint32_t num_shared_pis() const noexcept { return spec.num_pis(); }
+  uint32_t num_targets() const noexcept { return impl.num_pis() - spec.num_pis(); }
+  /// impl PI index of target \p t.
+  uint32_t target_pi(uint32_t t) const noexcept { return spec.num_pis() + t; }
+};
+
+/// Builds an EcoProblem from contest-style netlists.
+///
+/// Target inputs are the implementation inputs that are not specification
+/// inputs (contest convention). Divisor candidates are all shared inputs and
+/// all gate-output signals outside the targets' transitive fanout, weighted
+/// by \p weights; duplicates (names mapping to the same AIG node) keep the
+/// cheapest name. Throws std::runtime_error when the interfaces are
+/// inconsistent.
+EcoProblem make_problem(const net::Network& impl, const net::Network& spec,
+                        const net::WeightMap& weights);
+
+}  // namespace eco::core

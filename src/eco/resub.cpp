@@ -1,0 +1,134 @@
+#include "eco/resub.hpp"
+
+#include <algorithm>
+
+#include "cnf/tseitin.hpp"
+#include "sat/minimize.hpp"
+#include "sat/solver.hpp"
+#include "util/log.hpp"
+
+namespace eco::core {
+
+ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
+                             const std::vector<Divisor>& divisors,
+                             std::span<const size_t> candidates,
+                             const ResubOptions& options) {
+  ResubResult result;
+
+  // --- Support selection on the two-copy dependency instance. ------------
+  sat::Solver dep;
+  dep.set_deadline(options.deadline);
+  cnf::Encoder copy1(impl, dep), copy2(impl, dep);
+  dep.add_unit(copy1.lit(func));    // p(x1) = 1
+  dep.add_unit(~copy2.lit(func));   // p(x2) = 0
+  sat::LitVec activations;
+  for (const size_t g : candidates) {
+    const sat::Lit d1 = copy1.lit(divisors[g].lit);
+    const sat::Lit d2 = copy2.lit(divisors[g].lit);
+    const sat::Lit a = sat::mk_lit(dep.new_var());
+    dep.add_ternary(~a, ~d1, d2);
+    dep.add_ternary(~a, d1, ~d2);
+    activations.push_back(a);
+  }
+  if (options.conflict_budget >= 0) dep.set_conflict_budget(options.conflict_budget);
+  const sat::LBool verdict = dep.solve(activations);
+  if (!verdict.is_false()) return result;  // not a function of the candidates / budget
+
+  // Keep the final-conflict core, then minimize (cost-ascending order is
+  // inherited from the candidate list).
+  sat::LitVec core;
+  std::vector<size_t> core_globals;
+  for (size_t i = 0; i < activations.size(); ++i)
+    if (dep.in_core(activations[i])) {
+      core.push_back(activations[i]);
+      core_globals.push_back(candidates[i]);
+    }
+  sat::LitVec ctx;
+  const int kept = sat::minimize_assumptions(dep, core, ctx);
+  std::vector<size_t> support;
+  for (int i = 0; i < kept; ++i) {
+    const auto it = std::find(activations.begin(), activations.end(),
+                              core[static_cast<size_t>(i)]);
+    support.push_back(candidates[static_cast<size_t>(it - activations.begin())]);
+  }
+  std::sort(support.begin(), support.end());
+
+  // --- Cube enumeration of p over the chosen support. --------------------
+  sat::Solver on_solver, off_solver;
+  on_solver.set_deadline(options.deadline);
+  off_solver.set_deadline(options.deadline);
+  cnf::Encoder on_enc(impl, on_solver), off_enc(impl, off_solver);
+  on_solver.add_unit(on_enc.lit(func));
+  off_solver.add_unit(~off_enc.lit(func));
+  std::vector<sat::Lit> d_on, d_off;
+  for (const size_t g : support) {
+    d_on.push_back(on_enc.lit(divisors[g].lit));
+    d_off.push_back(off_enc.lit(divisors[g].lit));
+  }
+
+  sop::Cover cover;
+  cover.num_vars = static_cast<uint32_t>(support.size());
+  for (uint64_t round = 0; round < options.max_cubes; ++round) {
+    if (options.conflict_budget >= 0) on_solver.set_conflict_budget(options.conflict_budget);
+    const sat::LBool on = on_solver.okay() ? on_solver.solve() : sat::kFalse;
+    if (on.is_undef()) return result;
+    if (on.is_false()) break;
+    sat::LitVec cube_lits;
+    for (size_t i = 0; i < support.size(); ++i) {
+      const bool value = on_solver.model_value(d_on[i]);
+      cube_lits.push_back(value ? d_off[i] : ~d_off[i]);
+    }
+    if (options.conflict_budget >= 0) off_solver.set_conflict_budget(options.conflict_budget);
+    if (!off_solver.solve(cube_lits).is_false()) {
+      log_warn("functional_resub: support does not separate on/off sets");
+      return result;
+    }
+    sat::LitVec work = cube_lits;
+    sat::LitVec ctx2;
+    const int cube_kept = sat::minimize_assumptions(off_solver, work, ctx2);
+    std::vector<sop::Lit> sop_lits;
+    sat::LitVec blocking;
+    for (int i = 0; i < cube_kept; ++i) {
+      const sat::Lit l = work[static_cast<size_t>(i)];
+      const auto it = std::find(cube_lits.begin(), cube_lits.end(), l);
+      const size_t var = static_cast<size_t>(it - cube_lits.begin());
+      const bool positive = l.sign() == d_off[var].sign();
+      sop_lits.push_back(positive ? sop::lit_pos(static_cast<uint32_t>(var))
+                                  : sop::lit_neg(static_cast<uint32_t>(var)));
+      blocking.push_back(~(d_on[var] ^ !positive));
+    }
+    cover.cubes.push_back(sop::Cube(std::move(sop_lits)));
+    on_solver.add_clause(blocking);
+    if (!on_solver.okay()) break;
+  }
+  cover.remove_contained_cubes();
+
+  // Drop support entries unused by the cover.
+  std::vector<uint8_t> used(support.size(), 0);
+  for (const auto& cube : cover.cubes)
+    for (const sop::Lit l : cube.lits()) used[sop::lit_var(l)] = 1;
+  std::vector<uint32_t> remap(support.size(), 0);
+  std::vector<size_t> final_support;
+  for (size_t i = 0; i < support.size(); ++i)
+    if (used[i]) {
+      remap[i] = static_cast<uint32_t>(final_support.size());
+      final_support.push_back(support[i]);
+    }
+  sop::Cover final_cover;
+  final_cover.num_vars = static_cast<uint32_t>(final_support.size());
+  for (const auto& cube : cover.cubes) {
+    std::vector<sop::Lit> lits;
+    for (const sop::Lit l : cube.lits())
+      lits.push_back(sop::lit_negated(l) ? sop::lit_neg(remap[sop::lit_var(l)])
+                                         : sop::lit_pos(remap[sop::lit_var(l)]));
+    final_cover.cubes.push_back(sop::Cube(std::move(lits)));
+  }
+
+  result.ok = true;
+  result.support = std::move(final_support);
+  result.cover = std::move(final_cover);
+  for (const size_t g : result.support) result.cost += divisors[g].cost;
+  return result;
+}
+
+}  // namespace eco::core

@@ -1,0 +1,172 @@
+#include "eco/satprune.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace eco::core {
+
+namespace {
+
+/// Exact minimum-cost hitting set by branch and bound.
+///
+/// Clauses are sets of divisor indices; the goal is the cheapest set of
+/// divisors intersecting every clause. Branching picks an unhit clause and
+/// tries each of its elements; the incumbent cost prunes branches.
+class HittingSetSolver {
+ public:
+  HittingSetSolver(const std::vector<std::vector<size_t>>& clauses,
+                   const std::vector<Divisor>& divisors, int64_t node_budget,
+                   const Deadline& deadline)
+      : clauses_(clauses), divisors_(divisors), nodes_left_(node_budget),
+        deadline_(deadline) {}
+
+  /// Returns true on success (exact optimum); false when the node budget
+  /// ran out (best found so far is still reported).
+  bool solve(std::vector<size_t>& out, int64_t& out_cost, int64_t upper_bound) {
+    best_cost_ = upper_bound;
+    best_.clear();
+    have_best_ = false;
+    std::vector<size_t> current;
+    exhausted_ = true;
+    branch(current, 0);
+    out = best_;
+    out_cost = have_best_ ? best_cost_ : std::numeric_limits<int64_t>::max();
+    return exhausted_;
+  }
+
+ private:
+  void branch(std::vector<size_t>& current, int64_t cost) {
+    if (nodes_left_-- <= 0) {
+      exhausted_ = false;
+      return;
+    }
+    if ((nodes_left_ & 0xFFF) == 0 && deadline_.expired()) {
+      nodes_left_ = 0;
+      exhausted_ = false;
+      return;
+    }
+    if (cost >= best_cost_) return;  // cannot beat incumbent / internal best
+    // Find the first clause not hit by `current`; prefer small clauses.
+    const std::vector<size_t>* open = nullptr;
+    for (const auto& clause : clauses_) {
+      bool hit = false;
+      for (const size_t d : clause)
+        if (std::find(current.begin(), current.end(), d) != current.end()) {
+          hit = true;
+          break;
+        }
+      if (!hit && (open == nullptr || clause.size() < open->size())) {
+        open = &clause;
+        if (clause.size() <= 1) break;
+      }
+    }
+    if (open == nullptr) {
+      best_cost_ = cost;  // guarded above: strictly better
+      best_ = current;
+      have_best_ = true;
+      return;
+    }
+    // Branch on the clause elements, cheapest first.
+    std::vector<size_t> elems = *open;
+    std::sort(elems.begin(), elems.end(), [&](size_t a, size_t b) {
+      return divisors_[a].cost < divisors_[b].cost;
+    });
+    for (const size_t d : elems) {
+      const int64_t next_cost = cost + divisors_[d].cost;
+      if (next_cost >= best_cost_) continue;  // cost pruning
+      current.push_back(d);
+      branch(current, next_cost);
+      current.pop_back();
+    }
+  }
+
+  const std::vector<std::vector<size_t>>& clauses_;
+  const std::vector<Divisor>& divisors_;
+  int64_t nodes_left_;
+  Deadline deadline_;
+  int64_t best_cost_ = 0;
+  std::vector<size_t> best_;
+  bool have_best_ = false;
+  bool exhausted_ = true;
+};
+
+int64_t cost_of(const std::vector<size_t>& subset, const std::vector<Divisor>& divisors) {
+  int64_t total = 0;
+  for (const size_t d : subset) total += divisors[d].cost;
+  return total;
+}
+
+}  // namespace
+
+SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divisors,
+                         const SatPruneOptions& options,
+                         const std::vector<size_t>* warm_start) {
+  SatPruneResult result;
+  Deadline deadline(options.time_budget);
+
+  // Incumbent: warm start if provided, else the full candidate set (checked).
+  std::vector<size_t> incumbent;
+  bool have_incumbent = false;
+  if (warm_start != nullptr) {
+    incumbent = *warm_start;
+    have_incumbent = true;
+  } else {
+    ++result.sat_calls;
+    const sat::LBool verdict = inst.check_subset(inst.candidates(), options.conflict_budget);
+    if (!verdict.is_false()) return result;  // infeasible or budget
+    incumbent = inst.candidates();
+    have_incumbent = true;
+  }
+  int64_t incumbent_cost = cost_of(incumbent, divisors);
+
+  std::vector<std::vector<size_t>> separator_clauses;
+  bool proven_optimal = false;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    if (deadline.expired()) break;
+
+    // Minimum-cost hitting set of the separators found so far = lower bound.
+    std::vector<size_t> hs;
+    int64_t hs_cost = 0;
+    HittingSetSolver hss(separator_clauses, divisors, options.max_bb_nodes, deadline);
+    const bool exact = hss.solve(hs, hs_cost, incumbent_cost);
+    if (!exact) break;  // budget: incumbent stays, optimality unproven
+    if (hs_cost >= incumbent_cost && have_incumbent) {
+      // The lower bound meets the incumbent: the incumbent is optimal.
+      proven_optimal = true;
+      break;
+    }
+
+    ++result.sat_calls;
+    const sat::LBool verdict = inst.check_subset(hs, options.conflict_budget);
+    if (verdict.is_undef()) break;
+    if (verdict.is_false()) {
+      // Feasible at the lower bound: optimal.
+      incumbent = hs;
+      incumbent_cost = hs_cost;
+      have_incumbent = true;
+      proven_optimal = true;
+      break;
+    }
+    // Infeasible: learn the separator clause ("block infeasible divisors").
+    std::vector<size_t> sep = inst.separator();
+    if (sep.empty()) {
+      // No divisor can distinguish the witness pair: the whole candidate
+      // set is insufficient.
+      return result;
+    }
+    separator_clauses.push_back(std::move(sep));
+  }
+
+  result.feasible = have_incumbent;
+  result.optimal = proven_optimal;
+  result.chosen = std::move(incumbent);
+  result.cost = incumbent_cost;
+  return result;
+}
+
+}  // namespace eco::core

@@ -1,0 +1,58 @@
+/// \file satprune.hpp
+/// \brief SAT-based exact pruning (paper §3.4.2): minimum-cost patch support.
+///
+/// The search space is pruned by iteratively adding clauses of two kinds, as
+/// in the paper: clauses blocking infeasible divisor subsets, and bounds
+/// blocking subsets that cannot beat the incumbent cost. Concretely this is
+/// the implicit-hitting-set scheme:
+///
+///  - A SAT witness of infeasibility of a candidate subset D is a pair
+///    (x1, x2) with M(0,x1) ∧ M(1,x2) ∧ (d == d over D). Every divisor whose
+///    value differs between x1 and x2 *separates* the pair; any valid
+///    support must contain at least one separator. That is a new clause.
+///  - A minimum-cost hitting set H of the collected separator clauses is a
+///    lower bound on every valid support. If H itself is feasible it is
+///    optimal; otherwise it yields a new separator clause.
+///
+/// The hitting sets are computed exactly by branch-and-bound (cost-based
+/// pruning = the paper's "block divisors whose cost cannot be smaller than
+/// the current minimum"). Exactness holds for a single target; for multiple
+/// targets the per-target optimum can be a global local optimum, exactly as
+/// the paper observes on unit9/unit17.
+#pragma once
+
+#include <cstdint>
+
+#include "eco/support.hpp"
+
+namespace eco::core {
+
+struct SatPruneOptions {
+  /// Upper bound on IHS refinement iterations.
+  int max_iterations = 2000;
+  /// Upper bound on branch-and-bound nodes per hitting-set computation.
+  int64_t max_bb_nodes = 2'000'000;
+  /// Conflict budget per feasibility query (< 0 unlimited).
+  int64_t conflict_budget = -1;
+  /// Overall wall-clock budget in seconds (<= 0 unlimited).
+  double time_budget = 0;
+};
+
+struct SatPruneResult {
+  bool feasible = false;
+  /// True when the result is proven minimum-cost (no budget interfered).
+  bool optimal = false;
+  std::vector<size_t> chosen;  ///< indices into the problem divisor list
+  int64_t cost = 0;
+  int sat_calls = 0;
+  int iterations = 0;
+};
+
+/// Computes a minimum-cost support for the instance's target.
+/// \p warm_start optionally seeds the incumbent (e.g. the
+/// minimize_assumptions result); it must be a feasible subset.
+SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divisors,
+                         const SatPruneOptions& options,
+                         const std::vector<size_t>* warm_start = nullptr);
+
+}  // namespace eco::core

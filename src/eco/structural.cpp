@@ -1,0 +1,116 @@
+#include "eco/structural.hpp"
+
+#include <stdexcept>
+
+#include "aig/ops.hpp"
+#include "util/log.hpp"
+
+namespace eco::core {
+
+StructuralPatches structural_patch_single(const EcoMiter& m, uint32_t target) {
+  StructuralPatches result;
+  aig::Aig patch;
+  std::vector<aig::Lit> x;
+  x.reserve(m.num_x);
+  for (uint32_t i = 0; i < m.num_x; ++i) x.push_back(patch.add_pi(m.aig.pi_name(i)));
+
+  std::vector<aig::Lit> map(m.aig.num_nodes(), aig::kLitInvalid);
+  map[0] = aig::kLitFalse;
+  for (uint32_t i = 0; i < m.num_x; ++i) map[m.aig.pi_node(i)] = x[i];
+  for (uint32_t t = 0; t < m.num_targets; ++t)
+    map[m.aig.pi_node(m.target_pi(t))] = aig::kLitFalse;  // only `target` matters
+  map[m.aig.pi_node(m.target_pi(target))] = aig::kLitFalse;
+  const aig::Lit roots[] = {m.out};
+  const aig::Lit cofactor = aig::transfer(m.aig, patch, roots, map)[0];
+  patch.add_po(cofactor, "patch_" + std::to_string(target));
+  result.patch = patch.cleanup();
+  result.ok = true;
+  return result;
+}
+
+StructuralPatches structural_patch_multi(const EcoMiter& m, const qbf::Qbf2Result& cert) {
+  StructuralPatches result;
+  if (cert.status != qbf::Qbf2Status::kFalse || cert.moves.empty()) {
+    log_warn("structural_patch_multi: certificate unavailable");
+    return result;
+  }
+  const size_t num_moves = cert.moves.size();
+  aig::Aig patch;
+  std::vector<aig::Lit> x;
+  x.reserve(m.num_x);
+  for (uint32_t i = 0; i < m.num_x; ++i) x.push_back(patch.add_pi(m.aig.pi_name(i)));
+
+  // Selector j: ¬M(n*_j, x) — one miter copy per certificate move.
+  std::vector<aig::Lit> selectors;
+  selectors.reserve(num_moves);
+  for (const auto& move : cert.moves) {
+    std::vector<aig::Lit> map(m.aig.num_nodes(), aig::kLitInvalid);
+    map[0] = aig::kLitFalse;
+    for (uint32_t i = 0; i < m.num_x; ++i) map[m.aig.pi_node(i)] = x[i];
+    for (uint32_t t = 0; t < m.num_targets; ++t)
+      map[m.aig.pi_node(m.target_pi(t))] = move[t] ? aig::kLitTrue : aig::kLitFalse;
+    const aig::Lit roots[] = {m.out};
+    selectors.push_back(aig::lit_not(aig::transfer(m.aig, patch, roots, map)[0]));
+  }
+
+  // Patch t: the t-component of the first applicable move, as a MUX chain
+  // over constants (heavily simplified by strashing).
+  for (uint32_t t = 0; t < m.num_targets; ++t) {
+    aig::Lit out = cert.moves[num_moves - 1][t] ? aig::kLitTrue : aig::kLitFalse;
+    for (size_t j = num_moves - 1; j-- > 0;) {
+      const aig::Lit c = cert.moves[j][t] ? aig::kLitTrue : aig::kLitFalse;
+      out = patch.add_mux(selectors[j], c, out);
+    }
+    patch.add_po(out, "patch_" + std::to_string(t));
+  }
+  result.patch = patch.cleanup();
+  result.ok = true;
+  return result;
+}
+
+StructuralPatches structural_patch_multi_expansion(const EcoMiter& m, uint32_t max_nodes) {
+  StructuralPatches result;
+  aig::Aig patch;
+  std::vector<aig::Lit> x;
+  x.reserve(m.num_x);
+  for (uint32_t i = 0; i < m.num_x; ++i) x.push_back(patch.add_pi(m.aig.pi_name(i)));
+
+  EcoMiter cur = m;
+  try {
+    for (uint32_t t = 0; t < m.num_targets; ++t) {
+      std::vector<uint32_t> remaining;
+      for (uint32_t u = t + 1; u < m.num_targets; ++u) remaining.push_back(u);
+      const EcoMiter mq = quantify_targets(cur, remaining, max_nodes);
+
+      // Patch t = M_q(0, x): the negative cofactor, a valid interpolant.
+      std::vector<aig::Lit> map(mq.aig.num_nodes(), aig::kLitInvalid);
+      map[0] = aig::kLitFalse;
+      for (uint32_t i = 0; i < m.num_x; ++i) map[mq.aig.pi_node(i)] = x[i];
+      for (uint32_t u = 0; u < m.num_targets; ++u)
+        map[mq.aig.pi_node(mq.target_pi(u))] = aig::kLitFalse;
+      const aig::Lit roots[] = {mq.out};
+      const aig::Lit patch_t = aig::transfer(mq.aig, patch, roots, map)[0];
+      patch.add_po(patch_t, "patch_" + std::to_string(t));
+
+      // Substitute the patch into the (unquantified) running miter.
+      if (t + 1 < m.num_targets) {
+        std::vector<aig::Lit> back(patch.num_nodes(), aig::kLitInvalid);
+        back[0] = aig::kLitFalse;
+        for (uint32_t i = 0; i < m.num_x; ++i) back[patch.pi_node(i)] = cur.aig.pi_lit(i);
+        const aig::Lit patch_roots[] = {patch_t};
+        const aig::Lit in_cur = aig::transfer(patch, cur.aig, patch_roots, back)[0];
+        cur = substitute_target_in_miter(cur, t, in_cur);
+        if (cur.aig.num_ands() > max_nodes)
+          throw std::runtime_error("structural expansion exceeds node budget");
+      }
+    }
+  } catch (const std::runtime_error&) {
+    log_info("structural_patch_multi_expansion: node budget exceeded");
+    return result;
+  }
+  result.patch = patch.cleanup();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace eco::core

@@ -1,0 +1,39 @@
+/// \file structural.hpp
+/// \brief Structural patch computation in terms of primary inputs
+/// (paper §3.6.1–§3.6.2), used when the SAT-based flow runs out of budget.
+#pragma once
+
+#include "eco/miter.hpp"
+#include "qbf/qbf2.hpp"
+
+namespace eco::core {
+
+/// A bundle of patch functions in terms of the shared primary inputs.
+struct StructuralPatches {
+  bool ok = false;
+  /// PIs = the shared inputs (problem order); one PO per target, in target
+  /// order. Dangling logic already removed.
+  aig::Aig patch;
+};
+
+/// Single-target structural patch (paper §3.6.1): the negative cofactor
+/// M(0, x) of the ECO miter, which is an interpolant of
+/// M(0,x) & M(1,x) whenever the ECO is feasible.
+StructuralPatches structural_patch_single(const EcoMiter& m, uint32_t target);
+
+/// Multi-target structural patch from a 2QBF certificate (paper §3.6.2).
+/// \p cert must be a kFalse result of solve_exists_forall on the miter
+/// (x = shared PIs, n = targets). Target t's patch selects the t-component
+/// of the first countermove n*_j whose cofactor ¬M(n*_j, x) holds — one
+/// miter copy per CEGAR round instead of the naive 2^k - 1 expansion.
+StructuralPatches structural_patch_multi(const EcoMiter& m, const qbf::Qbf2Result& cert);
+
+/// Multi-target structural patch by naive cofactor expansion (the
+/// 2^k - 1-copy construction the paper contrasts §3.6.2 against). Targets
+/// are processed sequentially: target t's patch is the t=0 cofactor of the
+/// miter with all later targets universally quantified, and is substituted
+/// into the miter before the next target. Used when no QBF certificate is
+/// available. Returns ok = false when \p max_nodes is exceeded.
+StructuralPatches structural_patch_multi_expansion(const EcoMiter& m, uint32_t max_nodes);
+
+}  // namespace eco::core

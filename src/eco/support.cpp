@@ -1,0 +1,157 @@
+#include "eco/support.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cnf/tseitin.hpp"
+#include "sat/minimize.hpp"
+#include "util/log.hpp"
+
+namespace eco::core {
+
+SupportInstance::SupportInstance(const EcoMiter& m, uint32_t target,
+                                 const std::vector<Divisor>& divisors,
+                                 std::span<const size_t> candidates)
+    : candidates_(candidates.begin(), candidates.end()) {
+  // Two independent encoders over the same miter AIG create the two copies
+  // (fresh solver variables each).
+  cnf::Encoder copy1(m.aig, solver_);
+  cnf::Encoder copy2(m.aig, solver_);
+  const aig::Lit target_lit = m.target_lit(target);
+
+  // Copy 1: M(0, x1) — miter asserted, target at 0.
+  solver_.add_unit(copy1.lit(m.out));
+  solver_.add_unit(~copy1.lit(target_lit));
+  // Copy 2: M(1, x2).
+  solver_.add_unit(copy2.lit(m.out));
+  solver_.add_unit(copy2.lit(target_lit));
+
+  act_index_of_global_.assign(divisors.size(), -1);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const aig::Lit dl = m.divisor_lits[candidates_[i]];
+    const sat::Lit d1 = copy1.lit(dl);
+    const sat::Lit d2 = copy2.lit(dl);
+    const sat::Lit a = sat::mk_lit(solver_.new_var());
+    // a -> (d1 == d2)
+    solver_.add_ternary(~a, ~d1, d2);
+    solver_.add_ternary(~a, d1, ~d2);
+    activation_.push_back(a);
+    d1_.push_back(d1);
+    d2_.push_back(d2);
+    act_index_of_global_[candidates_[i]] = static_cast<int32_t>(i);
+  }
+}
+
+sat::Lit SupportInstance::activation(size_t global_index) const {
+  const int32_t i = act_index_of_global_[global_index];
+  assert(i >= 0 && "divisor is not a candidate of this instance");
+  return activation_[static_cast<size_t>(i)];
+}
+
+sat::LBool SupportInstance::check_subset(std::span<const size_t> subset,
+                                         int64_t conflict_budget) {
+  sat::LitVec assumps;
+  assumps.reserve(subset.size());
+  for (const size_t g : subset) assumps.push_back(activation(g));
+  if (conflict_budget >= 0)
+    solver_.set_conflict_budget(conflict_budget);
+  else
+    solver_.clear_budgets();
+  const sat::LBool verdict = solver_.solve(assumps);
+  solver_.clear_budgets();
+  return verdict;
+}
+
+std::vector<size_t> SupportInstance::separator() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const bool v1 = solver_.model_value(d1_[i]);
+    const bool v2 = solver_.model_value(d2_[i]);
+    if (v1 != v2) out.push_back(candidates_[i]);
+  }
+  return out;
+}
+
+SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>& divisors,
+                              const SupportOptions& options) {
+  SupportResult result;
+  sat::Solver& solver = inst.solver();
+  const std::vector<size_t>& candidates = inst.candidates();
+
+  // Assumptions in increasing cost order (candidates come from the problem's
+  // cost-sorted divisor list; keep that order).
+  sat::LitVec assumps;
+  assumps.reserve(candidates.size());
+  for (const size_t g : candidates) assumps.push_back(inst.activation(g));
+
+  if (options.conflict_budget >= 0) solver.set_conflict_budget(options.conflict_budget);
+  const sat::LBool verdict = solver.solve(assumps);
+  ++result.sat_calls;
+  if (verdict.is_true()) {
+    solver.clear_budgets();
+    return result;  // divisors insufficient
+  }
+  if (verdict.is_undef()) {
+    solver.clear_budgets();
+    result.budget_expired = true;
+    return result;
+  }
+
+  // Start from the final-conflict core (this *is* the result in the
+  // baseline mode, and a sound starting point for minimization).
+  sat::LitVec core_lits;
+  std::vector<size_t> core_globals;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (solver.in_core(assumps[i])) {
+      core_lits.push_back(assumps[i]);
+      core_globals.push_back(candidates[i]);
+    }
+  }
+
+  std::vector<size_t> chosen;
+  if (options.mode == SupportMode::kAnalyzeFinal) {
+    chosen = core_globals;
+  } else {
+    sat::MinimizeStats stats;
+    sat::LitVec ctx;
+    const int kept = sat::minimize_assumptions(solver, core_lits, ctx, &stats);
+    result.sat_calls += stats.sat_calls;
+    // Map kept literals back to divisor indices.
+    for (int i = 0; i < kept; ++i) {
+      const auto it = std::find(assumps.begin(), assumps.end(), core_lits[static_cast<size_t>(i)]);
+      chosen.push_back(candidates[static_cast<size_t>(it - assumps.begin())]);
+    }
+    // Last-gasp improvement: try replacing expensive chosen divisors with
+    // cheaper unchosen ones (paper §3.4.1).
+    if (options.last_gasp && !chosen.empty()) {
+      int budget = options.max_last_gasp_queries;
+      std::sort(chosen.begin(), chosen.end(), [&](size_t a, size_t b) {
+        return divisors[a].cost > divisors[b].cost;  // most expensive first
+      });
+      for (size_t pos = 0; pos < chosen.size() && budget > 0; ++pos) {
+        const size_t current = chosen[pos];
+        for (const size_t candidate : candidates) {
+          if (budget <= 0) break;
+          if (divisors[candidate].cost >= divisors[current].cost) break;  // cost-sorted
+          if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) continue;
+          std::vector<size_t> trial = chosen;
+          trial[pos] = candidate;
+          --budget;
+          ++result.sat_calls;
+          if (inst.check_subset(trial, options.conflict_budget).is_false()) {
+            chosen = std::move(trial);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  solver.clear_budgets();
+  result.feasible = true;
+  result.chosen = std::move(chosen);
+  for (const size_t g : result.chosen) result.cost += divisors[g].cost;
+  return result;
+}
+
+}  // namespace eco::core

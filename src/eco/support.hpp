@@ -1,0 +1,87 @@
+/// \file support.hpp
+/// \brief Cost-aware patch support computation (paper §3.4.1).
+///
+/// The two-copy instance of expression (2)/(3) is built in one incremental
+/// solver: copy 1 asserts M(0, x1), copy 2 asserts M(1, x2), and each
+/// candidate divisor j contributes an auxiliary activation variable a_j with
+/// the constraint a_j -> (d1_j == d2_j). Assuming every a_j makes the
+/// instance UNSAT exactly when the divisor set suffices to express a patch;
+/// a minimal low-cost subset of the a_j is then found with
+/// ``minimize_assumptions`` (assumptions ordered by increasing cost), or —
+/// in the paper's baseline configuration — read off the solver's final
+/// conflict (``analyze_final``) without minimization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eco/miter.hpp"
+#include "sat/solver.hpp"
+
+namespace eco::core {
+
+/// How the support subset is extracted from the UNSAT two-copy instance.
+enum class SupportMode {
+  kAnalyzeFinal,          ///< paper Table 1 "w/o minimize_assumptions"
+  kMinimizeAssumptions,   ///< paper Table 1 "w/ minimize_assumptions"
+};
+
+struct SupportOptions {
+  SupportMode mode = SupportMode::kMinimizeAssumptions;
+  /// Enable the last-gasp pairwise replacement improvement (paper §3.4.1).
+  bool last_gasp = true;
+  /// Cap on last-gasp replacement SAT queries.
+  int max_last_gasp_queries = 256;
+  /// Conflict budget per SAT query (< 0 unlimited).
+  int64_t conflict_budget = -1;
+};
+
+struct SupportResult {
+  /// False when the candidate divisors cannot express any patch (the
+  /// two-copy instance is satisfiable) or a budget expired.
+  bool feasible = false;
+  bool budget_expired = false;
+  /// Chosen divisors, as indices into the problem's divisor list.
+  std::vector<size_t> chosen;
+  int64_t cost = 0;
+  int sat_calls = 0;
+};
+
+/// A reusable encoding of the two-copy instance for one target.
+class SupportInstance {
+ public:
+  /// \p m must have every target other than \p target already quantified or
+  /// substituted away. \p candidates are indices into \p divisors.
+  SupportInstance(const EcoMiter& m, uint32_t target, const std::vector<Divisor>& divisors,
+                  std::span<const size_t> candidates);
+
+  /// Checks whether the subset \p subset (indices into the global divisor
+  /// list; must be among the candidates) suffices.
+  /// Returns kFalse = sufficient (UNSAT), kTrue = insufficient, kUndef = budget.
+  sat::LBool check_subset(std::span<const size_t> subset, int64_t conflict_budget = -1);
+
+  /// After an insufficient (kTrue) check: the divisors whose two copies
+  /// differ in the found model — at least one of them must join any valid
+  /// support (the separator clause of SAT_prune, paper §3.4.2).
+  std::vector<size_t> separator() const;
+
+  /// Assumption literal of candidate divisor \p global_index.
+  sat::Lit activation(size_t global_index) const;
+
+  sat::Solver& solver() noexcept { return solver_; }
+  const std::vector<size_t>& candidates() const noexcept { return candidates_; }
+
+ private:
+  sat::Solver solver_;
+  std::vector<size_t> candidates_;
+  std::vector<sat::Lit> activation_;  // parallel to candidates_
+  std::vector<sat::Lit> d1_, d2_;     // divisor literals in the two copies
+  std::vector<int32_t> act_index_of_global_;
+};
+
+/// Computes a patch support for \p target (paper §3.4.1).
+SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>& divisors,
+                              const SupportOptions& options);
+
+}  // namespace eco::core

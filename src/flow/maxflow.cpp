@@ -1,0 +1,144 @@
+#include "flow/maxflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace eco::flow {
+
+MaxFlow::MaxFlow(int num_nodes) : head_(static_cast<size_t>(num_nodes), -1) {}
+
+int MaxFlow::add_edge(int from, int to, Capacity capacity) {
+  assert(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes());
+  assert(capacity >= 0);
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, head_[static_cast<size_t>(from)]});
+  head_[static_cast<size_t>(from)] = index;
+  edges_.push_back(Edge{from, 0, head_[static_cast<size_t>(to)]});  // reverse edge
+  head_[static_cast<size_t>(to)] = index + 1;
+  original_cap_.push_back(capacity);
+  original_cap_.push_back(0);
+  return index;
+}
+
+bool MaxFlow::bfs(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> q;
+  q.push(source);
+  level_[static_cast<size_t>(source)] = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e = head_[static_cast<size_t>(u)]; e != -1; e = edges_[static_cast<size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<size_t>(e)];
+      if (edge.cap > 0 && level_[static_cast<size_t>(edge.to)] < 0) {
+        level_[static_cast<size_t>(edge.to)] = level_[static_cast<size_t>(u)] + 1;
+        q.push(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+Capacity MaxFlow::dfs(int node, int sink, Capacity limit) {
+  if (node == sink) return limit;
+  for (int& e = iter_[static_cast<size_t>(node)]; e != -1;
+       e = edges_[static_cast<size_t>(e)].next) {
+    Edge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.cap <= 0 ||
+        level_[static_cast<size_t>(edge.to)] != level_[static_cast<size_t>(node)] + 1)
+      continue;
+    const Capacity pushed = dfs(edge.to, sink, std::min(limit, edge.cap));
+    if (pushed > 0) {
+      edge.cap -= pushed;
+      edges_[static_cast<size_t>(e ^ 1)].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Capacity MaxFlow::run(int source, int sink) {
+  assert(source != sink);
+  source_ = source;
+  Capacity total = 0;
+  while (bfs(source, sink)) {
+    iter_ = head_;
+    for (;;) {
+      const Capacity pushed = dfs(source, sink, kInfinite);
+      if (pushed == 0) break;
+      total += pushed;
+      if (total >= kInfinite) return kInfinite;
+    }
+  }
+  return total;
+}
+
+Capacity MaxFlow::flow_on(int edge_index) const {
+  return original_cap_[static_cast<size_t>(edge_index)] -
+         edges_[static_cast<size_t>(edge_index)].cap;
+}
+
+std::vector<uint8_t> MaxFlow::min_cut_source_side() const {
+  assert(source_ >= 0 && "run() must be called first");
+  std::vector<uint8_t> reachable(head_.size(), 0);
+  std::queue<int> q;
+  q.push(source_);
+  reachable[static_cast<size_t>(source_)] = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e = head_[static_cast<size_t>(u)]; e != -1; e = edges_[static_cast<size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<size_t>(e)];
+      if (edge.cap > 0 && !reachable[static_cast<size_t>(edge.to)]) {
+        reachable[static_cast<size_t>(edge.to)] = 1;
+        q.push(edge.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+NodeCutGraph::NodeCutGraph(int num_nodes)
+    : num_nodes_(num_nodes), node_cap_(static_cast<size_t>(num_nodes), kInfinite) {}
+
+void NodeCutGraph::set_node_capacity(int node, Capacity capacity) {
+  node_cap_[static_cast<size_t>(node)] = capacity;
+}
+
+void NodeCutGraph::add_edge(int from, int to) { edges_.emplace_back(from, to); }
+
+void NodeCutGraph::mark_source(int node) { sources_.push_back(node); }
+
+void NodeCutGraph::mark_sink(int node) { sinks_.push_back(node); }
+
+NodeCutGraph::Result NodeCutGraph::solve() {
+  // Layout: node v -> v_in = 2v, v_out = 2v+1; super source/sink at the end.
+  const int super_source = 2 * num_nodes_;
+  const int super_sink = 2 * num_nodes_ + 1;
+  MaxFlow mf(2 * num_nodes_ + 2);
+  std::vector<int> internal_edge(static_cast<size_t>(num_nodes_), -1);
+  for (int v = 0; v < num_nodes_; ++v)
+    internal_edge[static_cast<size_t>(v)] =
+        mf.add_edge(2 * v, 2 * v + 1, node_cap_[static_cast<size_t>(v)]);
+  for (const auto& [from, to] : edges_) mf.add_edge(2 * from + 1, 2 * to, kInfinite);
+  for (const int s : sources_) mf.add_edge(super_source, 2 * s, kInfinite);
+  for (const int t : sinks_) mf.add_edge(2 * t + 1, super_sink, kInfinite);
+
+  Result result;
+  result.cut_value = mf.run(super_source, super_sink);
+  if (result.cut_value >= kInfinite) {
+    result.cut_value = kInfinite;
+    return result;
+  }
+  const std::vector<uint8_t> source_side = mf.min_cut_source_side();
+  for (int v = 0; v < num_nodes_; ++v) {
+    // The node is cut iff its internal edge crosses the cut: in-side
+    // reachable, out-side not.
+    if (source_side[static_cast<size_t>(2 * v)] && !source_side[static_cast<size_t>(2 * v + 1)])
+      result.cut_nodes.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace eco::flow

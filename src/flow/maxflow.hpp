@@ -1,0 +1,89 @@
+/// \file maxflow.hpp
+/// \brief Maximum flow / minimum cut (Dinic's algorithm), the substrate for
+/// the CEGAR_min structural patch improvement (paper §3.6.3).
+///
+/// The ECO use case is a *node-capacitated* min-cut: signals of the patch
+/// cone that have equivalent counterparts in the implementation are cuttable
+/// at the cost of the cheapest counterpart, everything else is infinite.
+/// Node capacities are reduced to edge capacities by node splitting
+/// (see \ref NodeCutGraph).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eco::flow {
+
+using Capacity = int64_t;
+constexpr Capacity kInfinite = INT64_MAX / 4;
+
+/// Edge-capacitated max-flow network (Dinic).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge; returns its index (for flow inspection).
+  int add_edge(int from, int to, Capacity capacity);
+
+  /// Computes the max flow from \p source to \p sink. Callable once.
+  Capacity run(int source, int sink);
+
+  /// After run(): flow through edge \p edge_index.
+  Capacity flow_on(int edge_index) const;
+
+  /// After run(): nodes reachable from the source in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<uint8_t> min_cut_source_side() const;
+
+  int num_nodes() const noexcept { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    Capacity cap;  ///< residual capacity
+    int next;      ///< next edge index in adjacency list
+  };
+  bool bfs(int source, int sink);
+  Capacity dfs(int node, int sink, Capacity limit);
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  std::vector<Capacity> original_cap_;
+  int source_ = -1;
+};
+
+/// Node-capacitated s-t min-cut via node splitting.
+///
+/// Each node v becomes (v_in, v_out) with an internal edge of capacity
+/// cap(v); each original edge (u, v) becomes (u_out -> v_in) with infinite
+/// capacity. The minimum node cut separating the sources from the sinks is
+/// then the set of nodes whose internal edge crosses the edge min-cut.
+class NodeCutGraph {
+ public:
+  explicit NodeCutGraph(int num_nodes);
+
+  void set_node_capacity(int node, Capacity capacity);
+  void add_edge(int from, int to);
+  void mark_source(int node);
+  void mark_sink(int node);
+
+  struct Result {
+    Capacity cut_value = 0;
+    std::vector<int> cut_nodes;  ///< the minimum-weight node cut
+  };
+
+  /// Computes the minimum node cut. Returns cut_value == kInfinite when no
+  /// finite cut exists (some source-sink path has only infinite nodes).
+  Result solve();
+
+ private:
+  int num_nodes_;
+  std::vector<Capacity> node_cap_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<int> sources_;
+  std::vector<int> sinks_;
+};
+
+}  // namespace eco::flow

@@ -1,0 +1,69 @@
+#include "net/aignet.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eco::net {
+
+Network aig_to_network(const aig::Aig& g, std::string module_name) {
+  Network out;
+  out.name = std::move(module_name);
+
+  std::vector<std::string> node_name(g.num_nodes());
+  std::unordered_set<std::string> used;
+  auto fresh = [&](const std::string& base) {
+    std::string name = base;
+    int suffix = 0;
+    while (used.count(name) || name.empty()) name = base + "_" + std::to_string(suffix++);
+    used.insert(name);
+    return name;
+  };
+
+  for (uint32_t i = 0; i < g.num_pis(); ++i) {
+    const std::string base = g.pi_name(i).empty() ? "i" + std::to_string(i) : g.pi_name(i);
+    node_name[g.pi_node(i)] = fresh(base);
+    out.inputs.push_back(node_name[g.pi_node(i)]);
+  }
+
+  bool const_emitted = false;
+  auto const_name = [&]() {
+    if (!const_emitted) {
+      node_name[0] = fresh("const0");
+      out.gates.push_back({GateType::kConst0, node_name[0], {}, ""});
+      const_emitted = true;
+    }
+    return node_name[0];
+  };
+
+  // Inverters are created on demand and cached per node.
+  std::unordered_map<aig::Node, std::string> inverted;
+  auto lit_name = [&](aig::Lit l) -> std::string {
+    const aig::Node n = aig::lit_node(l);
+    const std::string& base = g.is_const0(n) ? const_name() : node_name[n];
+    if (!aig::lit_compl(l)) return base;
+    const auto it = inverted.find(n);
+    if (it != inverted.end()) return it->second;
+    const std::string inv = fresh(base + "_n");
+    out.gates.push_back({GateType::kNot, inv, {base}, ""});
+    inverted.emplace(n, inv);
+    return inv;
+  };
+
+  for (aig::Node n = g.num_pis() + 1; n < g.num_nodes(); ++n) {
+    node_name[n] = fresh("n" + std::to_string(n));
+    // Resolve fanin names before pushing the gate (lit_name may add gates).
+    const std::string in0 = lit_name(g.fanin0(n));
+    const std::string in1 = lit_name(g.fanin1(n));
+    out.gates.push_back({GateType::kAnd, node_name[n], {in0, in1}, ""});
+  }
+
+  for (uint32_t i = 0; i < g.num_pos(); ++i) {
+    const std::string base = g.po_name(i).empty() ? "o" + std::to_string(i) : g.po_name(i);
+    const std::string po = fresh(base);
+    out.outputs.push_back(po);
+    out.gates.push_back({GateType::kBuf, po, {lit_name(g.po_lit(i))}, ""});
+  }
+  return out;
+}
+
+}  // namespace eco::net

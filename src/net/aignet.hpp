@@ -1,0 +1,18 @@
+/// \file aignet.hpp
+/// \brief Conversion from AIG back to a gate-level Network (used to export
+/// computed patches as contest-style Verilog).
+#pragma once
+
+#include <string>
+
+#include "aig/aig.hpp"
+#include "net/network.hpp"
+
+namespace eco::net {
+
+/// Converts \p g to a netlist of and/not/buf gates (one AND2 per AIG node,
+/// inverters materialized on demand). PI/PO names are taken from the AIG;
+/// unnamed signals get generated names.
+Network aig_to_network(const aig::Aig& g, std::string module_name = "patch");
+
+}  // namespace eco::net

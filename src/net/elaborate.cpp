@@ -1,0 +1,80 @@
+#include "net/elaborate.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace eco::net {
+
+namespace {
+
+aig::Lit build_gate(aig::Aig& g, const Gate& gate, const std::vector<aig::Lit>& fanins) {
+  using aig::Lit;
+  switch (gate.type) {
+    case GateType::kConst0: return aig::kLitFalse;
+    case GateType::kConst1: return aig::kLitTrue;
+    case GateType::kBuf: return fanins[0];
+    case GateType::kNot: return aig::lit_not(fanins[0]);
+    case GateType::kAnd: return g.add_and_multi(fanins);
+    case GateType::kNand: return aig::lit_not(g.add_and_multi(fanins));
+    case GateType::kOr: return g.add_or_multi(fanins);
+    case GateType::kNor: return aig::lit_not(g.add_or_multi(fanins));
+    case GateType::kXor: return g.add_xor_multi(fanins);
+    case GateType::kXnor: return aig::lit_not(g.add_xor_multi(fanins));
+  }
+  throw std::logic_error("elaborate: unknown gate type");
+}
+
+}  // namespace
+
+ElaboratedAig elaborate(const Network& net) {
+  net.validate();
+  ElaboratedAig out;
+
+  for (const auto& name : net.inputs) out.signal_lits.emplace(name, out.aig.add_pi(name));
+
+  // Map each driven signal to the index of its driving gate.
+  std::unordered_map<std::string, size_t> driver;
+  for (size_t i = 0; i < net.gates.size(); ++i) driver.emplace(net.gates[i].output, i);
+
+  // Iterative post-order DFS with cycle detection over all gates.
+  enum class State : uint8_t { kUnvisited, kOnStack, kDone };
+  std::vector<State> state(net.gates.size(), State::kUnvisited);
+  std::vector<size_t> stack;
+  for (size_t root = 0; root < net.gates.size(); ++root) {
+    if (state[root] == State::kDone) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const size_t gi = stack.back();
+      const Gate& gate = net.gates[gi];
+      if (state[gi] == State::kDone) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[gi] == State::kUnvisited) {
+        state[gi] = State::kOnStack;
+        bool ready = true;
+        for (const auto& in : gate.inputs) {
+          if (out.signal_lits.count(in)) continue;
+          const size_t dep = driver.at(in);
+          if (state[dep] == State::kOnStack)
+            throw std::runtime_error("elaborate: combinational cycle through '" + in + "'");
+          stack.push_back(dep);
+          ready = false;
+        }
+        if (!ready) continue;
+      }
+      // All fanins available: build.
+      std::vector<aig::Lit> fanins;
+      fanins.reserve(gate.inputs.size());
+      for (const auto& in : gate.inputs) fanins.push_back(out.signal_lits.at(in));
+      out.signal_lits.emplace(gate.output, build_gate(out.aig, gate, fanins));
+      state[gi] = State::kDone;
+      stack.pop_back();
+    }
+  }
+
+  for (const auto& name : net.outputs) out.aig.add_po(out.signal_lits.at(name), name);
+  return out;
+}
+
+}  // namespace eco::net

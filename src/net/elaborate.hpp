@@ -1,0 +1,29 @@
+/// \file elaborate.hpp
+/// \brief Elaboration of a gate-level Network into an AIG plus a name map.
+///
+/// Every named signal of the netlist (inputs and gate outputs) gets an AIG
+/// literal; the map is what connects the ECO engine's divisor selection and
+/// weight lookup back to netlist names. Gates that do not reach any output
+/// are elaborated too — they are exactly the redundant logic the paper mines
+/// for cheap divisors.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "aig/aig.hpp"
+#include "net/network.hpp"
+
+namespace eco::net {
+
+struct ElaboratedAig {
+  aig::Aig aig;
+  /// AIG literal of every named signal (inputs and gate outputs).
+  std::unordered_map<std::string, aig::Lit> signal_lits;
+};
+
+/// Elaborates \p net. Throws std::runtime_error on combinational cycles or
+/// undriven signals (validate() is called first).
+ElaboratedAig elaborate(const Network& net);
+
+}  // namespace eco::net

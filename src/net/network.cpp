@@ -1,0 +1,78 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace eco::net {
+
+const char* gate_type_name(GateType type) noexcept {
+  switch (type) {
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kNand: return "nand";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+  }
+  return "?";
+}
+
+std::vector<std::string> Network::all_signals() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto push = [&](const std::string& s) {
+    if (seen.insert(s).second) out.push_back(s);
+  };
+  for (const auto& s : inputs) push(s);
+  for (const auto& g : gates) push(g.output);
+  return out;
+}
+
+void Network::validate() const {
+  std::unordered_set<std::string> driven;
+  for (const auto& s : inputs)
+    if (!driven.insert(s).second)
+      throw std::runtime_error("network '" + name + "': duplicate input '" + s + "'");
+  for (const auto& g : gates) {
+    if (!driven.insert(g.output).second)
+      throw std::runtime_error("network '" + name + "': signal '" + g.output +
+                               "' has multiple drivers");
+    const size_t n = g.inputs.size();
+    switch (g.type) {
+      case GateType::kBuf:
+      case GateType::kNot:
+        if (n != 1)
+          throw std::runtime_error("network '" + name + "': gate '" + g.output +
+                                   "' needs exactly 1 input");
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        if (n != 0)
+          throw std::runtime_error("network '" + name + "': constant gate '" + g.output +
+                                   "' takes no inputs");
+        break;
+      default:
+        if (n < 1)
+          throw std::runtime_error("network '" + name + "': gate '" + g.output +
+                                   "' needs at least 1 input");
+        break;
+    }
+  }
+  std::unordered_set<std::string> outs;
+  for (const auto& s : outputs) {
+    if (!outs.insert(s).second)
+      throw std::runtime_error("network '" + name + "': duplicate output '" + s + "'");
+    if (!driven.count(s))
+      throw std::runtime_error("network '" + name + "': output '" + s + "' is never driven");
+  }
+  for (const auto& g : gates)
+    for (const auto& in : g.inputs)
+      if (!driven.count(in))
+        throw std::runtime_error("network '" + name + "': signal '" + in +
+                                 "' is used but never driven");
+}
+
+}  // namespace eco::net

@@ -1,0 +1,79 @@
+/// \file network.hpp
+/// \brief Gate-level netlist with named signals, mirroring the ICCAD'17
+/// contest benchmark format (paper §4.1).
+///
+/// The ECO problem is posed on named netlists: an old implementation whose
+/// *target* signals appear as extra primary inputs (the contest convention),
+/// a new specification, and a weight per named implementation signal. This
+/// module holds the netlist; \ref verilog.hpp parses/writes the files and
+/// \ref elaborate.hpp turns a Network into an AIG plus a name map.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace eco::net {
+
+/// Primitive gate types of the structural-Verilog subset.
+enum class GateType {
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kBuf,
+  kNot,
+  kConst0,  ///< output tied to 1'b0
+  kConst1,  ///< output tied to 1'b1
+};
+
+/// Returns the Verilog primitive name ("and", "nor", ...).
+const char* gate_type_name(GateType type) noexcept;
+
+/// One gate instance: output signal plus input signals.
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string output;
+  std::vector<std::string> inputs;
+  std::string instance_name;  ///< optional
+};
+
+/// A combinational gate-level netlist.
+struct Network {
+  std::string name = "top";
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Gate> gates;  ///< in arbitrary order; elaboration sorts
+
+  /// All signal names: inputs, gate outputs (deduplicated, insertion order).
+  std::vector<std::string> all_signals() const;
+
+  /// Validates structural sanity; throws std::runtime_error describing the
+  /// first problem found:
+  ///  - duplicated input/output/driver names,
+  ///  - gates with the wrong arity for their type,
+  ///  - signals used but never driven and not inputs,
+  ///  - outputs never driven and not inputs.
+  void validate() const;
+
+  /// Number of gates (the "#gate" columns of Table 1).
+  size_t num_gates() const noexcept { return gates.size(); }
+};
+
+/// Signal weights for resource-aware ECO (contest weight files).
+/// Signals missing from the map take \ref default_weight.
+struct WeightMap {
+  std::unordered_map<std::string, int64_t> weights;
+  int64_t default_weight = 1;
+
+  int64_t weight_of(const std::string& signal) const {
+    const auto it = weights.find(signal);
+    return it == weights.end() ? default_weight : it->second;
+  }
+};
+
+}  // namespace eco::net

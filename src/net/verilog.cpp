@@ -1,0 +1,377 @@
+#include "net/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eco::net {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kConst0, kConst1, kEnd } kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) : in_(in) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("verilog:" + std::to_string(tok_.line) + ": " + msg);
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    tok_.line = line_;
+    const int c = in_.peek();
+    if (c == EOF) {
+      tok_ = Token{Token::Kind::kEnd, "", line_};
+      return;
+    }
+    if (std::isalpha(c) || c == '_' || c == '\\') {
+      std::string ident;
+      if (c == '\\') {
+        // Escaped identifier: up to whitespace.
+        in_.get();
+        while (in_.peek() != EOF && !std::isspace(in_.peek()))
+          ident.push_back(static_cast<char>(in_.get()));
+      } else {
+        while (in_.peek() != EOF &&
+               (std::isalnum(in_.peek()) || in_.peek() == '_' || in_.peek() == '$' ||
+                in_.peek() == '.'))
+          ident.push_back(static_cast<char>(in_.get()));
+      }
+      tok_ = Token{Token::Kind::kIdent, ident, line_};
+      return;
+    }
+    if (std::isdigit(c)) {
+      std::string lit;
+      while (in_.peek() != EOF &&
+             (std::isalnum(in_.peek()) || in_.peek() == '\''))
+        lit.push_back(static_cast<char>(in_.get()));
+      if (lit == "1'b0" || lit == "1'h0" || lit == "0")
+        tok_ = Token{Token::Kind::kConst0, lit, line_};
+      else if (lit == "1'b1" || lit == "1'h1" || lit == "1")
+        tok_ = Token{Token::Kind::kConst1, lit, line_};
+      else
+        throw std::runtime_error("verilog:" + std::to_string(line_) +
+                                 ": unsupported literal '" + lit + "'");
+      return;
+    }
+    in_.get();
+    tok_ = Token{Token::Kind::kPunct, std::string(1, static_cast<char>(c)), line_};
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      int c = in_.peek();
+      while (c != EOF && std::isspace(c)) {
+        if (c == '\n') ++line_;
+        in_.get();
+        c = in_.peek();
+      }
+      if (c != '/') return;
+      in_.get();
+      const int c2 = in_.peek();
+      if (c2 == '/') {
+        while (in_.peek() != EOF && in_.get() != '\n') {
+        }
+        ++line_;
+      } else if (c2 == '*') {
+        in_.get();
+        int prev = 0;
+        for (;;) {
+          const int cur = in_.get();
+          if (cur == EOF)
+            throw std::runtime_error("verilog:" + std::to_string(line_) +
+                                     ": unterminated block comment");
+          if (cur == '\n') ++line_;
+          if (prev == '*' && cur == '/') break;
+          prev = cur;
+        }
+      } else {
+        in_.unget();  // restore the '/'
+        return;
+      }
+    }
+  }
+
+  std::istream& in_;
+  Token tok_;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lex_(in) {}
+
+  Network parse() {
+    expect_ident("module");
+    net_.name = expect_any_ident("module name");
+    if (peek_punct("(")) skip_port_list();
+    expect_punct(";");
+    while (lex_.peek().kind != Token::Kind::kEnd) {
+      const Token t = lex_.peek();
+      if (t.kind != Token::Kind::kIdent) lex_.fail("expected a statement");
+      if (t.text == "endmodule") {
+        lex_.take();
+        net_.validate();
+        return net_;
+      }
+      if (t.text == "input") {
+        parse_decl(net_.inputs);
+      } else if (t.text == "output") {
+        parse_decl(net_.outputs);
+      } else if (t.text == "wire") {
+        std::vector<std::string> ignored;
+        parse_decl(ignored);
+      } else if (t.text == "assign") {
+        parse_assign();
+      } else {
+        parse_gate();
+      }
+    }
+    lex_.fail("missing endmodule");
+  }
+
+ private:
+  void skip_port_list() {
+    expect_punct("(");
+    int depth = 1;
+    while (depth > 0) {
+      const Token t = lex_.take();
+      if (t.kind == Token::Kind::kEnd) lex_.fail("unterminated port list");
+      if (t.kind == Token::Kind::kPunct && t.text == "(") ++depth;
+      if (t.kind == Token::Kind::kPunct && t.text == ")") --depth;
+    }
+  }
+
+  void parse_decl(std::vector<std::string>& into) {
+    lex_.take();  // keyword
+    for (;;) {
+      into.push_back(expect_any_ident("signal name"));
+      const Token t = lex_.take();
+      if (t.kind == Token::Kind::kPunct && t.text == ";") return;
+      if (!(t.kind == Token::Kind::kPunct && t.text == ","))
+        lex_.fail("expected ',' or ';' in declaration");
+    }
+  }
+
+  void parse_gate() {
+    const std::string prim = expect_any_ident("gate type");
+    GateType type;
+    if (prim == "and") type = GateType::kAnd;
+    else if (prim == "or") type = GateType::kOr;
+    else if (prim == "nand") type = GateType::kNand;
+    else if (prim == "nor") type = GateType::kNor;
+    else if (prim == "xor") type = GateType::kXor;
+    else if (prim == "xnor") type = GateType::kXnor;
+    else if (prim == "buf") type = GateType::kBuf;
+    else if (prim == "not") type = GateType::kNot;
+    else lex_.fail("unknown gate primitive '" + prim + "'");
+
+    Gate gate;
+    gate.type = type;
+    if (lex_.peek().kind == Token::Kind::kIdent) gate.instance_name = lex_.take().text;
+    expect_punct("(");
+    gate.output = parse_terminal();
+    while (peek_punct(",")) {
+      lex_.take();
+      gate.inputs.push_back(parse_terminal());
+    }
+    expect_punct(")");
+    expect_punct(";");
+    net_.gates.push_back(std::move(gate));
+  }
+
+  /// A gate terminal: a signal name or a constant (materialized as a
+  /// constant-driver signal).
+  std::string parse_terminal() {
+    const Token t = lex_.take();
+    if (t.kind == Token::Kind::kIdent) return t.text;
+    if (t.kind == Token::Kind::kConst0) return const_signal(false);
+    if (t.kind == Token::Kind::kConst1) return const_signal(true);
+    lex_.fail("expected signal or constant");
+  }
+
+  std::string const_signal(bool value) {
+    const std::string name = value ? "_vlog_const1" : "_vlog_const0";
+    if (!const_made_[value]) {
+      Gate g;
+      g.type = value ? GateType::kConst1 : GateType::kConst0;
+      g.output = name;
+      net_.gates.push_back(g);
+      const_made_[value] = true;
+    }
+    return name;
+  }
+
+  // assign lhs = expr;  with precedence ~ > & > ^ > |.
+  void parse_assign() {
+    lex_.take();  // 'assign'
+    const std::string lhs = expect_any_ident("assign target");
+    expect_punct("=");
+    const std::string rhs = parse_or(lhs);
+    if (rhs != lhs) {
+      Gate g;
+      g.type = GateType::kBuf;
+      g.output = lhs;
+      g.inputs = {rhs};
+      net_.gates.push_back(std::move(g));
+    }
+    expect_punct(";");
+  }
+
+  std::string parse_or(const std::string& hint) {
+    std::string acc = parse_xor(hint);
+    while (peek_punct("|")) {
+      lex_.take();
+      acc = emit(GateType::kOr, {acc, parse_xor(hint)}, hint);
+    }
+    return acc;
+  }
+
+  std::string parse_xor(const std::string& hint) {
+    std::string acc = parse_and(hint);
+    while (peek_punct("^")) {
+      lex_.take();
+      acc = emit(GateType::kXor, {acc, parse_and(hint)}, hint);
+    }
+    return acc;
+  }
+
+  std::string parse_and(const std::string& hint) {
+    std::string acc = parse_unary(hint);
+    while (peek_punct("&")) {
+      lex_.take();
+      acc = emit(GateType::kAnd, {acc, parse_unary(hint)}, hint);
+    }
+    return acc;
+  }
+
+  std::string parse_unary(const std::string& hint) {
+    if (peek_punct("~")) {
+      lex_.take();
+      return emit(GateType::kNot, {parse_unary(hint)}, hint);
+    }
+    if (peek_punct("(")) {
+      lex_.take();
+      const std::string inner = parse_or(hint);
+      expect_punct(")");
+      return inner;
+    }
+    return parse_terminal();
+  }
+
+  std::string emit(GateType type, std::vector<std::string> ins, const std::string& hint) {
+    Gate g;
+    g.type = type;
+    g.output = hint + "$e" + std::to_string(temp_counter_++);
+    g.inputs = std::move(ins);
+    net_.gates.push_back(g);
+    return net_.gates.back().output;
+  }
+
+  bool peek_punct(const std::string& p) const {
+    return lex_.peek().kind == Token::Kind::kPunct && lex_.peek().text == p;
+  }
+
+  void expect_punct(const std::string& p) {
+    const Token t = lex_.take();
+    if (!(t.kind == Token::Kind::kPunct && t.text == p))
+      lex_.fail("expected '" + p + "', found '" + t.text + "'");
+  }
+
+  void expect_ident(const std::string& kw) {
+    const Token t = lex_.take();
+    if (!(t.kind == Token::Kind::kIdent && t.text == kw))
+      lex_.fail("expected '" + kw + "', found '" + t.text + "'");
+  }
+
+  std::string expect_any_ident(const std::string& what) {
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kIdent) lex_.fail("expected " + what);
+    return t.text;
+  }
+
+  Lexer lex_;
+  Network net_;
+  int temp_counter_ = 0;
+  bool const_made_[2] = {false, false};
+};
+
+}  // namespace
+
+Network parse_verilog(std::istream& in) { return Parser(in).parse(); }
+
+Network parse_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_verilog(in);
+}
+
+Network parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open verilog file: " + path);
+  return parse_verilog(in);
+}
+
+void write_verilog(std::ostream& out, const Network& net) {
+  out << "module " << net.name << " (";
+  bool first = true;
+  for (const auto& s : net.inputs) {
+    out << (first ? "" : ", ") << s;
+    first = false;
+  }
+  for (const auto& s : net.outputs) {
+    out << (first ? "" : ", ") << s;
+    first = false;
+  }
+  out << ");\n";
+  auto write_decl = [&](const char* kw, const std::vector<std::string>& names) {
+    for (const auto& s : names) out << "  " << kw << ' ' << s << ";\n";
+  };
+  write_decl("input", net.inputs);
+  write_decl("output", net.outputs);
+  // Wires: driven signals that are neither inputs nor outputs.
+  {
+    std::unordered_set<std::string> io(net.inputs.begin(), net.inputs.end());
+    io.insert(net.outputs.begin(), net.outputs.end());
+    for (const auto& g : net.gates)
+      if (!io.count(g.output)) out << "  wire " << g.output << ";\n";
+  }
+  for (const auto& g : net.gates) {
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      out << "  assign " << g.output << " = 1'b" << (g.type == GateType::kConst1 ? 1 : 0)
+          << ";\n";
+      continue;
+    }
+    out << "  " << gate_type_name(g.type) << ' ';
+    if (!g.instance_name.empty()) out << g.instance_name << ' ';
+    out << '(' << g.output;
+    for (const auto& in : g.inputs) out << ", " << in;
+    out << ");\n";
+  }
+  out << "endmodule\n";
+}
+
+void write_verilog_file(const std::string& path, const Network& net) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_verilog(out, net);
+}
+
+}  // namespace eco::net

@@ -1,0 +1,32 @@
+/// \file verilog.hpp
+/// \brief Reader/writer for the structural-Verilog subset used by the
+/// ICCAD'17 contest benchmarks (paper §4.1).
+///
+/// Supported constructs:
+///  - ``module name (ports); ... endmodule`` (one module per file),
+///  - ``input``/``output``/``wire`` declarations (comma lists),
+///  - primitive instantiations ``and g1 (out, in1, in2, ...);`` for
+///    and/or/nand/nor/xor/xnor/buf/not (instance name optional),
+///  - ``assign lhs = expr;`` with operators ``~ & ^ |``, parentheses and the
+///    constants ``1'b0``/``1'b1``,
+///  - ``//`` line comments and ``/* */`` block comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace eco::net {
+
+/// Parses one module. Throws std::runtime_error with a line number on
+/// malformed input. The resulting network is validated.
+Network parse_verilog(std::istream& in);
+Network parse_verilog_string(const std::string& text);
+Network parse_verilog_file(const std::string& path);
+
+/// Writes \p net as structural Verilog (primitives + constant assigns).
+void write_verilog(std::ostream& out, const Network& net);
+void write_verilog_file(const std::string& path, const Network& net);
+
+}  // namespace eco::net

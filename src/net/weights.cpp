@@ -1,0 +1,61 @@
+#include "net/weights.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace eco::net {
+
+WeightMap parse_weights(std::istream& in) {
+  WeightMap wm;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string signal;
+    int64_t weight = 0;
+    if (!(ls >> signal >> weight))
+      throw std::runtime_error("weights:" + std::to_string(line_no) + ": malformed line");
+    std::string rest;
+    if (ls >> rest)
+      throw std::runtime_error("weights:" + std::to_string(line_no) + ": trailing tokens");
+    if (!wm.weights.emplace(signal, weight).second)
+      throw std::runtime_error("weights:" + std::to_string(line_no) + ": duplicate signal '" +
+                               signal + "'");
+  }
+  return wm;
+}
+
+WeightMap parse_weights_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_weights(in);
+}
+
+WeightMap parse_weights_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open weight file: " + path);
+  return parse_weights(in);
+}
+
+void write_weights(std::ostream& out, const WeightMap& weights) {
+  // Deterministic output: sort by name.
+  std::vector<std::pair<std::string, int64_t>> sorted(weights.weights.begin(),
+                                                      weights.weights.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [name, weight] : sorted) out << name << ' ' << weight << '\n';
+}
+
+void write_weights_file(const std::string& path, const WeightMap& weights) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_weights(out, weights);
+}
+
+}  // namespace eco::net

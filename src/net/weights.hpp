@@ -1,0 +1,23 @@
+/// \file weights.hpp
+/// \brief Reader/writer for contest-style weight files: one
+/// ``<signal> <weight>`` pair per line (paper §4.1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace eco::net {
+
+/// Parses a weight file. Lines starting with '#' and blank lines are
+/// ignored. Throws std::runtime_error on malformed lines or duplicate
+/// signals.
+WeightMap parse_weights(std::istream& in);
+WeightMap parse_weights_string(const std::string& text);
+WeightMap parse_weights_file(const std::string& path);
+
+void write_weights(std::ostream& out, const WeightMap& weights);
+void write_weights_file(const std::string& path, const WeightMap& weights);
+
+}  // namespace eco::net

@@ -1,0 +1,98 @@
+#include "qbf/qbf2.hpp"
+
+#include <utility>
+
+#include "aig/ops.hpp"
+#include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace eco::qbf {
+
+Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
+                               const Qbf2Options& options) {
+  Qbf2Result result;
+  Deadline deadline(options.time_budget);
+  const uint32_t num_n = g.num_pis() - num_x;
+
+  // A-side: an accumulator AIG over the x variables; each refinement appends
+  // the cofactor root(x, n*) and asserts it in the A-solver.
+  aig::Aig acc;
+  std::vector<aig::Lit> acc_x;
+  acc_x.reserve(num_x);
+  for (uint32_t i = 0; i < num_x; ++i) acc_x.push_back(acc.add_pi(g.pi_name(i)));
+  sat::Solver a_solver;
+  a_solver.set_deadline(deadline);
+  cnf::Encoder a_enc(acc, a_solver);
+  // Make sure every x variable exists in the A-solver so models cover them.
+  for (uint32_t i = 0; i < num_x; ++i) a_enc.lit(acc_x[i]);
+
+  // B-side: one persistent solver holding ¬root(n, x*), queried under
+  // assumptions fixing x*.
+  sat::Solver b_solver;
+  b_solver.set_deadline(deadline);
+  cnf::Encoder b_enc(g, b_solver);
+  const sat::Lit b_root = b_enc.lit(root);
+  b_solver.add_unit(~b_root);
+  std::vector<sat::Lit> b_x, b_n;
+  for (uint32_t i = 0; i < num_x; ++i) b_x.push_back(b_enc.lit(g.pi_lit(i)));
+  for (uint32_t i = 0; i < num_n; ++i) b_n.push_back(b_enc.lit(g.pi_lit(num_x + i)));
+
+  auto budgeted = [&](sat::Solver& s) {
+    if (options.conflict_budget >= 0)
+      s.set_conflict_budget(options.conflict_budget);
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    if (deadline.expired()) return result;
+
+    // Propose x*.
+    budgeted(a_solver);
+    const sat::LBool a_verdict = a_solver.solve();
+    if (a_verdict.is_undef()) return result;
+    if (a_verdict.is_false()) {
+      result.status = Qbf2Status::kFalse;
+      return result;
+    }
+    std::vector<bool> x_star(num_x);
+    for (uint32_t i = 0; i < num_x; ++i) x_star[i] = a_solver.model_value(a_enc.lit(acc_x[i]));
+
+    // Check ∃n ¬root(n, x*).
+    sat::LitVec assumps;
+    assumps.reserve(num_x);
+    for (uint32_t i = 0; i < num_x; ++i) assumps.push_back(b_x[i] ^ !x_star[i]);
+    budgeted(b_solver);
+    const sat::LBool b_verdict = b_solver.solve(assumps);
+    if (b_verdict.is_undef()) return result;
+    if (b_verdict.is_false()) {
+      result.status = Qbf2Status::kTrue;
+      result.witness_x = std::move(x_star);
+      return result;
+    }
+    std::vector<bool> n_star(num_n);
+    for (uint32_t i = 0; i < num_n; ++i) n_star[i] = b_solver.model_value(b_n[i]);
+
+    // Refine A with the cofactor root(x, n*).
+    std::vector<aig::Lit> pi_map(g.num_pis());
+    for (uint32_t i = 0; i < num_x; ++i) pi_map[i] = acc_x[i];
+    for (uint32_t i = 0; i < num_n; ++i)
+      pi_map[num_x + i] = n_star[i] ? aig::kLitTrue : aig::kLitFalse;
+    std::vector<aig::Lit> map(g.num_nodes(), aig::kLitInvalid);
+    map[0] = aig::kLitFalse;
+    for (uint32_t i = 0; i < g.num_pis(); ++i) map[g.pi_node(i)] = pi_map[i];
+    const aig::Lit roots[] = {root};
+    const aig::Lit cof = aig::transfer(g, acc, roots, map)[0];
+    a_solver.add_unit(a_enc.lit(cof));
+    if (!a_solver.okay()) {
+      result.status = Qbf2Status::kFalse;
+      result.moves.push_back(std::move(n_star));
+      return result;
+    }
+    result.moves.push_back(std::move(n_star));
+  }
+  return result;
+}
+
+}  // namespace eco::qbf

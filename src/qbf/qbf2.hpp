@@ -1,0 +1,55 @@
+/// \file qbf2.hpp
+/// \brief CEGAR solver for 2QBF instances  ∃x ∀n. M(n, x)  given as an AIG
+/// (paper §3.2 "command qbf in ABC", §3.6.2, refs [1, 2]).
+///
+/// The ECO feasibility question is exactly this formula on the ECO miter:
+/// it is TRUE iff some input x mismatches under every assignment of the
+/// targets (ECO impossible), FALSE iff the ECO has a solution.
+///
+/// The CEGAR loop alternates two solvers:
+///  - the A-solver proposes a candidate x* satisfying all constraints
+///    collected so far (conjunction of cofactors M(n*_j, x));
+///  - the B-solver checks ∃n. ¬M(n, x*). If UNSAT, x* is a witness and the
+///    formula is TRUE. If SAT, the countermove n* refines A.
+///
+/// When A becomes UNSAT the formula is FALSE and the collected countermoves
+/// n*_1..n*_m are a *Herbrand-style certificate*: for every x some move j
+/// has ¬M(n*_j, x). The structural multi-target patch (paper §3.6.2) is
+/// built directly from these m moves — m miter copies instead of the naive
+/// 2^k - 1 cofactor expansion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace eco::qbf {
+
+enum class Qbf2Status {
+  kTrue,     ///< ∃x ∀n M — witness_x is the witness (ECO infeasible)
+  kFalse,    ///< formula false — moves are the certificate (ECO feasible)
+  kUnknown,  ///< budget exhausted
+};
+
+struct Qbf2Options {
+  int max_iterations = 10000;
+  int64_t conflict_budget = -1;  ///< per SAT query (< 0 unlimited)
+  double time_budget = 0;        ///< seconds (<= 0 unlimited)
+};
+
+struct Qbf2Result {
+  Qbf2Status status = Qbf2Status::kUnknown;
+  /// For kTrue: values of the x variables.
+  std::vector<bool> witness_x;
+  /// For kFalse: the countermoves, each a full assignment of the n vars.
+  std::vector<std::vector<bool>> moves;
+  int iterations = 0;
+};
+
+/// Solves ∃x ∀n root(x, n) where x are the PIs of \p g with indices in
+/// [0, num_x) and n the PIs with indices in [num_x, num_pis).
+Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
+                               const Qbf2Options& options = {});
+
+}  // namespace eco::qbf

@@ -1,0 +1,69 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eco::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string tok;
+  bool have_header = false;
+  int declared_clauses = 0;
+  LitVec current;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      if (!(in >> fmt >> cnf.num_vars >> declared_clauses) || fmt != "cnf")
+        throw std::runtime_error("dimacs: malformed problem line");
+      have_header = true;
+      continue;
+    }
+    int value = 0;
+    try {
+      value = std::stoi(tok);
+    } catch (const std::exception&) {
+      throw std::runtime_error("dimacs: unexpected token '" + tok + "'");
+    }
+    if (!have_header) throw std::runtime_error("dimacs: clause before problem line");
+    if (value == 0) {
+      cnf.clauses.push_back(current);
+      current.clear();
+    } else {
+      const int v = std::abs(value) - 1;
+      if (v >= cnf.num_vars) throw std::runtime_error("dimacs: variable out of range");
+      current.push_back(mk_lit(v, value < 0));
+    }
+  }
+  if (!current.empty()) throw std::runtime_error("dimacs: unterminated clause");
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const Cnf& cnf) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    out << "0\n";
+  }
+}
+
+bool load_into(Solver& solver, const Cnf& cnf) {
+  while (solver.num_vars() < cnf.num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& clause : cnf.clauses) ok = solver.add_clause(clause) && ok;
+  return ok && solver.okay();
+}
+
+}  // namespace eco::sat

@@ -1,0 +1,30 @@
+/// \file dimacs.hpp
+/// \brief DIMACS CNF reading/writing, used by tests and debugging tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace eco::sat {
+
+/// A CNF held as a plain clause list (variables are 0-based internally).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<LitVec> clauses;
+};
+
+/// Parses DIMACS text. Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+/// Writes DIMACS text.
+void write_dimacs(std::ostream& out, const Cnf& cnf);
+
+/// Loads all clauses of \p cnf into \p solver, creating variables as needed.
+/// Returns false if the solver became UNSAT while loading.
+bool load_into(Solver& solver, const Cnf& cnf);
+
+}  // namespace eco::sat

@@ -1,0 +1,94 @@
+#include "sat/minimize.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eco::sat {
+
+namespace {
+
+/// Solves under the current context plus the assumptions in
+/// [\p lo, \p hi) of \p a. Returns the solver verdict.
+LBool query(Solver& solver, const LitVec& ctx, const LitVec& a, size_t lo, size_t hi,
+            MinimizeStats* stats) {
+  LitVec all(ctx);
+  all.insert(all.end(), a.begin() + static_cast<long>(lo), a.begin() + static_cast<long>(hi));
+  if (stats) ++stats->sat_calls;
+  return solver.solve(all);
+}
+
+/// Recursive core of Algorithm 1 operating on a[lo, hi).
+/// Kept assumptions are moved to the front of the range; the count is
+/// returned. `ctx` carries the incrementally-assumed outer literals.
+int minimize_rec(Solver& solver, LitVec& a, size_t lo, size_t hi, LitVec& ctx,
+                 MinimizeStats* stats) {
+  const size_t n = hi - lo;
+  if (n == 0) return 0;
+  if (n == 1) {
+    // If there is only one assumption, check whether it is needed.
+    const LBool res = query(solver, ctx, a, lo, lo, stats);
+    if (res.is_false()) return 0;  // UNSAT without it: not needed
+    return 1;                      // needed (or budget expired: keep, stay safe)
+  }
+
+  // Divide assumptions into a lower and a higher part. The lower part holds
+  // the cheaper entries when the caller ordered A by increasing cost.
+  const size_t n_low = (n + 1) / 2;
+  const size_t mid = lo + n_low;
+
+  // Try the lower part without the higher part.
+  if (query(solver, ctx, a, lo, mid, stats).is_false())
+    return minimize_rec(solver, a, lo, mid, ctx, stats);
+
+  // Find a solution for A_high while assuming all of A_low.
+  ctx.insert(ctx.end(), a.begin() + static_cast<long>(lo), a.begin() + static_cast<long>(mid));
+  const int s_high = minimize_rec(solver, a, mid, hi, ctx, stats);
+  ctx.resize(ctx.size() - n_low);
+
+  // Reorder: place the kept entries of A_high before all entries of A_low.
+  std::rotate(a.begin() + static_cast<long>(lo), a.begin() + static_cast<long>(mid),
+              a.begin() + static_cast<long>(mid) + s_high);
+
+  // Minimize A_low while assuming the kept part of A_high.
+  ctx.insert(ctx.end(), a.begin() + static_cast<long>(lo),
+             a.begin() + static_cast<long>(lo) + s_high);
+  const int s_low = minimize_rec(solver, a, lo + static_cast<size_t>(s_high),
+                                 lo + static_cast<size_t>(s_high) + n_low, ctx, stats);
+  ctx.resize(ctx.size() - static_cast<size_t>(s_high));
+
+  return s_high + s_low;
+}
+
+}  // namespace
+
+int minimize_assumptions(Solver& solver, LitVec& assumps, LitVec& context,
+                         MinimizeStats* stats) {
+  return minimize_rec(solver, assumps, 0, assumps.size(), context, stats);
+}
+
+int minimize_assumptions(Solver& solver, LitVec& assumps, MinimizeStats* stats) {
+  LitVec ctx;
+  return minimize_assumptions(solver, assumps, ctx, stats);
+}
+
+int minimize_assumptions_naive(Solver& solver, LitVec& assumps, LitVec& context,
+                               MinimizeStats* stats) {
+  // Deletion loop: walk from the most expensive (last) entry down, dropping
+  // each assumption whose removal keeps the formula UNSAT.
+  LitVec kept(assumps);
+  for (size_t i = kept.size(); i-- > 0;) {
+    LitVec trial(context);
+    for (size_t j = 0; j < kept.size(); ++j)
+      if (j != i) trial.push_back(kept[j]);
+    if (stats) ++stats->sat_calls;
+    if (solver.solve(trial).is_false()) kept.erase(kept.begin() + static_cast<long>(i));
+  }
+  // Write back: kept prefix, then the discarded entries.
+  LitVec out(kept);
+  for (const Lit l : assumps)
+    if (std::find(kept.begin(), kept.end(), l) == kept.end()) out.push_back(l);
+  assumps = std::move(out);
+  return static_cast<int>(kept.size());
+}
+
+}  // namespace eco::sat

@@ -1,0 +1,49 @@
+/// \file minimize.hpp
+/// \brief Procedure ``minimize_assumptions`` (paper Algorithm 1) and the
+/// naive linear reference implementation used as its baseline.
+///
+/// Given a solver whose clause set F is UNSAT under a set of assumption
+/// literals A, ``minimize_assumptions`` computes a *minimal* subset of A
+/// that keeps F UNSAT, using a divide-and-conquer recursion whose SAT-call
+/// complexity is O(max{log N, M}) for N assumptions of which M are kept —
+/// compared to O(N) for the naive one-at-a-time loop. The routine is closely
+/// related to LEXUNSAT: when A is ordered by increasing cost, the low-cost
+/// half is preferred, which is exactly how the ECO engine obtains cost-aware
+/// supports (paper §3.4.1) and cost-aware prime cubes (paper §3.5).
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace eco::sat {
+
+/// Statistics of one minimization run.
+struct MinimizeStats {
+  int sat_calls = 0;
+};
+
+/// Minimizes the assumption set \p assumps in place (paper Algorithm 1).
+///
+/// \pre solve(context + assumps) is UNSAT on \p solver.
+/// \param context  extra assumption literals that are always assumed and not
+///                 subject to minimization (may be empty). Restored on exit.
+/// \returns number S of kept assumptions; after the call the first S entries
+///          of \p assumps form the minimal subset (remaining entries are the
+///          discarded ones, in unspecified order).
+///
+/// If a solver budget expires during a query, the affected assumptions are
+/// conservatively kept, so the returned prefix is always sufficient for
+/// unsatisfiability.
+int minimize_assumptions(Solver& solver, LitVec& assumps, LitVec& context,
+                         MinimizeStats* stats = nullptr);
+
+/// Convenience overload with an empty context.
+int minimize_assumptions(Solver& solver, LitVec& assumps, MinimizeStats* stats = nullptr);
+
+/// Naive deletion-based minimization: tries to drop assumptions one at a
+/// time starting from the *last* entry (so with cost-ascending order the
+/// expensive ones are dropped first). Same contract as
+/// ``minimize_assumptions``; used by the ablation benchmark.
+int minimize_assumptions_naive(Solver& solver, LitVec& assumps, LitVec& context,
+                               MinimizeStats* stats = nullptr);
+
+}  // namespace eco::sat

@@ -1,0 +1,655 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace eco::sat {
+
+// ---------------------------------------------------------------------------
+// VarHeap: indexed binary max-heap ordered by activity.
+// ---------------------------------------------------------------------------
+
+void Solver::VarHeap::insert(Var v, const std::vector<double>& act) {
+  if (contains(v)) return;
+  index_[static_cast<size_t>(v)] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(v);
+  sift_up(heap_.size() - 1, act);
+}
+
+void Solver::VarHeap::update(Var v, const std::vector<double>& act) {
+  if (!contains(v)) return;
+  const auto i = static_cast<size_t>(index_[static_cast<size_t>(v)]);
+  sift_up(i, act);
+  sift_down(static_cast<size_t>(index_[static_cast<size_t>(v)]), act);
+}
+
+Var Solver::VarHeap::pop(const std::vector<double>& act) {
+  const Var top = heap_[0];
+  index_[static_cast<size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    index_[static_cast<size_t>(heap_[0])] = 0;
+    sift_down(0, act);
+  }
+  return top;
+}
+
+void Solver::VarHeap::sift_up(size_t i, const std::vector<double>& act) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (act[static_cast<size_t>(heap_[parent])] >= act[static_cast<size_t>(v)]) break;
+    heap_[i] = heap_[parent];
+    index_[static_cast<size_t>(heap_[i])] = static_cast<int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  index_[static_cast<size_t>(v)] = static_cast<int32_t>(i);
+}
+
+void Solver::VarHeap::sift_down(size_t i, const std::vector<double>& act) {
+  const Var v = heap_[i];
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const size_t right = left + 1;
+    size_t best = left;
+    if (right < n &&
+        act[static_cast<size_t>(heap_[right])] > act[static_cast<size_t>(heap_[left])])
+      best = right;
+    if (act[static_cast<size_t>(heap_[best])] <= act[static_cast<size_t>(v)]) break;
+    heap_[i] = heap_[best];
+    index_[static_cast<size_t>(heap_[i])] = static_cast<int32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  index_[static_cast<size_t>(v)] = static_cast<int32_t>(i);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / problem building
+// ---------------------------------------------------------------------------
+
+Solver::Solver() { arena_.reserve(1024 * 64); }
+
+Var Solver::new_var(bool decision, bool default_polarity) {
+  const Var v = num_vars();
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assigns_.push_back(kUndef);
+  polarity_.push_back(default_polarity ? 1 : 0);
+  decision_.push_back(decision ? 1 : 0);
+  vardata_.push_back(VarData{});
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  lbd_seen_.push_back(0);
+  in_core_mark_.push_back(0);
+  order_heap_.grow(v + 1);
+  if (decision) order_heap_.insert(v, activity_);
+  return v;
+}
+
+CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
+  const CRef ref = static_cast<CRef>(arena_.size());
+  Header h{};
+  h.learnt = learnt ? 1u : 0u;
+  h.reloced = 0;
+  h.size = static_cast<uint32_t>(lits.size());
+  arena_.push_back(std::bit_cast<uint32_t>(h));
+  for (const Lit l : lits) arena_.push_back(static_cast<uint32_t>(l.raw()));
+  if (learnt) {
+    arena_.push_back(std::bit_cast<uint32_t>(0.0f));
+    arena_.push_back(0);  // LBD
+  }
+  return ref;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  LitVec ps(lits.begin(), lits.end());
+  std::sort(ps.begin(), ps.end());
+  // Remove duplicates, satisfied clauses, and false literals.
+  LitVec out;
+  Lit prev = kLitUndef;
+  for (const Lit l : ps) {
+    assert(l.var() >= 0 && l.var() < num_vars());
+    if (value(l).is_true() || l == ~prev) return true;  // clause satisfied / tautology
+    if (!value(l).is_false() && l != prev) {
+      out.push_back(l);
+      prev = l;
+    }
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(out[0]);
+    ok_ = (propagate() == kCRefUndef);
+    return ok_;
+  }
+  const CRef ref = alloc_clause(out, /*learnt=*/false);
+  clauses_.push_back(ref);
+  attach_clause(ref);
+  return true;
+}
+
+void Solver::attach_clause(CRef ref) {
+  auto c = clause(ref);
+  assert(c.size() > 1);
+  watches_[static_cast<size_t>((~c[0]).raw())].push_back(Watcher{ref, c[1]});
+  watches_[static_cast<size_t>((~c[1]).raw())].push_back(Watcher{ref, c[0]});
+}
+
+void Solver::detach_clause(CRef ref) {
+  auto c = clause(ref);
+  for (const Lit w : {~c[0], ~c[1]}) {
+    auto& ws = watches_[static_cast<size_t>(w.raw())];
+    for (size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == ref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::remove_clause(CRef ref) {
+  detach_clause(ref);
+  auto c = clause(ref);
+  // Unlock if the clause is the reason of its first literal.
+  const Var v0 = c[0].var();
+  if (reason(v0) == ref) vardata_[static_cast<size_t>(v0)].reason = kCRefUndef;
+  c.header().reloced = 1;  // mark dead; storage reclaimed on next rebuild
+  wasted_ += c.size() + 1 + (c.learnt() ? 2 : 0);
+}
+
+bool Solver::satisfied(CRef ref) noexcept {
+  auto c = clause(ref);
+  for (uint32_t i = 0; i < c.size(); ++i)
+    if (value(c[i]).is_true() && level(c[i].var()) == 0) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Assignment / propagation
+// ---------------------------------------------------------------------------
+
+void Solver::unchecked_enqueue(Lit l, CRef from) {
+  assert(value(l).is_undef());
+  assigns_[static_cast<size_t>(l.var())] = LBool(!l.sign());
+  vardata_[static_cast<size_t>(l.var())] = VarData{from, decision_level()};
+  trail_.push_back(l);
+}
+
+CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<size_t>(p.raw())];
+    size_t i = 0, j = 0;
+    const size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i];
+      if (value(w.blocker).is_true()) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      auto c = clause(w.cref);
+      // Ensure the false literal is at position 1.
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) {
+        c[0] = c[1];
+        c[1] = false_lit;
+      }
+      ++i;
+      const Lit first = c[0];
+      if (first != w.blocker && value(first).is_true()) {
+        ws[j++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (uint32_t k = 2; k < c.size(); ++k) {
+        if (!value(c[k]).is_false()) {
+          c[1] = c[k];
+          c[k] = false_lit;
+          watches_[static_cast<size_t>((~c[1]).raw())].push_back(Watcher{w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = Watcher{w.cref, first};
+      if (value(first).is_false()) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        while (i < n) ws[j++] = ws[i++];
+      } else {
+        unchecked_enqueue(first, w.cref);
+      }
+    }
+    ws.resize(j);
+    if (confl != kCRefUndef) break;
+  }
+  return confl;
+}
+
+void Solver::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int bound = trail_lim_[static_cast<size_t>(target_level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = trail_[static_cast<size_t>(i)].var();
+    polarity_[static_cast<size_t>(v)] = trail_[static_cast<size_t>(i)].sign() ? 1 : 0;
+    assigns_[static_cast<size_t>(v)] = kUndef;
+    if (decision_[static_cast<size_t>(v)] && !order_heap_.contains(v))
+      order_heap_.insert(v, activity_);
+  }
+  qhead_ = static_cast<size_t>(bound);
+  trail_.resize(static_cast<size_t>(bound));
+  trail_lim_.resize(static_cast<size_t>(target_level));
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_heap_.empty()) {
+    const Var v = order_heap_.pop(activity_);
+    if (value(v).is_undef() && decision_[static_cast<size_t>(v)])
+      return mk_lit(v, polarity_[static_cast<size_t>(v)] != 0);
+  }
+  return kLitUndef;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+// ---------------------------------------------------------------------------
+
+void Solver::var_bump_activity(Var v) {
+  auto& a = activity_[static_cast<size_t>(v)];
+  a += var_inc_;
+  if (a > 1e100) {
+    for (auto& act : activity_) act *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.update(v, activity_);
+}
+
+void Solver::cla_bump_activity(ClauseRefView c) {
+  float& a = c.activity();
+  a += static_cast<float>(cla_inc_);
+  if (a > 1e20f) {
+    for (const CRef ref : learnts_) clause(ref).activity() *= 1e-20f;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  ++lbd_stamp_;
+  uint32_t count = 0;
+  for (const Lit l : lits) {
+    const int lv = level(l.var());
+    if (lv > 0 && lbd_seen_[static_cast<size_t>(lv % lbd_seen_.size())] != lbd_stamp_) {
+      lbd_seen_[static_cast<size_t>(lv % lbd_seen_.size())] = lbd_stamp_;
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Solver::analyze(CRef confl, LitVec& out_learnt, int& out_btlevel, uint32_t& out_lbd) {
+  int path_count = 0;
+  Lit p = kLitUndef;
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // placeholder for the asserting literal
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  do {
+    assert(confl != kCRefUndef);
+    auto c = clause(confl);
+    if (c.learnt()) cla_bump_activity(c);
+    for (uint32_t k = (p == kLitUndef) ? 0 : 1; k < c.size(); ++k) {
+      const Lit q = c[k];
+      const Var v = q.var();
+      if (!seen_[static_cast<size_t>(v)] && level(v) > 0) {
+        var_bump_activity(v);
+        seen_[static_cast<size_t>(v)] = 1;
+        if (level(v) >= decision_level())
+          ++path_count;
+        else
+          out_learnt.push_back(q);
+      }
+    }
+    // Select the next literal on the trail to expand.
+    while (!seen_[static_cast<size_t>(trail_[static_cast<size_t>(index)].var())]) --index;
+    p = trail_[static_cast<size_t>(index--)];
+    confl = reason(p.var());
+    seen_[static_cast<size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Minimize with self-subsumption over reason clauses (recursive check).
+  analyze_toclear_ = out_learnt;
+  uint32_t abstract_level = 0;
+  for (size_t i = 1; i < out_learnt.size(); ++i)
+    abstract_level |= 1u << (static_cast<uint32_t>(level(out_learnt[i].var())) & 31u);
+  size_t keep = 1;
+  for (size_t i = 1; i < out_learnt.size(); ++i) {
+    if (reason(out_learnt[i].var()) == kCRefUndef || !lit_redundant(out_learnt[i], abstract_level))
+      out_learnt[keep++] = out_learnt[i];
+  }
+  stats_.learnts_literals += out_learnt.size();
+  out_learnt.resize(keep);
+
+  // Find the backtrack level: the second-highest level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t i = 2; i < out_learnt.size(); ++i)
+      if (level(out_learnt[i].var()) > level(out_learnt[max_i].var())) max_i = i;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level(out_learnt[1].var());
+  }
+  out_lbd = compute_lbd(out_learnt);
+
+  for (const Lit l : analyze_toclear_) seen_[static_cast<size_t>(l.var())] = 0;
+}
+
+bool Solver::lit_redundant(Lit l, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit cur = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason(cur.var()) != kCRefUndef);
+    auto c = clause(reason(cur.var()));
+    for (uint32_t i = 1; i < c.size(); ++i) {
+      const Lit q = c[i];
+      const Var v = q.var();
+      if (seen_[static_cast<size_t>(v)] || level(v) == 0) continue;
+      if (reason(v) != kCRefUndef &&
+          ((1u << (static_cast<uint32_t>(level(v)) & 31u)) & abstract_levels) != 0) {
+        seen_[static_cast<size_t>(v)] = 1;
+        analyze_stack_.push_back(q);
+        analyze_toclear_.push_back(q);
+      } else {
+        // Not removable: undo the marks added during this check.
+        for (size_t j = top; j < analyze_toclear_.size(); ++j)
+          seen_[static_cast<size_t>(analyze_toclear_[j].var())] = 0;
+        analyze_toclear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p, LitVec& out_core) {
+  // Computes the subset of assumptions sufficient for the conflict, as the
+  // set of *negations* of trail decisions reachable from ~p's implication.
+  out_core.clear();
+  out_core.push_back(p);
+  if (decision_level() == 0) return;
+  seen_[static_cast<size_t>(p.var())] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_lim_[0]; --i) {
+    const Var x = trail_[static_cast<size_t>(i)].var();
+    if (!seen_[static_cast<size_t>(x)]) continue;
+    if (reason(x) == kCRefUndef) {
+      assert(level(x) > 0);
+      out_core.push_back(~trail_[static_cast<size_t>(i)]);
+    } else {
+      auto c = clause(reason(x));
+      for (uint32_t j = 1; j < c.size(); ++j)
+        if (level(c[j].var()) > 0) seen_[static_cast<size_t>(c[j].var())] = 1;
+    }
+    seen_[static_cast<size_t>(x)] = 0;
+  }
+  seen_[static_cast<size_t>(p.var())] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Learnt database maintenance & garbage collection
+// ---------------------------------------------------------------------------
+
+void Solver::reduce_db() {
+  ++stats_.db_reductions;
+  // Order: high LBD first, then low activity — those get removed.
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    auto ca = clause(a);
+    auto cb = clause(b);
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
+  });
+  const double extra_lim = cla_inc_ / std::max<size_t>(learnts_.size(), 1);
+  size_t keep = 0;
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    auto c = clause(learnts_[i]);
+    const bool locked =
+        reason(c[0].var()) == learnts_[i] && value(c[0]).is_true();
+    const bool precious = c.size() <= 2 || c.lbd() <= 2 || locked;
+    if (!precious && (i < learnts_.size() / 2 || c.activity() < extra_lim)) {
+      remove_clause(learnts_[i]);
+    } else {
+      learnts_[keep++] = learnts_[i];
+    }
+  }
+  learnts_.resize(keep);
+  maybe_garbage_collect();
+}
+
+void Solver::maybe_garbage_collect() {
+  if (wasted_ * 2 < arena_.size() || arena_.size() < (1u << 16)) return;
+  std::vector<uint32_t> fresh;
+  fresh.reserve(arena_.size() - wasted_);
+  auto reloc = [&](CRef& ref) {
+    auto c = clause(ref);
+    if (c.header().reloced) {
+      ref = static_cast<CRef>(static_cast<uint32_t>(c[0].raw()));
+      return;
+    }
+    const CRef nref = static_cast<CRef>(fresh.size());
+    const uint32_t total = 1 + c.size() + (c.learnt() ? 2u : 0u);
+    for (uint32_t i = 0; i < total; ++i) fresh.push_back(arena_[ref + i]);
+    c.header().reloced = 1;
+    c[0] = Lit::from_raw(static_cast<int32_t>(nref));
+    ref = nref;
+  };
+  for (auto& ws : watches_)
+    for (auto& w : ws) reloc(w.cref);
+  for (const Lit l : trail_) {
+    auto& r = vardata_[static_cast<size_t>(l.var())].reason;
+    if (r != kCRefUndef) {
+      // Only relocate reasons that are still live (watched clauses are live;
+      // a locked reason is never removed, so it is watched and already moved
+      // or will be moved here).
+      reloc(r);
+    }
+  }
+  for (auto& ref : clauses_) reloc(ref);
+  for (auto& ref : learnts_) reloc(ref);
+  arena_.swap(fresh);
+  wasted_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+bool Solver::within_budget() const noexcept {
+  // Throttle the clock read: once every 64 checks is ~ once per 64 decisions.
+  // Expiration latches so callers polling after kUndef see a stable verdict.
+  if (deadline_check_countdown_ == 0) {
+    deadline_check_countdown_ = 64;
+    if (deadline_.expired()) deadline_expired_ = true;
+  }
+  --deadline_check_countdown_;
+  if (deadline_expired_) return false;
+  if (conflict_budget_ >= 0 &&
+      stats_.conflicts - conflicts_at_solve_start_ >= static_cast<uint64_t>(conflict_budget_))
+    return false;
+  if (propagation_budget_ >= 0 &&
+      stats_.propagations - propagations_at_solve_start_ >=
+          static_cast<uint64_t>(propagation_budget_))
+    return false;
+  return true;
+}
+
+LBool Solver::search(int64_t conflicts_before_restart) {
+  int64_t conflict_count = 0;
+  LitVec learnt;
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      ++stats_.conflicts;
+      ++conflict_count;
+      if (decision_level() == 0) {
+        core_.clear();  // contradiction independent of assumptions
+        return kFalse;
+      }
+      int bt_level = 0;
+      uint32_t lbd = 0;
+      analyze(confl, learnt, bt_level, lbd);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0]);
+      } else {
+        const CRef ref = alloc_clause(learnt, /*learnt=*/true);
+        clause(ref).lbd() = lbd;
+        learnts_.push_back(ref);
+        attach_clause(ref);
+        cla_bump_activity(clause(ref));
+        unchecked_enqueue(learnt[0], ref);
+      }
+      var_decay_activity();
+      cla_decay_activity();
+
+      if (--learnt_size_adjust_cnt_ == 0) {
+        learnt_size_adjust_confl_ *= 1.5;
+        learnt_size_adjust_cnt_ = static_cast<int>(learnt_size_adjust_confl_);
+        max_learnts_ *= 1.1;
+      }
+      continue;
+    }
+
+    // No conflict.
+    if (conflict_count >= conflicts_before_restart || !within_budget()) {
+      cancel_until(0);
+      return kUndef;
+    }
+    if (static_cast<double>(learnts_.size()) - static_cast<double>(trail_.size()) >=
+        max_learnts_)
+      reduce_db();
+
+    Lit next = kLitUndef;
+    while (decision_level() < static_cast<int>(assumptions_.size())) {
+      const Lit p = assumptions_[static_cast<size_t>(decision_level())];
+      if (value(p).is_true()) {
+        new_decision_level();  // dummy level: assumption already implied
+      } else if (value(p).is_false()) {
+        analyze_final(~p, core_);
+        return kFalse;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      ++stats_.decisions;
+      next = pick_branch_lit();
+      if (next == kLitUndef) return kTrue;  // all variables assigned: model
+    }
+    new_decision_level();
+    unchecked_enqueue(next);
+  }
+}
+
+double Solver::luby(double y, int i) {
+  int size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  ++stats_.solves;
+  model_.clear();
+  core_.clear();
+  std::fill(in_core_mark_.begin(), in_core_mark_.end(), 0);
+  if (!ok_) return kFalse;
+
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflicts_at_solve_start_ = stats_.conflicts;
+  propagations_at_solve_start_ = stats_.propagations;
+
+  if (max_learnts_ <= 0)
+    max_learnts_ = std::max(static_cast<double>(clauses_.size()) / 3.0, 1000.0);
+
+  LBool status = kUndef;
+  for (int restarts = 0; status.is_undef(); ++restarts) {
+    const double budget = luby(2.0, restarts) * 100.0;
+    status = search(static_cast<int64_t>(budget));
+    if (status.is_undef() && !within_budget()) break;
+    if (status.is_undef()) ++stats_.restarts;
+  }
+
+  if (status.is_true()) {
+    model_.assign(assigns_.begin(), assigns_.end());
+  } else if (status.is_false()) {
+    // Convert the final conflict (negated assumptions) into core literals in
+    // their assumed polarity.
+    LitVec as_assumed;
+    as_assumed.reserve(core_.size());
+    for (const Lit l : core_) {
+      as_assumed.push_back(~l);
+      in_core_mark_[static_cast<size_t>(l.var())] = 1;
+    }
+    core_ = std::move(as_assumed);
+  }
+  cancel_until(0);
+  assumptions_.clear();
+  return status;
+}
+
+bool Solver::model_value(Lit l) const {
+  const auto v = static_cast<size_t>(l.var());
+  if (v >= model_.size() || model_[v].is_undef()) return l.sign();
+  return model_[v].is_true() != l.sign();
+}
+
+bool Solver::in_core(Lit l) const {
+  const auto v = static_cast<size_t>(l.var());
+  if (v >= in_core_mark_.size() || !in_core_mark_[v]) return false;
+  for (const Lit c : core_)
+    if (c == l) return true;
+  return false;
+}
+
+void Solver::set_polarity(Var v, bool negated_first) {
+  polarity_[static_cast<size_t>(v)] = negated_first ? 1 : 0;
+}
+
+LBool Solver::fixed_value(Var v) const {
+  if (value(v).is_undef()) return kUndef;
+  if (level(v) != 0) return kUndef;
+  return value(v);
+}
+
+}  // namespace eco::sat

@@ -1,0 +1,271 @@
+/// \file solver.hpp
+/// \brief A from-scratch CDCL SAT solver in the MiniSat tradition.
+///
+/// The solver implements the features the ECO engine depends on:
+///  - incremental clause addition across solve calls,
+///  - solving under assumptions,
+///  - extraction of the final conflict over assumptions (``analyze_final``),
+///    which the paper's baseline configuration uses for support computation,
+///  - conflict and propagation budgets so the engine can fall back to the
+///    structural patch path on timeout (paper §3.2, §3.6).
+///
+/// Algorithmically it is a standard CDCL solver: two-watched-literal
+/// propagation, VSIDS decision heuristic with an indexed heap, phase saving,
+/// Luby restarts, first-UIP conflict analysis with recursive clause
+/// minimization, and activity/LBD-driven learnt-database reduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/timer.hpp"
+
+namespace eco::sat {
+
+/// Aggregate solver statistics, readable at any time.
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learnts_literals = 0;
+  uint64_t db_reductions = 0;
+  uint64_t solves = 0;
+};
+
+/// CDCL SAT solver.
+class Solver {
+ public:
+  Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- Problem construction -------------------------------------------
+
+  /// Creates a fresh variable and returns its index.
+  Var new_var(bool decision = true, bool default_polarity = false);
+
+  /// Number of variables created so far.
+  int num_vars() const noexcept { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. Returns false if the solver became provably UNSAT
+  /// (empty clause or top-level conflict). Duplicate/true literals handled.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool add_unit(Lit l) { return add_clause({l}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// True while the clause database is not known to be contradictory.
+  bool okay() const noexcept { return ok_; }
+
+  // ---- Solving ---------------------------------------------------------
+
+  /// Solves under the given assumptions.
+  /// \returns kTrue (SAT), kFalse (UNSAT), or kUndef if a budget ran out.
+  LBool solve(std::span<const Lit> assumptions = {});
+  LBool solve(std::initializer_list<Lit> assumptions) {
+    return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()));
+  }
+
+  /// Model value of a literal after a kTrue result. Unassigned model
+  /// variables (eliminated by simplification) default to false.
+  bool model_value(Lit l) const;
+  bool model_value(Var v) const { return model_value(mk_lit(v)); }
+
+  /// After a kFalse result under assumptions: the subset of the assumption
+  /// literals that the proof actually used (the "final conflict" core).
+  /// Literals appear in their assumed polarity.
+  const LitVec& core() const noexcept { return core_; }
+
+  /// True if the assumption literal \p l is in the last core.
+  bool in_core(Lit l) const;
+
+  // ---- Budgets ---------------------------------------------------------
+
+  /// Limits the number of conflicts for subsequent solve() calls.
+  /// Zero or negative clears the budget.
+  void set_conflict_budget(int64_t conflicts) noexcept { conflict_budget_ = conflicts; }
+
+  /// Limits the number of propagations for subsequent solve() calls.
+  void set_propagation_budget(int64_t props) noexcept { propagation_budget_ = props; }
+
+  /// Sets an absolute wall-clock deadline checked during search; solve()
+  /// returns kUndef once it expires. Persists across solve() calls until
+  /// replaced. An unlimited Deadline{} clears it.
+  void set_deadline(const Deadline& deadline) noexcept {
+    deadline_ = deadline;
+    deadline_expired_ = false;
+    deadline_check_countdown_ = 0;
+  }
+
+  /// Clears the conflict/propagation budgets (not the deadline).
+  void clear_budgets() noexcept {
+    conflict_budget_ = -1;
+    propagation_budget_ = -1;
+  }
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+  /// Sets the preferred phase used when the variable is picked as decision.
+  void set_polarity(Var v, bool negated_first);
+
+  /// Top-level (decision level 0) value of a variable, kUndef if free.
+  LBool fixed_value(Var v) const;
+
+ private:
+  // -- clause arena -----------------------------------------------------
+  // Layout per clause: [header][lit0][lit1]...
+  // header: bits 0..1 flags (learnt), bits 2..31 size. Learnt clauses carry
+  // an extra trailing word with activity (float) and one with LBD.
+  struct Header {
+    uint32_t learnt : 1;
+    uint32_t reloced : 1;
+    uint32_t size : 30;
+  };
+
+  class ClauseRefView {
+   public:
+    ClauseRefView(std::vector<uint32_t>& mem, CRef ref) noexcept : mem_(&mem), ref_(ref) {}
+    Header& header() noexcept { return *reinterpret_cast<Header*>(&(*mem_)[ref_]); }
+    uint32_t size() noexcept { return header().size; }
+    bool learnt() noexcept { return header().learnt != 0; }
+    Lit& operator[](uint32_t i) noexcept {
+      return *reinterpret_cast<Lit*>(&(*mem_)[ref_ + 1 + i]);
+    }
+    float& activity() noexcept {
+      return *reinterpret_cast<float*>(&(*mem_)[ref_ + 1 + size()]);
+    }
+    uint32_t& lbd() noexcept { return (*mem_)[ref_ + 2 + size()]; }
+
+   private:
+    std::vector<uint32_t>* mem_;
+    CRef ref_;
+  };
+
+  ClauseRefView clause(CRef ref) noexcept { return ClauseRefView(arena_, ref); }
+
+  CRef alloc_clause(std::span<const Lit> lits, bool learnt);
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  struct VarData {
+    CRef reason = kCRefUndef;
+    int level = 0;
+  };
+
+  // -- VSIDS heap --------------------------------------------------------
+  class VarHeap {
+   public:
+    void grow(int n) { index_.resize(static_cast<size_t>(n), -1); }
+    bool contains(Var v) const { return index_[static_cast<size_t>(v)] >= 0; }
+    bool empty() const { return heap_.empty(); }
+    void insert(Var v, const std::vector<double>& act);
+    void update(Var v, const std::vector<double>& act);
+    Var pop(const std::vector<double>& act);
+
+   private:
+    void sift_up(size_t i, const std::vector<double>& act);
+    void sift_down(size_t i, const std::vector<double>& act);
+    std::vector<Var> heap_;
+    std::vector<int32_t> index_;
+  };
+
+  // -- core CDCL ---------------------------------------------------------
+  LBool value(Lit l) const noexcept {
+    return LBool(static_cast<uint8_t>(assigns_[static_cast<size_t>(l.var())].raw())) ^ l.sign();
+  }
+  LBool value(Var v) const noexcept { return assigns_[static_cast<size_t>(v)]; }
+  int level(Var v) const noexcept { return vardata_[static_cast<size_t>(v)].level; }
+  CRef reason(Var v) const noexcept { return vardata_[static_cast<size_t>(v)].reason; }
+  int decision_level() const noexcept { return static_cast<int>(trail_lim_.size()); }
+
+  void attach_clause(CRef ref);
+  void detach_clause(CRef ref);
+  void remove_clause(CRef ref);
+  bool satisfied(CRef ref) noexcept;
+
+  void unchecked_enqueue(Lit l, CRef from = kCRefUndef);
+  CRef propagate();
+  void cancel_until(int target_level);
+  Lit pick_branch_lit();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  void analyze(CRef confl, LitVec& out_learnt, int& out_btlevel, uint32_t& out_lbd);
+  bool lit_redundant(Lit l, uint32_t abstract_levels);
+  void analyze_final(Lit p, LitVec& out_core);
+
+  void var_bump_activity(Var v);
+  void var_decay_activity() { var_inc_ /= kVarDecay; }
+  void cla_bump_activity(ClauseRefView c);
+  void cla_decay_activity() { cla_inc_ /= kClaDecay; }
+
+  void reduce_db();
+  void maybe_garbage_collect();
+  LBool search(int64_t conflicts_before_restart);
+  bool within_budget() const noexcept;
+
+  uint32_t compute_lbd(std::span<const Lit> lits);
+
+  static double luby(double y, int i);
+
+  // -- data ---------------------------------------------------------------
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClaDecay = 0.999;
+
+  std::vector<uint32_t> arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit raw
+  std::vector<LBool> assigns_;
+  std::vector<uint8_t> polarity_;  // saved phase: 1 == assign false first
+  std::vector<uint8_t> decision_;
+  std::vector<VarData> vardata_;
+  std::vector<double> activity_;
+  VarHeap order_heap_;
+
+  LitVec trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+
+  LitVec assumptions_;
+  LitVec core_;
+  std::vector<uint8_t> in_core_mark_;  // by var
+  std::vector<LBool> model_;
+  size_t wasted_ = 0;
+
+  std::vector<uint8_t> seen_;
+  LitVec analyze_toclear_;
+  LitVec analyze_stack_;
+  std::vector<int> lbd_seen_;
+  int lbd_stamp_ = 0;
+
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+
+  bool ok_ = true;
+  int64_t conflict_budget_ = -1;
+  int64_t propagation_budget_ = -1;
+  Deadline deadline_{};
+  mutable bool deadline_expired_ = false;
+  mutable uint32_t deadline_check_countdown_ = 0;
+  uint64_t conflicts_at_solve_start_ = 0;
+  uint64_t propagations_at_solve_start_ = 0;
+
+  double max_learnts_ = 0;
+  double learnt_size_adjust_confl_ = 100;
+  int learnt_size_adjust_cnt_ = 100;
+
+  SolverStats stats_;
+};
+
+}  // namespace eco::sat

@@ -1,0 +1,87 @@
+/// \file types.hpp
+/// \brief Core SAT types: variables, literals, ternary values.
+///
+/// Conventions follow MiniSat: a literal packs a variable index and a sign
+/// into one word (lit = 2*var + sign, sign 1 == negated), and ternary logic
+/// values use an encoding where negation is a single XOR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eco::sat {
+
+/// Variable index. Variables are dense, starting at 0.
+using Var = int32_t;
+
+constexpr Var kVarUndef = -1;
+
+/// A literal: a variable with a polarity.
+class Lit {
+ public:
+  constexpr Lit() noexcept : x_(-2) {}
+  constexpr Lit(Var v, bool negated) noexcept : x_(2 * v + static_cast<int32_t>(negated)) {}
+
+  /// Builds a literal from the raw packed encoding (2*var + sign).
+  static constexpr Lit from_raw(int32_t raw) noexcept {
+    Lit l;
+    l.x_ = raw;
+    return l;
+  }
+
+  constexpr Var var() const noexcept { return x_ >> 1; }
+  constexpr bool sign() const noexcept { return (x_ & 1) != 0; }
+  constexpr int32_t raw() const noexcept { return x_; }
+
+  constexpr Lit operator~() const noexcept { return from_raw(x_ ^ 1); }
+  /// XOR with a boolean: conditional complement.
+  constexpr Lit operator^(bool b) const noexcept { return from_raw(x_ ^ static_cast<int32_t>(b)); }
+
+  constexpr bool operator==(const Lit&) const noexcept = default;
+  constexpr bool operator<(const Lit& o) const noexcept { return x_ < o.x_; }
+
+ private:
+  int32_t x_;
+};
+
+constexpr Lit kLitUndef = Lit::from_raw(-2);
+
+/// Positive literal of \p v.
+constexpr Lit mk_lit(Var v, bool negated = false) noexcept { return Lit(v, negated); }
+
+/// Ternary logic value with XOR-negation encoding.
+class LBool {
+ public:
+  constexpr LBool() noexcept : v_(2) {}
+  explicit constexpr LBool(uint8_t v) noexcept : v_(v) {}
+  explicit constexpr LBool(bool b) noexcept : v_(b ? 0 : 1) {}
+
+  constexpr bool operator==(const LBool&) const noexcept = default;
+
+  /// Complement; undefined stays undefined.
+  constexpr LBool operator^(bool b) const noexcept {
+    return LBool(static_cast<uint8_t>(v_ ^ (static_cast<uint8_t>(b) & static_cast<uint8_t>(v_ < 2 ? 1 : 0))));
+  }
+
+  constexpr bool is_true() const noexcept { return v_ == 0; }
+  constexpr bool is_false() const noexcept { return v_ == 1; }
+  constexpr bool is_undef() const noexcept { return v_ >= 2; }
+
+  constexpr uint8_t raw() const noexcept { return v_; }
+
+ private:
+  uint8_t v_;
+};
+
+constexpr LBool kTrue{static_cast<uint8_t>(0)};
+constexpr LBool kFalse{static_cast<uint8_t>(1)};
+constexpr LBool kUndef{static_cast<uint8_t>(2)};
+
+/// A clause reference: offset into the clause arena.
+using CRef = uint32_t;
+constexpr CRef kCRefUndef = UINT32_MAX;
+
+/// Convenience alias for clause/assumption containers.
+using LitVec = std::vector<Lit>;
+
+}  // namespace eco::sat

@@ -1,0 +1,90 @@
+#include "sop/cover.hpp"
+
+#include <algorithm>
+
+namespace eco::sop {
+
+Cube::Cube(std::vector<Lit> lits) : lits_(std::move(lits)) {
+  std::sort(lits_.begin(), lits_.end());
+  lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+}
+
+bool Cube::contains(const Cube& other) const {
+  return std::includes(other.lits_.begin(), other.lits_.end(), lits_.begin(), lits_.end());
+}
+
+bool Cube::contradictory() const {
+  for (size_t i = 0; i + 1 < lits_.size(); ++i)
+    if (lit_var(lits_[i]) == lit_var(lits_[i + 1])) return true;
+  return false;
+}
+
+bool Cube::eval(const std::vector<bool>& assignment) const {
+  for (const Lit l : lits_) {
+    const bool v = assignment[lit_var(l)];
+    if (v == lit_negated(l)) return false;
+  }
+  return true;
+}
+
+Cube Cube::without_var(uint32_t var) const {
+  std::vector<Lit> out;
+  out.reserve(lits_.size());
+  for (const Lit l : lits_)
+    if (lit_var(l) != var) out.push_back(l);
+  Cube c;
+  c.lits_ = std::move(out);
+  return c;
+}
+
+std::string Cube::to_string() const {
+  if (lits_.empty()) return "1";
+  std::string out;
+  for (const Lit l : lits_) {
+    if (!out.empty()) out += ' ';
+    if (lit_negated(l)) out += '!';
+    out += 'x';
+    out += std::to_string(lit_var(l));
+  }
+  return out;
+}
+
+bool Cover::eval(const std::vector<bool>& assignment) const {
+  for (const auto& cube : cubes)
+    if (cube.eval(assignment)) return true;
+  return false;
+}
+
+size_t Cover::num_literals() const {
+  size_t total = 0;
+  for (const auto& cube : cubes) total += cube.num_lits();
+  return total;
+}
+
+void Cover::remove_contained_cubes() {
+  std::vector<Cube> kept;
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    bool contained = false;
+    for (size_t j = 0; j < cubes.size() && !contained; ++j) {
+      if (i == j) continue;
+      // Drop cube i if cube j contains it; break ties by index to keep one
+      // of two equal cubes.
+      if (cubes[j].contains(cubes[i]) && (!(cubes[i] == cubes[j]) || j < i))
+        contained = true;
+    }
+    if (!contained) kept.push_back(cubes[i]);
+  }
+  cubes = std::move(kept);
+}
+
+std::string Cover::to_string() const {
+  if (cubes.empty()) return "0";
+  std::string out;
+  for (const auto& cube : cubes) {
+    if (!out.empty()) out += " + ";
+    out += cube.to_string();
+  }
+  return out;
+}
+
+}  // namespace eco::sop

@@ -1,0 +1,76 @@
+/// \file cover.hpp
+/// \brief Cubes and sum-of-products covers over an abstract variable space.
+///
+/// The patch-function computation (paper §3.5) produces an irredundant prime
+/// SOP over the selected divisors by SAT enumeration; this module is the
+/// container for that SOP plus the classic cover operations (containment,
+/// evaluation, single-cube containment reduction) needed before factoring.
+///
+/// A cube is a set of literals; literal encoding follows the AIG convention:
+/// ``2*var`` is the positive literal, ``2*var + 1`` the negative one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco::sop {
+
+/// SOP literal: 2*var + negated.
+using Lit = uint32_t;
+
+constexpr Lit lit_pos(uint32_t var) noexcept { return 2 * var; }
+constexpr Lit lit_neg(uint32_t var) noexcept { return 2 * var + 1; }
+constexpr uint32_t lit_var(Lit l) noexcept { return l / 2; }
+constexpr bool lit_negated(Lit l) noexcept { return (l & 1) != 0; }
+
+/// A product term: sorted, duplicate-free set of literals.
+/// The empty cube is the constant-1 tautology cube.
+class Cube {
+ public:
+  Cube() = default;
+  explicit Cube(std::vector<Lit> lits);
+
+  const std::vector<Lit>& lits() const noexcept { return lits_; }
+  size_t num_lits() const noexcept { return lits_.size(); }
+  bool empty() const noexcept { return lits_.empty(); }
+
+  /// True if this cube's literal set is a subset of \p other's — i.e. this
+  /// cube *contains* other as a set of minterms.
+  bool contains(const Cube& other) const;
+
+  /// True if the cube has both polarities of some variable (empty cube set).
+  bool contradictory() const;
+
+  /// Evaluates the cube under an assignment (indexed by variable).
+  bool eval(const std::vector<bool>& assignment) const;
+
+  /// Removes the literal of \p var if present.
+  Cube without_var(uint32_t var) const;
+
+  bool operator==(const Cube&) const = default;
+
+  /// Human-readable form like "x0 !x2 x5".
+  std::string to_string() const;
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+/// A sum of products.
+struct Cover {
+  uint32_t num_vars = 0;
+  std::vector<Cube> cubes;
+
+  bool eval(const std::vector<bool>& assignment) const;
+
+  /// Total literal count (classic SOP cost measure).
+  size_t num_literals() const;
+
+  /// Removes cubes contained in other cubes (single-cube containment).
+  void remove_contained_cubes();
+
+  std::string to_string() const;
+};
+
+}  // namespace eco::sop

@@ -1,0 +1,155 @@
+#include "sop/factor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace eco::sop {
+
+size_t FactorTree::num_leaves() const {
+  if (kind == Kind::kLit) return 1;
+  size_t total = 0;
+  for (const auto& child : children) total += child->num_leaves();
+  return total;
+}
+
+bool FactorTree::eval(const std::vector<bool>& assignment) const {
+  switch (kind) {
+    case Kind::kConst0: return false;
+    case Kind::kConst1: return true;
+    case Kind::kLit: return assignment[lit_var(lit)] != lit_negated(lit);
+    case Kind::kAnd:
+      for (const auto& child : children)
+        if (!child->eval(assignment)) return false;
+      return true;
+    case Kind::kOr:
+      for (const auto& child : children)
+        if (child->eval(assignment)) return true;
+      return false;
+  }
+  return false;
+}
+
+std::string FactorTree::to_string() const {
+  switch (kind) {
+    case Kind::kConst0: return "0";
+    case Kind::kConst1: return "1";
+    case Kind::kLit: {
+      std::string out = lit_negated(lit) ? "!x" : "x";
+      out += std::to_string(lit_var(lit));
+      return out;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += kind == Kind::kAnd ? " " : " + ";
+        out += children[i]->to_string();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+using TreePtr = std::unique_ptr<FactorTree>;
+
+TreePtr product_of(const Cube& cube) {
+  if (cube.empty()) return FactorTree::make(FactorTree::Kind::kConst1);
+  if (cube.num_lits() == 1) return FactorTree::make_lit(cube.lits()[0]);
+  auto node = FactorTree::make(FactorTree::Kind::kAnd);
+  for (const Lit l : cube.lits()) node->children.push_back(FactorTree::make_lit(l));
+  return node;
+}
+
+/// Largest common cube of all cubes (literal intersection).
+Cube common_cube(const std::vector<Cube>& cubes) {
+  std::vector<Lit> common = cubes.front().lits();
+  for (size_t i = 1; i < cubes.size() && !common.empty(); ++i) {
+    std::vector<Lit> next;
+    std::set_intersection(common.begin(), common.end(), cubes[i].lits().begin(),
+                          cubes[i].lits().end(), std::back_inserter(next));
+    common = std::move(next);
+  }
+  Cube c(std::move(common));
+  return c;
+}
+
+/// Removes the literals of \p divisor from \p cube (\pre divisor ⊆ cube).
+Cube cube_quotient(const Cube& cube, const Cube& divisor) {
+  std::vector<Lit> out;
+  std::set_difference(cube.lits().begin(), cube.lits().end(), divisor.lits().begin(),
+                      divisor.lits().end(), std::back_inserter(out));
+  return Cube(std::move(out));
+}
+
+TreePtr factor_rec(std::vector<Cube> cubes) {
+  if (cubes.empty()) return FactorTree::make(FactorTree::Kind::kConst0);
+  // A tautology cube absorbs everything.
+  for (const auto& cube : cubes)
+    if (cube.empty()) return FactorTree::make(FactorTree::Kind::kConst1);
+  if (cubes.size() == 1) return product_of(cubes[0]);
+
+  // Step 1: pull out the largest common cube.
+  const Cube common = common_cube(cubes);
+  if (!common.empty()) {
+    std::vector<Cube> quotient;
+    quotient.reserve(cubes.size());
+    for (const auto& cube : cubes) quotient.push_back(cube_quotient(cube, common));
+    auto node = FactorTree::make(FactorTree::Kind::kAnd);
+    for (const Lit l : common.lits()) node->children.push_back(FactorTree::make_lit(l));
+    node->children.push_back(factor_rec(std::move(quotient)));
+    return node;
+  }
+
+  // Step 2: divide by the most frequent literal.
+  std::unordered_map<Lit, size_t> freq;
+  for (const auto& cube : cubes)
+    for (const Lit l : cube.lits()) ++freq[l];
+  Lit best = 0;
+  size_t best_count = 0;
+  for (const auto& [l, count] : freq)
+    if (count > best_count || (count == best_count && l < best)) {
+      best = l;
+      best_count = count;
+    }
+
+  if (best_count < 2) {
+    // No sharing left: plain OR of products.
+    auto node = FactorTree::make(FactorTree::Kind::kOr);
+    for (const auto& cube : cubes) node->children.push_back(product_of(cube));
+    return node;
+  }
+
+  std::vector<Cube> with_lit, rest;
+  for (const auto& cube : cubes) {
+    if (std::binary_search(cube.lits().begin(), cube.lits().end(), best))
+      with_lit.push_back(cube.without_var(lit_var(best)));
+    else
+      rest.push_back(cube);
+  }
+  // Re-insert only the complementary-polarity literal if the cube had it.
+  // (without_var removed both polarities; with sorted unique cubes only one
+  // polarity can be present, so nothing is lost.)
+  auto and_part = FactorTree::make(FactorTree::Kind::kAnd);
+  and_part->children.push_back(FactorTree::make_lit(best));
+  and_part->children.push_back(factor_rec(std::move(with_lit)));
+  if (rest.empty()) return and_part;
+  auto node = FactorTree::make(FactorTree::Kind::kOr);
+  node->children.push_back(std::move(and_part));
+  node->children.push_back(factor_rec(std::move(rest)));
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<FactorTree> factor(const Cover& cover) {
+  std::vector<Cube> cubes;
+  cubes.reserve(cover.cubes.size());
+  for (const auto& cube : cover.cubes)
+    if (!cube.contradictory()) cubes.push_back(cube);
+  return factor_rec(std::move(cubes));
+}
+
+}  // namespace eco::sop

@@ -1,0 +1,55 @@
+/// \file factor.hpp
+/// \brief Algebraic factoring of SOP covers into multi-level factored forms
+/// (the "factored and synthesized" step of paper §3.5).
+///
+/// The algorithm is the classic literal/common-cube factoring recursion used
+/// by SIS/ABC quick_factor:
+///  1. empty cover -> constant 0; single cube -> product of literals;
+///  2. extract the largest common cube and factor the quotient;
+///  3. otherwise divide by the most frequent literal L:
+///     F = L * (F/L) + R, recursing on both parts.
+///
+/// The output is a factored tree whose AIG realization (see synth.hpp) is
+/// the reported patch circuit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace eco::sop {
+
+/// A node of a factored form.
+struct FactorTree {
+  enum class Kind { kConst0, kConst1, kLit, kAnd, kOr };
+  Kind kind = Kind::kConst0;
+  Lit lit = 0;  ///< for kLit
+  std::vector<std::unique_ptr<FactorTree>> children;
+
+  static std::unique_ptr<FactorTree> make(Kind k) {
+    auto t = std::make_unique<FactorTree>();
+    t->kind = k;
+    return t;
+  }
+  static std::unique_ptr<FactorTree> make_lit(Lit l) {
+    auto t = make(Kind::kLit);
+    t->lit = l;
+    return t;
+  }
+
+  /// Number of literal leaves (factored-form cost).
+  size_t num_leaves() const;
+
+  /// Evaluates under a variable assignment.
+  bool eval(const std::vector<bool>& assignment) const;
+
+  /// Text form, e.g. "(x0 (!x1 + x2))".
+  std::string to_string() const;
+};
+
+/// Factors a cover. The tautology cube produces kConst1; an empty cover
+/// kConst0. Contradictory cubes are dropped first.
+std::unique_ptr<FactorTree> factor(const Cover& cover);
+
+}  // namespace eco::sop

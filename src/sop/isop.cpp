@@ -1,0 +1,155 @@
+#include "sop/isop.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace eco::sop {
+
+namespace {
+size_t words_for(uint32_t num_vars) {
+  return num_vars >= 6 ? (1ULL << (num_vars - 6)) : 1;
+}
+uint64_t mask_for(uint32_t num_vars) {
+  return num_vars >= 6 ? ~0ULL : (1ULL << (1u << num_vars)) - 1;
+}
+}  // namespace
+
+TruthTable TruthTable::zeros(uint32_t num_vars) {
+  if (num_vars > 16) throw std::invalid_argument("TruthTable: max 16 variables");
+  TruthTable t;
+  t.num_vars = num_vars;
+  t.words.assign(words_for(num_vars), 0);
+  return t;
+}
+
+TruthTable TruthTable::ones(uint32_t num_vars) {
+  TruthTable t = zeros(num_vars);
+  for (auto& w : t.words) w = ~0ULL;
+  t.words[0] &= mask_for(num_vars);
+  if (num_vars >= 6) t.words.back() = ~0ULL;
+  return t;
+}
+
+TruthTable TruthTable::variable(uint32_t num_vars, uint32_t var) {
+  TruthTable t = zeros(num_vars);
+  for (uint32_t m = 0; m < (1u << num_vars); ++m)
+    if ((m >> var) & 1u) t.set(m, true);
+  return t;
+}
+
+void TruthTable::set(uint32_t minterm, bool value) {
+  if (value)
+    words[minterm / 64] |= 1ULL << (minterm % 64);
+  else
+    words[minterm / 64] &= ~(1ULL << (minterm % 64));
+}
+
+bool TruthTable::is_zero() const {
+  for (const uint64_t w : words)
+    if (w != 0) return false;
+  return true;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  assert(num_vars == o.num_vars);
+  TruthTable t = *this;
+  for (size_t i = 0; i < words.size(); ++i) t.words[i] &= o.words[i];
+  return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  assert(num_vars == o.num_vars);
+  TruthTable t = *this;
+  for (size_t i = 0; i < words.size(); ++i) t.words[i] |= o.words[i];
+  return t;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t = *this;
+  for (auto& w : t.words) w = ~w;
+  t.words[0] &= mask_for(num_vars);
+  if (num_vars >= 6)
+    for (size_t i = 0; i < t.words.size(); ++i) t.words[i] = ~words[i];
+  return t;
+}
+
+TruthTable TruthTable::cofactor(uint32_t var, bool value) const {
+  TruthTable t = *this;
+  for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+    const bool bit = ((m >> var) & 1u) != 0;
+    if (bit != value) {
+      const uint32_t partner = m ^ (1u << var);
+      t.set(m, get(partner));
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Core Minato–Morreale recursion: returns a cover of some F with
+/// on ⊆ F ⊆ upper, using variables < num_active.
+Cover isop_rec(const TruthTable& on, const TruthTable& upper, uint32_t num_active) {
+  Cover cover;
+  cover.num_vars = on.num_vars;
+  if (on.is_zero()) return cover;
+  if ((~upper).is_zero() || num_active == 0) {
+    // Tautology (or no variables left, in which case on != 0 forces it).
+    cover.cubes.push_back(Cube(std::vector<Lit>{}));
+    return cover;
+  }
+  const uint32_t var = num_active - 1;
+
+  const TruthTable on0 = on.cofactor(var, false);
+  const TruthTable on1 = on.cofactor(var, true);
+  const TruthTable up0 = upper.cofactor(var, false);
+  const TruthTable up1 = upper.cofactor(var, true);
+
+  // Minterms needing the literal !var / var respectively.
+  const TruthTable need0 = on0 & ~up1;
+  const TruthTable need1 = on1 & ~up0;
+
+  Cover cover0 = isop_rec(need0, up0, var);
+  Cover cover1 = isop_rec(need1, up1, var);
+
+  const TruthTable tt0 = cover_to_truth_table(cover0, on.num_vars);
+  const TruthTable tt1 = cover_to_truth_table(cover1, on.num_vars);
+
+  // The residue is covered without a literal of `var`.
+  const TruthTable rest = (on0 & ~tt0) | (on1 & ~tt1);
+  Cover cover_rest = isop_rec(rest, up0 & up1, var);
+
+  for (auto& cube : cover0.cubes) {
+    std::vector<Lit> lits = cube.lits();
+    lits.push_back(lit_neg(var));
+    cover.cubes.push_back(Cube(std::move(lits)));
+  }
+  for (auto& cube : cover1.cubes) {
+    std::vector<Lit> lits = cube.lits();
+    lits.push_back(lit_pos(var));
+    cover.cubes.push_back(Cube(std::move(lits)));
+  }
+  for (auto& cube : cover_rest.cubes) cover.cubes.push_back(std::move(cube));
+  return cover;
+}
+
+}  // namespace
+
+Cover isop(const TruthTable& on, const TruthTable& dc) {
+  const TruthTable upper = on | dc;
+  return isop_rec(on, upper, on.num_vars);
+}
+
+Cover isop(const TruthTable& on) { return isop(on, TruthTable::zeros(on.num_vars)); }
+
+TruthTable cover_to_truth_table(const Cover& cover, uint32_t num_vars) {
+  TruthTable t = TruthTable::zeros(num_vars);
+  for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+    std::vector<bool> assignment(num_vars);
+    for (uint32_t i = 0; i < num_vars; ++i) assignment[i] = ((m >> i) & 1u) != 0;
+    if (cover.eval(assignment)) t.set(m, true);
+  }
+  return t;
+}
+
+}  // namespace eco::sop

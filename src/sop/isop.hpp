@@ -1,0 +1,54 @@
+/// \file isop.hpp
+/// \brief Irredundant sum-of-products from truth tables (Minato–Morreale).
+///
+/// Complements the SAT-based cube enumeration of eco/patchfunc: for small
+/// supports the patch function can be computed exhaustively, and the two
+/// independent cover generators cross-check each other in the tests. The
+/// don't-care-aware entry point computes a cover F with
+/// on ⊆ F ⊆ on ∪ dc, each cube prime with respect to on ∪ dc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace eco::sop {
+
+/// A truth table over n <= 16 variables: bit m of word m/64 = value of
+/// minterm m (variable i = bit i of m).
+struct TruthTable {
+  uint32_t num_vars = 0;
+  std::vector<uint64_t> words;
+
+  static TruthTable zeros(uint32_t num_vars);
+  static TruthTable ones(uint32_t num_vars);
+  /// Table of the single variable \p var.
+  static TruthTable variable(uint32_t num_vars, uint32_t var);
+
+  bool get(uint32_t minterm) const {
+    return ((words[minterm / 64] >> (minterm % 64)) & 1ULL) != 0;
+  }
+  void set(uint32_t minterm, bool value);
+  bool is_zero() const;
+
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator~() const;
+  bool operator==(const TruthTable&) const = default;
+
+  /// Positive/negative cofactor with respect to \p var.
+  TruthTable cofactor(uint32_t var, bool value) const;
+};
+
+/// Minato–Morreale ISOP of the incompletely specified function (on, on|dc).
+/// \pre on & ~(on | dc) == 0 (i.e. dc may overlap on harmlessly).
+Cover isop(const TruthTable& on, const TruthTable& dc);
+
+/// Completely specified convenience overload.
+Cover isop(const TruthTable& on);
+
+/// Evaluates a cover into a truth table (for checking).
+TruthTable cover_to_truth_table(const Cover& cover, uint32_t num_vars);
+
+}  // namespace eco::sop

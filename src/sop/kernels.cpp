@@ -1,0 +1,266 @@
+#include "sop/kernels.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace eco::sop {
+
+namespace {
+
+/// cube a \ cube b (set difference of literals); valid when b ⊆ a.
+Cube cube_minus(const Cube& a, const Cube& b) {
+  std::vector<Lit> out;
+  std::set_difference(a.lits().begin(), a.lits().end(), b.lits().begin(), b.lits().end(),
+                      std::back_inserter(out));
+  return Cube(std::move(out));
+}
+
+/// cube a ∪ cube b (product).
+Cube cube_times(const Cube& a, const Cube& b) {
+  std::vector<Lit> out(a.lits());
+  out.insert(out.end(), b.lits().begin(), b.lits().end());
+  return Cube(std::move(out));
+}
+
+bool cube_divides(const Cube& d, const Cube& c) {
+  return std::includes(c.lits().begin(), c.lits().end(), d.lits().begin(), d.lits().end());
+}
+
+std::vector<Cube> sorted_cubes(std::vector<Cube> cubes) {
+  std::sort(cubes.begin(), cubes.end(),
+            [](const Cube& a, const Cube& b) { return a.lits() < b.lits(); });
+  cubes.erase(std::unique(cubes.begin(), cubes.end()), cubes.end());
+  return cubes;
+}
+
+}  // namespace
+
+DivisionResult divide_by_cube(const Cover& f, const Cube& d) {
+  DivisionResult result;
+  result.quotient.num_vars = f.num_vars;
+  result.remainder.num_vars = f.num_vars;
+  for (const auto& cube : f.cubes) {
+    if (cube_divides(d, cube))
+      result.quotient.cubes.push_back(cube_minus(cube, d));
+    else
+      result.remainder.cubes.push_back(cube);
+  }
+  return result;
+}
+
+DivisionResult algebraic_divide(const Cover& f, const Cover& divisor) {
+  DivisionResult result;
+  result.quotient.num_vars = f.num_vars;
+  result.remainder.num_vars = f.num_vars;
+  if (divisor.cubes.empty()) {
+    result.remainder = f;
+    return result;
+  }
+  // Quotient = intersection over divisor cubes of the per-cube quotients.
+  std::vector<Cube> quotient;
+  for (size_t i = 0; i < divisor.cubes.size(); ++i) {
+    std::vector<Cube> q = sorted_cubes(divide_by_cube(f, divisor.cubes[i]).quotient.cubes);
+    if (i == 0) {
+      quotient = std::move(q);
+    } else {
+      std::vector<Cube> inter;
+      std::set_intersection(quotient.begin(), quotient.end(), q.begin(), q.end(),
+                            std::back_inserter(inter),
+                            [](const Cube& a, const Cube& b) { return a.lits() < b.lits(); });
+      quotient = std::move(inter);
+    }
+    if (quotient.empty()) break;
+  }
+  result.quotient.cubes = quotient;
+  // Remainder = f minus quotient * divisor.
+  std::set<std::vector<Lit>> produced;
+  for (const auto& q : quotient)
+    for (const auto& d : divisor.cubes) produced.insert(cube_times(q, d).lits());
+  for (const auto& cube : f.cubes)
+    if (!produced.count(cube.lits())) result.remainder.cubes.push_back(cube);
+  return result;
+}
+
+Cube common_cube_of(const Cover& f) {
+  if (f.cubes.empty()) return Cube();
+  std::vector<Lit> common = f.cubes[0].lits();
+  for (size_t i = 1; i < f.cubes.size() && !common.empty(); ++i) {
+    std::vector<Lit> next;
+    std::set_intersection(common.begin(), common.end(), f.cubes[i].lits().begin(),
+                          f.cubes[i].lits().end(), std::back_inserter(next));
+    common = std::move(next);
+  }
+  return Cube(std::move(common));
+}
+
+Cover make_cube_free(const Cover& f) {
+  const Cube common = common_cube_of(f);
+  if (common.empty()) return f;
+  Cover out;
+  out.num_vars = f.num_vars;
+  for (const auto& cube : f.cubes) out.cubes.push_back(cube_minus(cube, common));
+  return out;
+}
+
+namespace {
+
+void kernels_rec(const Cover& f, const Cube& co_kernel, Lit min_lit,
+                 std::vector<std::pair<Cube, Cover>>& out) {
+  // Count literal occurrences.
+  std::map<Lit, int> freq;
+  for (const auto& cube : f.cubes)
+    for (const Lit l : cube.lits()) ++freq[l];
+
+  bool maximal = true;
+  for (const auto& [l, count] : freq) {
+    if (count < 2) continue;
+    if (l < min_lit) {
+      // A smaller literal divides f: this branch is not a new kernel root,
+      // but we still recurse on larger literals only (canonicity).
+      maximal = false;
+      continue;
+    }
+    Cube lit_cube({l});
+    Cover q = divide_by_cube(f, lit_cube).quotient;
+    const Cube extra = common_cube_of(q);
+    Cover cube_free = make_cube_free(q);
+    kernels_rec(cube_free, cube_times(cube_times(co_kernel, lit_cube), extra), l + 1, out);
+  }
+  (void)maximal;
+  // f itself is a kernel when cube-free (always true here by construction).
+  out.emplace_back(co_kernel, f);
+}
+
+}  // namespace
+
+std::vector<std::pair<Cube, Cover>> kernels(const Cover& f) {
+  std::vector<std::pair<Cube, Cover>> out;
+  const Cube common = common_cube_of(f);
+  kernels_rec(make_cube_free(f), common, 0, out);
+  // Deduplicate kernels (same cover can arise through different paths).
+  auto cube_less = [](const Cube& x, const Cube& y) { return x.lits() < y.lits(); };
+  std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+    return std::lexicographical_compare(a.second.cubes.begin(), a.second.cubes.end(),
+                                        b.second.cubes.begin(), b.second.cubes.end(),
+                                        cube_less);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.second.cubes == b.second.cubes;
+                        }),
+            out.end());
+  return out;
+}
+
+size_t ExtractionResult::total_literals() const {
+  size_t total = 0;
+  for (const auto& d : divisors) total += d.num_literals();
+  for (const auto& f : functions) total += f.num_literals();
+  return total;
+}
+
+ExtractionResult extract_shared(const std::vector<Cover>& functions, int max_divisors) {
+  ExtractionResult result;
+  result.functions = functions;
+  result.num_original_vars = functions.empty() ? 0 : functions[0].num_vars;
+  uint32_t next_var = result.num_original_vars;
+
+  for (int round = 0; round < max_divisors; ++round) {
+    // Candidate divisors: all two-cube kernels and all two-literal cubes.
+    std::vector<Cover> candidates;
+    {
+      std::set<std::vector<std::vector<Lit>>> seen;
+      auto consider = [&](Cover divisor) {
+        std::vector<std::vector<Lit>> key;
+        for (const auto& c : divisor.cubes) key.push_back(c.lits());
+        std::sort(key.begin(), key.end());
+        if (seen.insert(key).second) candidates.push_back(std::move(divisor));
+      };
+      for (const auto& f : result.functions) {
+        for (const auto& [ck, kernel] : kernels(f)) {
+          if (kernel.cubes.size() < 2) continue;
+          // Every cube pair of a kernel is itself a (double-cube) divisor.
+          for (size_t i = 0; i < kernel.cubes.size() && i < 6; ++i)
+            for (size_t j = i + 1; j < kernel.cubes.size() && j < 6; ++j) {
+              Cover d;
+              d.num_vars = next_var;
+              d.cubes = {kernel.cubes[i], kernel.cubes[j]};
+              if (!d.cubes[0].empty() || !d.cubes[1].empty()) consider(std::move(d));
+            }
+        }
+        // Two-literal single-cube divisors (common-cube sharing).
+        std::map<std::pair<Lit, Lit>, int> pair_freq;
+        for (const auto& cube : f.cubes) {
+          const auto& lits = cube.lits();
+          for (size_t i = 0; i < lits.size(); ++i)
+            for (size_t j = i + 1; j < lits.size(); ++j)
+              ++pair_freq[{lits[i], lits[j]}];
+        }
+        for (const auto& [pair, count] : pair_freq) {
+          if (count < 2) continue;
+          Cover d;
+          d.num_vars = next_var;
+          d.cubes = {Cube({pair.first, pair.second})};
+          consider(std::move(d));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Score each candidate by the total literal saving of extracting it.
+    const Cover* best = nullptr;
+    long best_saving = 0;
+    std::vector<std::vector<DivisionResult>> divisions(candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      long saving = -static_cast<long>(candidates[c].num_literals());  // definition cost
+      divisions[c].reserve(result.functions.size());
+      for (const auto& f : result.functions) {
+        DivisionResult dr = algebraic_divide(f, candidates[c]);
+        if (!dr.quotient.cubes.empty()) {
+          const long before = static_cast<long>(f.num_literals());
+          const long after = static_cast<long>(dr.quotient.num_literals() +
+                                               dr.quotient.cubes.size() +  // the new literal
+                                               dr.remainder.num_literals());
+          saving += before - after;
+        }
+        divisions[c].push_back(std::move(dr));
+      }
+      if (saving > best_saving) {
+        best_saving = saving;
+        best = &candidates[c];
+      }
+    }
+    if (best == nullptr) break;
+    const size_t best_index = static_cast<size_t>(best - candidates.data());
+
+    // Extract: introduce the new variable and rewrite every function.
+    const Lit new_lit = lit_pos(next_var);
+    for (size_t fi = 0; fi < result.functions.size(); ++fi) {
+      DivisionResult& dr = divisions[best_index][fi];
+      if (dr.quotient.cubes.empty()) {
+        result.functions[fi].num_vars = next_var + 1;
+        continue;
+      }
+      Cover rewritten;
+      rewritten.num_vars = next_var + 1;
+      for (const auto& q : dr.quotient.cubes) {
+        std::vector<Lit> lits = q.lits();
+        lits.push_back(new_lit);
+        rewritten.cubes.push_back(Cube(std::move(lits)));
+      }
+      for (const auto& r : dr.remainder.cubes) rewritten.cubes.push_back(r);
+      result.functions[fi] = std::move(rewritten);
+    }
+    Cover definition = candidates[best_index];
+    definition.num_vars = next_var + 1;
+    result.divisors.push_back(std::move(definition));
+    ++next_var;
+    // Keep the widths consistent for the next round.
+    for (auto& d : result.divisors) d.num_vars = next_var;
+    for (auto& f : result.functions) f.num_vars = next_var;
+  }
+  return result;
+}
+
+}  // namespace eco::sop

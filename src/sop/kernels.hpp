@@ -1,0 +1,60 @@
+/// \file kernels.hpp
+/// \brief Algebraic division, kernel computation, and shared-divisor
+/// extraction across multiple covers (the "fx" step of multi-output
+/// synthesis — paper §3.5 hands the factored SOPs to ABC, whose fast
+/// extraction plays this role for multi-target patches).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace eco::sop {
+
+/// Result of weak (algebraic) division F = Q·D + R.
+struct DivisionResult {
+  Cover quotient;
+  Cover remainder;
+};
+
+/// Weak division of \p f by the single cube \p d.
+DivisionResult divide_by_cube(const Cover& f, const Cube& d);
+
+/// Weak division of \p f by the multi-cube divisor \p divisor
+/// (empty quotient when the division fails).
+DivisionResult algebraic_divide(const Cover& f, const Cover& divisor);
+
+/// The largest cube dividing every cube of \p f (its "common cube").
+Cube common_cube_of(const Cover& f);
+
+/// Makes \p f cube-free by dividing out its common cube.
+Cover make_cube_free(const Cover& f);
+
+/// All kernels of \p f with their co-kernels. A kernel is a cube-free
+/// quotient of \p f by a cube; the trivial kernel (f itself, if cube-free)
+/// is included. Intended for the small covers of patch functions.
+std::vector<std::pair<Cube, Cover>> kernels(const Cover& f);
+
+/// Shared-divisor extraction across several covers.
+///
+/// Repeatedly finds the divisor (two-cube kernel or two-literal cube) with
+/// the best total literal saving over all functions, introduces a fresh
+/// variable for it and divides every function. New variables are numbered
+/// from \p functions' num_vars upward, in divisor order, and divisors may
+/// use previously extracted variables.
+struct ExtractionResult {
+  uint32_t num_original_vars = 0;
+  /// divisors[i] defines variable num_original_vars + i.
+  std::vector<Cover> divisors;
+  /// The rewritten functions over the extended variable space.
+  std::vector<Cover> functions;
+
+  /// Total literal count of functions + divisor definitions.
+  size_t total_literals() const;
+};
+
+ExtractionResult extract_shared(const std::vector<Cover>& functions, int max_divisors = 64);
+
+}  // namespace eco::sop

@@ -1,0 +1,53 @@
+#include "sop/synth.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace eco::sop {
+
+aig::Lit synthesize_tree(aig::Aig& g, const FactorTree& tree,
+                         std::span<const aig::Lit> var_lits) {
+  switch (tree.kind) {
+    case FactorTree::Kind::kConst0: return aig::kLitFalse;
+    case FactorTree::Kind::kConst1: return aig::kLitTrue;
+    case FactorTree::Kind::kLit: {
+      assert(lit_var(tree.lit) < var_lits.size());
+      return aig::lit_notif(var_lits[lit_var(tree.lit)], lit_negated(tree.lit));
+    }
+    case FactorTree::Kind::kAnd:
+    case FactorTree::Kind::kOr: {
+      std::vector<aig::Lit> parts;
+      parts.reserve(tree.children.size());
+      for (const auto& child : tree.children)
+        parts.push_back(synthesize_tree(g, *child, var_lits));
+      return tree.kind == FactorTree::Kind::kAnd ? g.add_and_multi(parts)
+                                                 : g.add_or_multi(parts);
+    }
+  }
+  return aig::kLitFalse;
+}
+
+aig::Lit synthesize_cover(aig::Aig& g, const Cover& cover,
+                          std::span<const aig::Lit> var_lits) {
+  const auto tree = factor(cover);
+  return synthesize_tree(g, *tree, var_lits);
+}
+
+aig::Lit synthesize_cover_flat(aig::Aig& g, const Cover& cover,
+                               std::span<const aig::Lit> var_lits) {
+  std::vector<aig::Lit> products;
+  products.reserve(cover.cubes.size());
+  for (const auto& cube : cover.cubes) {
+    if (cube.contradictory()) continue;
+    std::vector<aig::Lit> lits;
+    lits.reserve(cube.num_lits());
+    for (const Lit l : cube.lits()) {
+      assert(lit_var(l) < var_lits.size());
+      lits.push_back(aig::lit_notif(var_lits[lit_var(l)], lit_negated(l)));
+    }
+    products.push_back(g.add_and_multi(lits));
+  }
+  return g.add_or_multi(products);
+}
+
+}  // namespace eco::sop

@@ -1,0 +1,26 @@
+/// \file synth.hpp
+/// \brief Realization of covers / factored forms as AIG logic.
+#pragma once
+
+#include <span>
+
+#include "aig/aig.hpp"
+#include "sop/factor.hpp"
+
+namespace eco::sop {
+
+/// Builds AIG logic for a factored tree. \p var_lits maps SOP variable i to
+/// an AIG literal (the divisor signals in the ECO flow).
+aig::Lit synthesize_tree(aig::Aig& g, const FactorTree& tree,
+                         std::span<const aig::Lit> var_lits);
+
+/// Factors \p cover and builds AIG logic for it in one step.
+aig::Lit synthesize_cover(aig::Aig& g, const Cover& cover,
+                          std::span<const aig::Lit> var_lits);
+
+/// Builds flat two-level AIG logic for \p cover (no factoring); used by the
+/// ablation benchmark to quantify the benefit of factoring.
+aig::Lit synthesize_cover_flat(aig::Aig& g, const Cover& cover,
+                               std::span<const aig::Lit> var_lits);
+
+}  // namespace eco::sop

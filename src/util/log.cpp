@@ -1,0 +1,66 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+namespace {
+LogLevel initial_level() {
+  // Allow overriding the default level from the environment, so that tools
+  // and benchmarks can be made chatty without a rebuild.
+  const char* env = std::getenv("ECO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string value(env);
+  if (value == "error") return LogLevel::kError;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+LogLevel g_level = initial_level();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[eco %s] %s\n", level_name(level), msg.c_str());
+}
+
+std::string format_v(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace eco

@@ -1,0 +1,59 @@
+/// \file log.hpp
+/// \brief Minimal leveled logging used across the library.
+///
+/// The library is a research artifact: logging is plain-text to stderr,
+/// controlled by a global verbosity level. No dependency on external
+/// logging frameworks is taken so the library stays self-contained.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace eco {
+
+/// Verbosity levels, lower is more severe.
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Returns the current global log level (default: kWarn).
+LogLevel log_level() noexcept;
+
+/// Sets the global log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// True when messages at \p level would be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+std::string format_v(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+/// printf-style logging helpers. Cheap when the level is disabled.
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  if (log_enabled(LogLevel::kError))
+    detail::log_line(LogLevel::kError, detail::format_v(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  if (log_enabled(LogLevel::kWarn))
+    detail::log_line(LogLevel::kWarn, detail::format_v(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  if (log_enabled(LogLevel::kInfo))
+    detail::log_line(LogLevel::kInfo, detail::format_v(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  if (log_enabled(LogLevel::kDebug))
+    detail::log_line(LogLevel::kDebug, detail::format_v(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace eco

@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+namespace eco {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(uint64_t seed) noexcept {
+  uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::next() noexcept {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) noexcept {
+  // Debiased multiply-shift (Lemire); bound > 0 per contract.
+  for (;;) {
+    const uint64_t x = next();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const uint64_t low = static_cast<uint64_t>(m);
+    if (low >= bound || low >= static_cast<uint64_t>(-bound) % bound)
+      return static_cast<uint64_t>(m >> 64);
+  }
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) noexcept {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? next() : below(span));
+}
+
+bool Rng::chance(uint64_t num, uint64_t den) noexcept { return below(den) < num; }
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace eco

@@ -1,0 +1,55 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing and deadline budgets.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace eco {
+
+/// Simple wall-clock stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock deadline. A non-positive budget means "no limit".
+class Deadline {
+ public:
+  Deadline() noexcept = default;
+  explicit Deadline(double budget_seconds) noexcept {
+    if (budget_seconds > 0) {
+      limited_ = true;
+      end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(budget_seconds));
+    }
+  }
+
+  /// True once the budget is exhausted (never for unlimited deadlines).
+  bool expired() const noexcept { return limited_ && Clock::now() >= end_; }
+
+  /// Remaining seconds; +infinity when unlimited.
+  double remaining() const noexcept {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point end_{};
+};
+
+}  // namespace eco

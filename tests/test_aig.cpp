@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aig/aig.hpp"
+#include "aig/ops.hpp"
+#include "aig/sim.hpp"
+#include "aig/window.hpp"
+#include "util/rng.hpp"
+
+namespace eco::aig {
+namespace {
+
+TEST(AigLit, Helpers) {
+  EXPECT_EQ(lit_node(kLitFalse), 0u);
+  EXPECT_FALSE(lit_compl(kLitFalse));
+  EXPECT_TRUE(lit_compl(kLitTrue));
+  EXPECT_EQ(lit_not(kLitFalse), kLitTrue);
+  EXPECT_EQ(lit_make(3, true), 7u);
+  EXPECT_EQ(lit_notif(lit_make(3), true), lit_make(3, true));
+  EXPECT_EQ(lit_notif(lit_make(3), false), lit_make(3));
+}
+
+TEST(Aig, ConstantSimplifications) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  EXPECT_EQ(g.add_and(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(g.add_and(kLitFalse, a), kLitFalse);
+  EXPECT_EQ(g.add_and(a, kLitTrue), a);
+  EXPECT_EQ(g.add_and(kLitTrue, a), a);
+  EXPECT_EQ(g.add_and(a, a), a);
+  EXPECT_EQ(g.add_and(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingSharesNodes) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+  const Lit z = g.add_and(lit_not(a), b);
+  EXPECT_NE(x, z);
+  EXPECT_EQ(g.num_ands(), 2u);
+}
+
+TEST(Aig, DerivedGatesTruthTables) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  g.add_po(g.add_and(a, b), "and");
+  g.add_po(g.add_or(a, b), "or");
+  g.add_po(g.add_xor(a, b), "xor");
+  g.add_po(g.add_nand(a, b), "nand");
+  g.add_po(g.add_nor(a, b), "nor");
+  g.add_po(g.add_xnor(a, b), "xnor");
+  const auto tts = po_truth_tables(g);
+  EXPECT_EQ(tts[0][0], 0b1000u);
+  EXPECT_EQ(tts[1][0], 0b1110u);
+  EXPECT_EQ(tts[2][0], 0b0110u);
+  EXPECT_EQ(tts[3][0], 0b0111u);
+  EXPECT_EQ(tts[4][0], 0b0001u);
+  EXPECT_EQ(tts[5][0], 0b1001u);
+}
+
+TEST(Aig, MuxTruthTable) {
+  Aig g;
+  const Lit s = g.add_pi("s");
+  const Lit t = g.add_pi("t");
+  const Lit e = g.add_pi("e");
+  g.add_po(g.add_mux(s, t, e), "mux");
+  // Minterm order: s is PI0 (bit0), t PI1, e PI2.
+  const auto tt = truth_table(g, g.po_lit(0));
+  for (uint32_t m = 0; m < 8; ++m) {
+    const bool sv = m & 1, tv = m & 2, ev = m & 4;
+    const bool expected = sv ? tv : ev;
+    EXPECT_EQ(((tt[0] >> m) & 1) != 0, expected) << "minterm " << m;
+  }
+}
+
+TEST(Aig, MultiInputGates) {
+  Aig g;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(g.add_pi());
+  g.add_po(g.add_and_multi(ins), "and5");
+  g.add_po(g.add_or_multi(ins), "or5");
+  g.add_po(g.add_xor_multi(ins), "xor5");
+  const auto tts = po_truth_tables(g);
+  for (uint32_t m = 0; m < 32; ++m) {
+    const int ones = __builtin_popcount(m);
+    EXPECT_EQ(((tts[0][0] >> m) & 1) != 0, ones == 5);
+    EXPECT_EQ(((tts[1][0] >> m) & 1) != 0, ones > 0);
+    EXPECT_EQ(((tts[2][0] >> m) & 1) != 0, (ones % 2) == 1);
+  }
+}
+
+TEST(Aig, EmptyMultiGates) {
+  Aig g;
+  EXPECT_EQ(g.add_and_multi({}), kLitTrue);
+  EXPECT_EQ(g.add_or_multi({}), kLitFalse);
+  EXPECT_EQ(g.add_xor_multi({}), kLitFalse);
+}
+
+TEST(Aig, LevelsAreMonotone) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(x, lit_not(a));
+  g.add_po(y);
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[lit_node(a)], 0u);
+  EXPECT_EQ(levels[lit_node(x)], 1u);
+  EXPECT_EQ(levels[lit_node(y)], 2u);
+}
+
+TEST(Aig, CleanupRemovesDanglingNodes) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit used = g.add_and(a, b);
+  g.add_and(lit_not(a), lit_not(b));  // dangling
+  g.add_po(used, "f");
+  EXPECT_EQ(g.num_ands(), 2u);
+  const Aig clean = g.cleanup();
+  EXPECT_EQ(clean.num_ands(), 1u);
+  EXPECT_EQ(clean.num_pis(), 2u);
+  EXPECT_EQ(clean.num_pos(), 1u);
+  EXPECT_EQ(clean.pi_name(0), "a");
+  EXPECT_EQ(clean.po_name(0), "f");
+  EXPECT_EQ(truth_table(clean, clean.po_lit(0))[0], truth_table(g, g.po_lit(0))[0]);
+}
+
+TEST(Aig, ConeSizeCountsSharedNodesOnce) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(x, lit_not(b));
+  const Lit z = g.add_and(x, b);
+  const Lit roots[] = {y, z};
+  EXPECT_EQ(g.cone_size(roots), 3u);
+}
+
+TEST(AigOps, AppendPreservesFunction) {
+  Aig src;
+  const Lit a = src.add_pi("a");
+  const Lit b = src.add_pi("b");
+  src.add_po(src.add_xor(a, b), "x");
+
+  Aig dst;
+  const Lit p = dst.add_pi("p");
+  const Lit q = dst.add_pi("q");
+  const std::vector<Lit> pi_map = {p, q};
+  const auto outs = append(src, dst, pi_map);
+  dst.add_po(outs[0], "x");
+  EXPECT_EQ(truth_table(dst, dst.po_lit(0))[0], 0b0110u);
+}
+
+TEST(AigOps, AppendWithInvertedAndConstantInputs) {
+  Aig src;
+  const Lit a = src.add_pi("a");
+  const Lit b = src.add_pi("b");
+  src.add_po(src.add_and(a, b), "f");
+
+  Aig dst;
+  const Lit p = dst.add_pi("p");
+  dst.add_pi("q");
+  const std::vector<Lit> pi_map = {lit_not(p), kLitTrue};  // f = !p & 1 = !p
+  const auto outs = append(src, dst, pi_map);
+  dst.add_po(outs[0], "f");
+  const auto tt = truth_table(dst, dst.po_lit(0));
+  EXPECT_EQ(tt[0] & 0xFu, 0b0101u);
+}
+
+TEST(AigOps, CofactorPis) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit c = g.add_pi("c");
+  g.add_po(g.add_mux(a, b, c), "f");
+  const std::pair<uint32_t, bool> fix1[] = {{0u, true}};  // a=1 -> f=b
+  const Aig pos_cof = cofactor_pis(g, fix1);
+  EXPECT_EQ(pos_cof.num_pis(), 3u);
+  const auto tt = truth_table(pos_cof, pos_cof.po_lit(0));
+  for (uint32_t m = 0; m < 8; ++m)
+    EXPECT_EQ(((tt[0] >> m) & 1) != 0, (m & 2) != 0);
+  const std::pair<uint32_t, bool> fix0[] = {{0u, false}};  // a=0 -> f=c
+  const Aig neg_cof = cofactor_pis(g, fix0);
+  const auto tt0 = truth_table(neg_cof, neg_cof.po_lit(0));
+  for (uint32_t m = 0; m < 8; ++m)
+    EXPECT_EQ(((tt0[0] >> m) & 1) != 0, (m & 4) != 0);
+}
+
+TEST(AigOps, ComposePiSubstitutesFunction) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit c = g.add_pi("c");
+  g.add_po(g.add_and(a, b), "f");
+  // Replace a by (b xor c): f = (b xor c) & b = b & !c.
+  const Lit bxc = g.add_xor(b, c);
+  const Aig composed = compose_pi(g, 0, bxc);
+  const auto tt = truth_table(composed, composed.po_lit(0));
+  for (uint32_t m = 0; m < 8; ++m) {
+    const bool bv = m & 2, cv = m & 4;
+    EXPECT_EQ(((tt[0] >> m) & 1) != 0, bv && !cv);
+  }
+}
+
+TEST(AigOps, TransferThrowsOnUnmappedPi) {
+  Aig src;
+  const Lit a = src.add_pi("a");
+  src.add_po(a, "f");
+  Aig dst;
+  std::vector<Lit> map;  // no PI mapping provided
+  const Lit roots[] = {src.po_lit(0)};
+  EXPECT_THROW(transfer(src, dst, roots, map), std::invalid_argument);
+}
+
+TEST(AigOps, ExtractConeKeepsInterface) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit c = g.add_pi("c");
+  (void)c;
+  const Lit f = g.add_or(a, b);
+  const Aig cone = extract_cone(g, f);
+  EXPECT_EQ(cone.num_pis(), 3u);
+  EXPECT_EQ(cone.num_pos(), 1u);
+  const auto tt = truth_table(cone, cone.po_lit(0));
+  for (uint32_t m = 0; m < 8; ++m)
+    EXPECT_EQ(((tt[0] >> m) & 1) != 0, (m & 1) || (m & 2));
+}
+
+TEST(AigSim, SimulateMatchesEval) {
+  Rng rng(5);
+  Aig g;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(g.add_pi());
+  std::vector<Lit> pool = pis;
+  for (int i = 0; i < 40; ++i) {
+    const Lit x = pool[rng.below(pool.size())];
+    const Lit y = pool[rng.below(pool.size())];
+    pool.push_back(g.add_and(lit_notif(x, rng.chance(1, 2)), lit_notif(y, rng.chance(1, 2))));
+  }
+  for (int i = 0; i < 4; ++i) g.add_po(pool[pool.size() - 1 - static_cast<size_t>(i)]);
+
+  const std::vector<uint64_t> pi_words = random_pi_words(g, rng);
+  const auto words = simulate(g, pi_words);
+  for (int bit = 0; bit < 8; ++bit) {
+    std::vector<bool> pattern(g.num_pis());
+    for (uint32_t i = 0; i < g.num_pis(); ++i)
+      pattern[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
+    const auto po_values = eval(g, pattern);
+    for (uint32_t i = 0; i < g.num_pos(); ++i)
+      EXPECT_EQ(po_values[i], ((sim_value(words, g.po_lit(i)) >> bit) & 1ULL) != 0);
+  }
+}
+
+TEST(AigSim, TruthTableRejectsWidePis) {
+  Aig g;
+  for (int i = 0; i < 17; ++i) g.add_pi();
+  g.add_po(kLitTrue);
+  EXPECT_THROW(truth_table(g, kLitTrue), std::invalid_argument);
+}
+
+TEST(AigWindow, TfiMarksExactCone) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(b, c);
+  g.add_po(x);
+  g.add_po(y);
+  const Node roots[] = {lit_node(x)};
+  const auto mark = tfi_mark(g, roots);
+  EXPECT_TRUE(mark[lit_node(x)]);
+  EXPECT_TRUE(mark[lit_node(a)]);
+  EXPECT_TRUE(mark[lit_node(b)]);
+  EXPECT_FALSE(mark[lit_node(c)]);
+  EXPECT_FALSE(mark[lit_node(y)]);
+}
+
+TEST(AigWindow, TfoMarksDownstream) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(x, c);
+  const Lit z = g.add_and(b, c);
+  g.add_po(y);
+  g.add_po(z);
+  const Node seeds[] = {lit_node(x)};
+  const auto mark = tfo_mark(g, seeds);
+  EXPECT_TRUE(mark[lit_node(x)]);
+  EXPECT_TRUE(mark[lit_node(y)]);
+  EXPECT_FALSE(mark[lit_node(z)]);
+  const auto pos = tfo_pos(g, seeds);
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], 0u);
+}
+
+TEST(AigWindow, SupportPis) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  (void)a;
+  const Lit y = g.add_and(b, c);
+  g.add_po(y);
+  const Lit roots[] = {y};
+  const auto support = support_pis(g, roots);
+  EXPECT_EQ(support, (std::vector<uint32_t>{1, 2}));
+}
+
+// Property: random AIG, cleanup preserves all PO functions.
+class AigRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AigRandomTest, CleanupPreservesFunctions) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  Aig g;
+  std::vector<Lit> pool;
+  const int num_pis = 4 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < num_pis; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < 60; ++i) {
+    const Lit x = pool[rng.below(pool.size())];
+    const Lit y = pool[rng.below(pool.size())];
+    pool.push_back(g.add_and(lit_notif(x, rng.chance(1, 2)), lit_notif(y, rng.chance(1, 2))));
+  }
+  for (int i = 0; i < 3; ++i)
+    g.add_po(lit_notif(pool[rng.below(pool.size())], rng.chance(1, 2)));
+  const Aig clean = g.cleanup();
+  EXPECT_LE(clean.num_ands(), g.num_ands());
+  const auto tts_before = po_truth_tables(g);
+  const auto tts_after = po_truth_tables(clean);
+  EXPECT_EQ(tts_before, tts_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigRandomTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace eco::aig

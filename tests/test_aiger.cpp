@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig.hpp"
+#include "aig/aiger.hpp"
+#include "aig/sim.hpp"
+#include "cec/cec.hpp"
+#include "util/rng.hpp"
+
+namespace eco::aig {
+namespace {
+
+Aig sample_circuit() {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit c = g.add_pi("c");
+  g.add_po(g.add_xor(g.add_and(a, b), c), "f");
+  g.add_po(g.add_or(a, lit_not(c)), "h");
+  return g;
+}
+
+TEST(Aiger, AsciiRoundTrip) {
+  const Aig g = sample_circuit();
+  std::ostringstream out;
+  write_aiger(out, g, /*binary=*/false);
+  const Aig back = read_aiger_string(out.str());
+  EXPECT_EQ(back.num_pis(), g.num_pis());
+  EXPECT_EQ(back.num_pos(), g.num_pos());
+  EXPECT_EQ(cec::check_equivalence(g, back).status, cec::Status::kEquivalent);
+  EXPECT_EQ(back.pi_name(0), "a");
+  EXPECT_EQ(back.po_name(1), "h");
+}
+
+TEST(Aiger, BinaryRoundTrip) {
+  const Aig g = sample_circuit();
+  std::ostringstream out;
+  write_aiger(out, g, /*binary=*/true);
+  const Aig back = read_aiger_string(out.str());
+  EXPECT_EQ(cec::check_equivalence(g, back).status, cec::Status::kEquivalent);
+}
+
+TEST(Aiger, ParsesKnownAsciiExample) {
+  // The classic AND example from the AIGER spec.
+  const std::string text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+  const Aig g = read_aiger_string(text);
+  EXPECT_EQ(g.num_pis(), 2u);
+  EXPECT_EQ(g.num_pos(), 1u);
+  EXPECT_EQ(g.num_ands(), 1u);
+  EXPECT_EQ(truth_table(g, g.po_lit(0))[0] & 0xFu, 0b1000u);
+}
+
+TEST(Aiger, HandlesComplementedOutputsAndConstants) {
+  const std::string text = "aag 1 1 0 3 0\n2\n3\n0\n1\n";  // !a, const0, const1
+  const Aig g = read_aiger_string(text);
+  ASSERT_EQ(g.num_pos(), 3u);
+  const auto out0 = eval(g, {true});
+  EXPECT_FALSE(out0[0]);
+  EXPECT_FALSE(out0[1]);
+  EXPECT_TRUE(out0[2]);
+}
+
+TEST(Aiger, AcceptsOutOfOrderAndDefinitions) {
+  // f = (a & b) & c written with the inner AND defined second.
+  const std::string text = "aag 5 3 0 1 2\n2\n4\n6\n10\n10 8 6\n8 2 4\n";
+  const Aig g = read_aiger_string(text);
+  const auto tt = truth_table(g, g.po_lit(0));
+  EXPECT_EQ(tt[0] & 0xFFu, 0x80u);  // only minterm a=b=c=1
+}
+
+TEST(Aiger, RejectsMalformedInput) {
+  EXPECT_THROW(read_aiger_string("xyz 1 1 0 0 0\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger_string("aag 2 1 1 0 0\n2\n4 2\n"), std::runtime_error);  // latch
+  EXPECT_THROW(read_aiger_string("aag 2 1 0 1 1\n2\n4\n4 6 2\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger_string("aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n"),
+               std::runtime_error);  // cyclic
+}
+
+TEST(Aiger, RandomRoundTripsBothFormats) {
+  Rng rng(99);
+  for (int iter = 0; iter < 6; ++iter) {
+    Aig g;
+    std::vector<Lit> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(g.add_pi());
+    for (int i = 0; i < 30; ++i) {
+      const Lit x = pool[rng.below(pool.size())];
+      const Lit y = pool[rng.below(pool.size())];
+      pool.push_back(g.add_and(lit_notif(x, rng.chance(1, 2)), lit_notif(y, rng.chance(1, 2))));
+    }
+    for (int i = 0; i < 3; ++i)
+      g.add_po(lit_notif(pool[rng.below(pool.size())], rng.chance(1, 2)));
+    const Aig clean = g.cleanup();
+    for (const bool binary : {false, true}) {
+      std::ostringstream out;
+      write_aiger(out, clean, binary);
+      const Aig back = read_aiger_string(out.str());
+      EXPECT_EQ(cec::check_equivalence(clean, back).status, cec::Status::kEquivalent)
+          << (binary ? "binary" : "ascii") << " iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eco::aig

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig.hpp"
+#include "cec/cec.hpp"
+#include "net/aignet.hpp"
+#include "net/elaborate.hpp"
+#include "net/verilog.hpp"
+#include "util/rng.hpp"
+
+namespace eco::net {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_not;
+
+TEST(AigNet, SimpleExportRoundTrip) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  g.add_po(g.add_xor(a, b), "f");
+  const Network net = aig_to_network(g, "m");
+  net.validate();
+  EXPECT_EQ(net.name, "m");
+  EXPECT_EQ(net.inputs, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(net.outputs, (std::vector<std::string>{"f"}));
+  const auto elab = elaborate(net);
+  EXPECT_EQ(cec::check_equivalence(g, elab.aig).status, cec::Status::kEquivalent);
+}
+
+TEST(AigNet, ConstantsAndComplements) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  g.add_po(aig::kLitFalse, "zero");
+  g.add_po(aig::kLitTrue, "one");
+  g.add_po(lit_not(a), "na");
+  const Network net = aig_to_network(g);
+  net.validate();
+  const auto elab = elaborate(net);
+  EXPECT_EQ(cec::check_equivalence(g, elab.aig).status, cec::Status::kEquivalent);
+}
+
+TEST(AigNet, UnnamedSignalsGetGeneratedNames) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.add_and(a, b));
+  const Network net = aig_to_network(g);
+  net.validate();
+  EXPECT_EQ(net.inputs.size(), 2u);
+  EXPECT_FALSE(net.inputs[0].empty());
+}
+
+TEST(AigNet, NameCollisionsResolved) {
+  Aig g;
+  const Lit a = g.add_pi("x");
+  const Lit b = g.add_pi("x");  // duplicate name on purpose
+  g.add_po(g.add_or(a, b), "x");
+  const Network net = aig_to_network(g);
+  net.validate();  // must not declare duplicate drivers
+}
+
+TEST(AigNet, SharedInverterEmittedOnce) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit c = g.add_pi("c");
+  g.add_po(g.add_and(lit_not(a), b), "f");
+  g.add_po(g.add_and(lit_not(a), c), "h");
+  const Network net = aig_to_network(g);
+  int inverters = 0;
+  for (const auto& gate : net.gates)
+    if (gate.type == GateType::kNot) ++inverters;
+  EXPECT_EQ(inverters, 1);
+}
+
+TEST(AigNet, RandomAigsRoundTripThroughVerilog) {
+  Rng rng(31);
+  for (int iter = 0; iter < 8; ++iter) {
+    Aig g;
+    std::vector<Lit> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(g.add_pi());
+    for (int i = 0; i < 40; ++i) {
+      const Lit x = pool[rng.below(pool.size())];
+      const Lit y = pool[rng.below(pool.size())];
+      pool.push_back(g.add_and(aig::lit_notif(x, rng.chance(1, 2)),
+                               aig::lit_notif(y, rng.chance(1, 2))));
+    }
+    for (int i = 0; i < 3; ++i)
+      g.add_po(aig::lit_notif(pool[rng.below(pool.size())], rng.chance(1, 2)));
+    const Aig clean = g.cleanup();
+    std::ostringstream text;
+    write_verilog(text, aig_to_network(clean, "rt"));
+    const auto back = elaborate(parse_verilog_string(text.str()));
+    EXPECT_EQ(cec::check_equivalence(clean, back.aig).status, cec::Status::kEquivalent);
+  }
+}
+
+}  // namespace
+}  // namespace eco::net

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/sim.hpp"
+#include "cec/cec.hpp"
+#include "net/blif.hpp"
+#include "util/rng.hpp"
+
+namespace eco::net {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(Blif, ParsesSimpleAndOr) {
+  const Aig g = parse_blif_string(R"(
+.model m
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+)");
+  EXPECT_EQ(g.num_pis(), 3u);
+  EXPECT_EQ(g.num_pos(), 1u);
+  for (uint32_t m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = m & 2, c = m & 4;
+    EXPECT_EQ(aig::eval(g, {a, b, c})[0], (a && b) || c) << "minterm " << m;
+  }
+}
+
+TEST(Blif, OffSetRowsComplement) {
+  // y defined by its off-set: y = 0 iff a=1,b=1  ->  y = nand(a, b).
+  const Aig g = parse_blif_string(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n");
+  for (uint32_t m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = m & 2;
+    EXPECT_EQ(aig::eval(g, {a, b})[0], !(a && b));
+  }
+}
+
+TEST(Blif, ConstantsAndDontCares) {
+  const Aig g = parse_blif_string(R"(
+.model m
+.inputs a b
+.outputs zero one f
+.names zero
+.names one
+1
+.names a b f
+-1 1
+.end
+)");
+  for (uint32_t m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = m & 2;
+    const auto out = aig::eval(g, {a, b});
+    EXPECT_FALSE(out[0]);
+    EXPECT_TRUE(out[1]);
+    EXPECT_EQ(out[2], b);
+  }
+}
+
+TEST(Blif, LineContinuationAndComments) {
+  const Aig g = parse_blif_string(
+      "# header\n.model m\n.inputs a \\\n b\n.outputs y # trailing\n"
+      ".names a b y\n11 1\n.end\n");
+  EXPECT_EQ(g.num_pis(), 2u);
+  EXPECT_EQ(aig::eval(g, {true, true})[0], true);
+  EXPECT_EQ(aig::eval(g, {true, false})[0], false);
+}
+
+TEST(Blif, OutOfOrderDefinitions) {
+  const Aig g = parse_blif_string(R"(
+.model m
+.inputs a b
+.outputs y
+.names t a y
+11 1
+.names a b t
+-1 1
+.end
+)");
+  for (uint32_t m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = m & 2;
+    EXPECT_EQ(aig::eval(g, {a, b})[0], b && a);
+  }
+}
+
+TEST(Blif, RejectsBadInput) {
+  EXPECT_THROW(parse_blif_string(".model m\n.latch a b\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_blif_string(".model m\n.inputs a\n.outputs y\n.end\n"),
+               std::runtime_error);  // y undefined
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"),
+               std::runtime_error);  // mixed polarity rows
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"),
+               std::runtime_error);  // pattern width
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n.names y z\n1 1\n.names z y\n1 1\n.end\n"),
+               std::runtime_error);  // cycle
+}
+
+TEST(Blif, WriterRoundTrip) {
+  Rng rng(41);
+  for (int iter = 0; iter < 6; ++iter) {
+    Aig g;
+    std::vector<Lit> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(g.add_pi("x" + std::to_string(i)));
+    for (int i = 0; i < 30; ++i) {
+      const Lit a = pool[rng.below(pool.size())];
+      const Lit b = pool[rng.below(pool.size())];
+      pool.push_back(g.add_and(aig::lit_notif(a, rng.chance(1, 2)),
+                               aig::lit_notif(b, rng.chance(1, 2))));
+    }
+    g.add_po(aig::lit_notif(pool.back(), rng.chance(1, 2)), "f");
+    g.add_po(aig::kLitTrue, "konst");
+    const Aig clean = g.cleanup();
+    std::ostringstream text;
+    write_blif(text, clean, "rt");
+    const Aig back = parse_blif_string(text.str());
+    EXPECT_EQ(cec::check_equivalence(clean, back).status, cec::Status::kEquivalent)
+        << "iter " << iter;
+    EXPECT_EQ(back.po_name(1), "konst");
+  }
+}
+
+}  // namespace
+}  // namespace eco::net

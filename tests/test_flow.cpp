@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "flow/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace eco::flow {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow mf(2);
+  const int e = mf.add_edge(0, 1, 5);
+  EXPECT_EQ(mf.run(0, 1), 5);
+  EXPECT_EQ(mf.flow_on(e), 5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 7);
+  mf.add_edge(1, 2, 3);
+  EXPECT_EQ(mf.run(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 4);
+  mf.add_edge(1, 3, 4);
+  mf.add_edge(0, 2, 6);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.run(0, 3), 9);
+}
+
+TEST(MaxFlow, ClassicCLRSExample) {
+  // CLRS figure 26.6 network; max flow 23.
+  MaxFlow mf(6);
+  mf.add_edge(0, 1, 16);
+  mf.add_edge(0, 2, 13);
+  mf.add_edge(1, 2, 10);
+  mf.add_edge(2, 1, 4);
+  mf.add_edge(1, 3, 12);
+  mf.add_edge(3, 2, 9);
+  mf.add_edge(2, 4, 14);
+  mf.add_edge(4, 3, 7);
+  mf.add_edge(3, 5, 20);
+  mf.add_edge(4, 5, 4);
+  EXPECT_EQ(mf.run(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(2, 3, 10);
+  EXPECT_EQ(mf.run(0, 3), 0);
+}
+
+TEST(MaxFlow, MinCutSeparatesSourceFromSink) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 2);
+  mf.add_edge(0, 2, 2);
+  mf.add_edge(1, 3, 1);
+  mf.add_edge(2, 3, 1);
+  EXPECT_EQ(mf.run(0, 3), 2);
+  const auto side = mf.min_cut_source_side();
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, CutValueEqualsCrossingCapacity) {
+  Rng rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 6 + static_cast<int>(rng.below(6));
+    MaxFlow mf(n);
+    struct E {
+      int from, to;
+      Capacity cap;
+    };
+    std::vector<E> edge_list;
+    for (int i = 0; i < 3 * n; ++i) {
+      const int from = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      const int to = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      if (from == to) continue;
+      const Capacity cap = static_cast<Capacity>(1 + rng.below(9));
+      mf.add_edge(from, to, cap);
+      edge_list.push_back({from, to, cap});
+    }
+    const Capacity flow = mf.run(0, n - 1);
+    const auto side = mf.min_cut_source_side();
+    Capacity crossing = 0;
+    for (const auto& e : edge_list)
+      if (side[static_cast<size_t>(e.from)] && !side[static_cast<size_t>(e.to)])
+        crossing += e.cap;
+    EXPECT_EQ(flow, crossing) << "max-flow must equal min-cut";
+  }
+}
+
+TEST(NodeCut, PicksCheapestNode) {
+  // Chain s -> a -> b -> t with cap(a)=5, cap(b)=2: cut must be {b}.
+  NodeCutGraph g(4);
+  g.mark_source(0);
+  g.mark_sink(3);
+  g.set_node_capacity(0, kInfinite);
+  g.set_node_capacity(1, 5);
+  g.set_node_capacity(2, 2);
+  g.set_node_capacity(3, kInfinite);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto result = g.solve();
+  EXPECT_EQ(result.cut_value, 2);
+  EXPECT_EQ(result.cut_nodes, (std::vector<int>{2}));
+}
+
+TEST(NodeCut, DiamondNeedsBothBranchesOrTheJoint) {
+  //    s -> a -> t
+  //    s -> b -> t     cap(a)=3, cap(b)=4 -> cut {a, b} value 7... unless
+  // a cheaper joint j exists: s->a->j->t, s->b->j->t with cap(j)=5 -> cut {j}.
+  NodeCutGraph g(5);
+  g.mark_source(0);
+  g.mark_sink(4);
+  g.set_node_capacity(1, 3);
+  g.set_node_capacity(2, 4);
+  g.set_node_capacity(3, 5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto result = g.solve();
+  EXPECT_EQ(result.cut_value, 5);
+  EXPECT_EQ(result.cut_nodes, (std::vector<int>{3}));
+}
+
+TEST(NodeCut, InfiniteWhenNoCuttableNode) {
+  NodeCutGraph g(3);
+  g.mark_source(0);
+  g.mark_sink(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  // All nodes default to infinite capacity.
+  const auto result = g.solve();
+  EXPECT_EQ(result.cut_value, kInfinite);
+  EXPECT_TRUE(result.cut_nodes.empty());
+}
+
+TEST(NodeCut, CutActuallySeparates) {
+  Rng rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 8;
+    NodeCutGraph g(n);
+    std::vector<std::pair<int, int>> edges;
+    // Layered random DAG 0 -> ... -> n-1.
+    for (int v = 0; v + 1 < n; ++v) {
+      edges.emplace_back(v, v + 1);
+      if (rng.chance(1, 2) && v + 2 < n) edges.emplace_back(v, v + 2);
+    }
+    for (const auto& [a, b] : edges) g.add_edge(a, b);
+    g.mark_source(0);
+    g.mark_sink(n - 1);
+    std::vector<Capacity> caps(n, kInfinite);
+    for (int v = 1; v + 1 < n; ++v) {
+      caps[static_cast<size_t>(v)] = static_cast<Capacity>(1 + rng.below(9));
+      g.set_node_capacity(v, caps[static_cast<size_t>(v)]);
+    }
+    const auto result = g.solve();
+    ASSERT_LT(result.cut_value, kInfinite);
+    // Removing the cut nodes must disconnect 0 from n-1.
+    std::vector<uint8_t> removed(static_cast<size_t>(n), 0);
+    Capacity cut_weight = 0;
+    for (const int v : result.cut_nodes) {
+      removed[static_cast<size_t>(v)] = 1;
+      cut_weight += caps[static_cast<size_t>(v)];
+    }
+    EXPECT_EQ(cut_weight, result.cut_value);
+    std::vector<uint8_t> reach(static_cast<size_t>(n), 0);
+    reach[0] = 1;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [a, b] : edges)
+        if (reach[static_cast<size_t>(a)] && !removed[static_cast<size_t>(b)] &&
+            !reach[static_cast<size_t>(b)]) {
+          reach[static_cast<size_t>(b)] = 1;
+          changed = true;
+        }
+    }
+    EXPECT_FALSE(reach[static_cast<size_t>(n - 1)]) << "cut does not separate";
+  }
+}
+
+}  // namespace
+}  // namespace eco::flow

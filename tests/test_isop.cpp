@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sop/isop.hpp"
+#include "util/rng.hpp"
+
+namespace eco::sop {
+namespace {
+
+TruthTable random_table(uint32_t num_vars, Rng& rng) {
+  TruthTable t = TruthTable::zeros(num_vars);
+  for (auto& w : t.words) w = rng.next();
+  t.words[0] &= num_vars >= 6 ? ~0ULL : (1ULL << (1u << num_vars)) - 1;
+  return t;
+}
+
+TEST(TruthTable, BasicOps) {
+  const TruthTable zero = TruthTable::zeros(3);
+  const TruthTable one = TruthTable::ones(3);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_EQ(~one, zero);
+  EXPECT_EQ(one & zero, zero);
+  EXPECT_EQ(one | zero, one);
+  const TruthTable x1 = TruthTable::variable(3, 1);
+  for (uint32_t m = 0; m < 8; ++m) EXPECT_EQ(x1.get(m), ((m >> 1) & 1u) != 0);
+}
+
+TEST(TruthTable, CofactorRemovesDependence) {
+  const TruthTable x0 = TruthTable::variable(3, 0);
+  const TruthTable x2 = TruthTable::variable(3, 2);
+  const TruthTable f = x0 & x2;
+  const TruthTable f1 = f.cofactor(0, true);
+  EXPECT_EQ(f1, x2);
+  const TruthTable f0 = f.cofactor(0, false);
+  EXPECT_TRUE(f0.is_zero());
+}
+
+TEST(Isop, ConstantsAndLiterals) {
+  EXPECT_TRUE(isop(TruthTable::zeros(4)).cubes.empty());
+  const Cover taut = isop(TruthTable::ones(4));
+  ASSERT_EQ(taut.cubes.size(), 1u);
+  EXPECT_TRUE(taut.cubes[0].empty());
+  const Cover lit = isop(TruthTable::variable(4, 2));
+  ASSERT_EQ(lit.cubes.size(), 1u);
+  EXPECT_EQ(lit.cubes[0].lits(), (std::vector<Lit>{lit_pos(2)}));
+}
+
+TEST(Isop, ExactCoverOfCompletelySpecifiedFunctions) {
+  Rng rng(123);
+  for (uint32_t n = 2; n <= 6; ++n) {
+    for (int iter = 0; iter < 10; ++iter) {
+      const TruthTable f = random_table(n, rng);
+      const Cover cover = isop(f);
+      EXPECT_EQ(cover_to_truth_table(cover, n), f) << "n=" << n << " iter=" << iter;
+    }
+  }
+}
+
+TEST(Isop, RespectsDontCares) {
+  Rng rng(321);
+  for (int iter = 0; iter < 20; ++iter) {
+    const uint32_t n = 4 + static_cast<uint32_t>(rng.below(3));
+    TruthTable on = random_table(n, rng);
+    TruthTable dc = random_table(n, rng);
+    on = on & ~dc;  // disjoint on/dc
+    const Cover cover = isop(on, dc);
+    const TruthTable result = cover_to_truth_table(cover, n);
+    // on ⊆ result ⊆ on | dc.
+    EXPECT_TRUE((on & ~result).is_zero()) << "uncovered on-set minterm";
+    EXPECT_TRUE((result & ~(on | dc)).is_zero()) << "off-set minterm covered";
+  }
+}
+
+TEST(Isop, DontCaresReduceCubeCount) {
+  // A scattered on-set with generous don't cares should need fewer cubes
+  // than without them.
+  Rng rng(55);
+  int improved = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    const uint32_t n = 6;
+    TruthTable on = random_table(n, rng) & random_table(n, rng);  // sparse
+    TruthTable dc = random_table(n, rng) | random_table(n, rng);  // dense
+    dc = dc & ~on;
+    const size_t with_dc = isop(on, dc).cubes.size();
+    const size_t without = isop(on).cubes.size();
+    EXPECT_LE(with_dc, without);
+    improved += with_dc < without;
+  }
+  EXPECT_GT(improved, 5);
+}
+
+TEST(Isop, IrredundantOnCompletelySpecified) {
+  Rng rng(777);
+  for (int iter = 0; iter < 10; ++iter) {
+    const uint32_t n = 5;
+    const TruthTable f = random_table(n, rng);
+    Cover cover = isop(f);
+    // Dropping any single cube must lose an on-set minterm.
+    for (size_t i = 0; i < cover.cubes.size(); ++i) {
+      Cover reduced;
+      reduced.num_vars = cover.num_vars;
+      for (size_t j = 0; j < cover.cubes.size(); ++j)
+        if (j != i) reduced.cubes.push_back(cover.cubes[j]);
+      EXPECT_NE(cover_to_truth_table(reduced, n), f)
+          << "cube " << i << " is redundant";
+    }
+  }
+}
+
+TEST(Isop, CubesArePrime) {
+  // Expanding any cube by removing one literal must intersect the off-set.
+  Rng rng(999);
+  for (int iter = 0; iter < 8; ++iter) {
+    const uint32_t n = 5;
+    const TruthTable f = random_table(n, rng);
+    const Cover cover = isop(f);
+    for (const auto& cube : cover.cubes) {
+      for (const Lit removed : cube.lits()) {
+        std::vector<Lit> lits;
+        for (const Lit l : cube.lits())
+          if (l != removed) lits.push_back(l);
+        Cover expanded;
+        expanded.num_vars = n;
+        expanded.cubes.push_back(Cube(std::move(lits)));
+        const TruthTable etab = cover_to_truth_table(expanded, n);
+        EXPECT_FALSE((etab & ~f).is_zero())
+            << "cube " << cube.to_string() << " is not prime";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eco::sop

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sop/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace eco::sop {
+namespace {
+
+Cube cube(std::initializer_list<Lit> lits) { return Cube(std::vector<Lit>(lits)); }
+
+Cover cover_of(uint32_t num_vars, std::initializer_list<Cube> cubes) {
+  Cover f;
+  f.num_vars = num_vars;
+  f.cubes = cubes;
+  return f;
+}
+
+// Variables a..g = 0..6.
+constexpr Lit a = lit_pos(0), b = lit_pos(1), c = lit_pos(2), d = lit_pos(3),
+              e = lit_pos(4), f_ = lit_pos(5), g_ = lit_pos(6);
+
+TEST(Division, DivideByCube) {
+  // F = abc + abd + e;  F / ab = c + d, remainder e.
+  const Cover f = cover_of(7, {cube({a, b, c}), cube({a, b, d}), cube({e})});
+  const auto r = divide_by_cube(f, cube({a, b}));
+  ASSERT_EQ(r.quotient.cubes.size(), 2u);
+  EXPECT_EQ(r.quotient.cubes[0], cube({c}));
+  EXPECT_EQ(r.quotient.cubes[1], cube({d}));
+  ASSERT_EQ(r.remainder.cubes.size(), 1u);
+  EXPECT_EQ(r.remainder.cubes[0], cube({e}));
+}
+
+TEST(Division, AlgebraicDivide) {
+  // F = ac + ad + bc + bd + e;  F / (c + d) = a + b, remainder e.
+  const Cover f = cover_of(7, {cube({a, c}), cube({a, d}), cube({b, c}),
+                               cube({b, d}), cube({e})});
+  const Cover divisor = cover_of(7, {cube({c}), cube({d})});
+  const auto r = algebraic_divide(f, divisor);
+  std::vector<Cube> q = r.quotient.cubes;
+  std::sort(q.begin(), q.end(), [](const Cube& x, const Cube& y) { return x.lits() < y.lits(); });
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], cube({a}));
+  EXPECT_EQ(q[1], cube({b}));
+  ASSERT_EQ(r.remainder.cubes.size(), 1u);
+  EXPECT_EQ(r.remainder.cubes[0], cube({e}));
+}
+
+TEST(Division, FailsWhenNoCommonQuotient) {
+  // F = ac + bd cannot be divided by (c + d): quotient empty.
+  const Cover f = cover_of(7, {cube({a, c}), cube({b, d})});
+  const Cover divisor = cover_of(7, {cube({c}), cube({d})});
+  const auto r = algebraic_divide(f, divisor);
+  EXPECT_TRUE(r.quotient.cubes.empty());
+  EXPECT_EQ(r.remainder.cubes.size(), 2u);
+}
+
+TEST(Division, QuotientTimesDivisorPlusRemainderEqualsF) {
+  Rng rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    Cover f;
+    f.num_vars = 6;
+    const int n = 3 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < n; ++i) {
+      std::vector<Lit> lits;
+      for (uint32_t v = 0; v < 6; ++v) {
+        const uint64_t r3 = rng.below(3);
+        if (r3 == 0) lits.push_back(lit_pos(v));
+        if (r3 == 1) lits.push_back(lit_neg(v));
+      }
+      f.cubes.push_back(Cube(std::move(lits)));
+    }
+    f.remove_contained_cubes();
+    Cover divisor;
+    divisor.num_vars = 6;
+    divisor.cubes = {cube({lit_pos(static_cast<uint32_t>(rng.below(6)))}),
+                     cube({lit_neg(static_cast<uint32_t>(rng.below(6)))})};
+    const auto r = algebraic_divide(f, divisor);
+    // Check Q*D + R == F as sets of cubes.
+    std::vector<std::vector<Lit>> rebuilt;
+    for (const auto& q : r.quotient.cubes)
+      for (const auto& dc : divisor.cubes) {
+        std::vector<Lit> lits = q.lits();
+        lits.insert(lits.end(), dc.lits().begin(), dc.lits().end());
+        rebuilt.push_back(Cube(std::move(lits)).lits());
+      }
+    for (const auto& rc : r.remainder.cubes) rebuilt.push_back(rc.lits());
+    std::vector<std::vector<Lit>> original;
+    for (const auto& fc : f.cubes) original.push_back(fc.lits());
+    std::sort(rebuilt.begin(), rebuilt.end());
+    std::sort(original.begin(), original.end());
+    EXPECT_EQ(rebuilt, original);
+  }
+}
+
+TEST(Kernels, CommonCubeAndCubeFree) {
+  const Cover f = cover_of(7, {cube({a, b, c}), cube({a, b, d})});
+  EXPECT_EQ(common_cube_of(f), cube({a, b}));
+  const Cover free = make_cube_free(f);
+  EXPECT_EQ(free.cubes[0], cube({c}));
+  EXPECT_EQ(free.cubes[1], cube({d}));
+}
+
+TEST(Kernels, FindsClassicKernels) {
+  // F = adf + aef + bdf + bef + cdf + cef + g = ((a+b+c)(d+e))f + g.
+  const Cover f = cover_of(7, {cube({a, d, f_}), cube({a, e, f_}), cube({b, d, f_}),
+                               cube({b, e, f_}), cube({c, d, f_}), cube({c, e, f_}),
+                               cube({g_})});
+  const auto ks = kernels(f);
+  auto has_kernel = [&](std::initializer_list<Cube> expect) {
+    std::vector<Cube> want(expect);
+    std::sort(want.begin(), want.end(),
+              [](const Cube& x, const Cube& y) { return x.lits() < y.lits(); });
+    for (const auto& [ck, kernel] : ks) {
+      std::vector<Cube> got = kernel.cubes;
+      std::sort(got.begin(), got.end(),
+                [](const Cube& x, const Cube& y) { return x.lits() < y.lits(); });
+      if (got == want) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_kernel({cube({a}), cube({b}), cube({c})}));
+  EXPECT_TRUE(has_kernel({cube({d}), cube({e})}));
+}
+
+TEST(Kernels, KernelsAreCubeFree) {
+  Rng rng(23);
+  for (int iter = 0; iter < 10; ++iter) {
+    Cover f;
+    f.num_vars = 6;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<Lit> lits;
+      for (uint32_t v = 0; v < 6; ++v)
+        if (rng.chance(1, 2)) lits.push_back(lit_pos(v));
+      if (lits.empty()) lits.push_back(lit_pos(0));
+      f.cubes.push_back(Cube(std::move(lits)));
+    }
+    f.remove_contained_cubes();
+    for (const auto& [ck, kernel] : kernels(f)) {
+      if (kernel.cubes.size() < 2) continue;
+      EXPECT_TRUE(common_cube_of(kernel).empty())
+          << "kernel not cube-free: " << kernel.to_string();
+    }
+  }
+}
+
+/// Evaluates an extraction result under an assignment of the original vars
+/// (extracted variables are computed in definition order).
+bool eval_extraction(const ExtractionResult& ex, size_t function_index,
+                     const std::vector<bool>& original) {
+  std::vector<bool> full = original;
+  for (const auto& divisor : ex.divisors) full.push_back(divisor.eval(full));
+  return ex.functions[function_index].eval(full);
+}
+
+TEST(Extract, PreservesFunctionsAndSavesLiterals) {
+  // Two functions sharing (c + d): f1 = ac + ad, f2 = bc + bd + e.
+  const Cover f1 = cover_of(5, {cube({a, c}), cube({a, d})});
+  const Cover f2 = cover_of(5, {cube({b, c}), cube({b, d}), cube({e})});
+  const size_t before = f1.num_literals() + f2.num_literals();
+  const auto ex = extract_shared({f1, f2});
+  EXPECT_LE(ex.total_literals(), before);
+  for (uint32_t m = 0; m < 32; ++m) {
+    std::vector<bool> assignment;
+    for (int i = 0; i < 5; ++i) assignment.push_back(((m >> i) & 1) != 0);
+    EXPECT_EQ(eval_extraction(ex, 0, assignment), f1.eval(assignment)) << "f1 at " << m;
+    EXPECT_EQ(eval_extraction(ex, 1, assignment), f2.eval(assignment)) << "f2 at " << m;
+  }
+}
+
+TEST(Extract, NoCandidatesNoChange) {
+  const Cover f1 = cover_of(4, {cube({a})});
+  const auto ex = extract_shared({f1});
+  EXPECT_TRUE(ex.divisors.empty());
+  EXPECT_EQ(ex.functions[0].cubes, f1.cubes);
+}
+
+class ExtractRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractRandomTest, RandomMultiOutputCoversPreserved) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  for (int iter = 0; iter < 5; ++iter) {
+    const uint32_t num_vars = 6;
+    std::vector<Cover> functions;
+    for (int fi = 0; fi < 3; ++fi) {
+      Cover f;
+      f.num_vars = num_vars;
+      const int n = 2 + static_cast<int>(rng.below(6));
+      for (int i = 0; i < n; ++i) {
+        std::vector<Lit> lits;
+        for (uint32_t v = 0; v < num_vars; ++v) {
+          const uint64_t r3 = rng.below(3);
+          if (r3 == 0) lits.push_back(lit_pos(v));
+          if (r3 == 1) lits.push_back(lit_neg(v));
+        }
+        f.cubes.push_back(Cube(std::move(lits)));
+      }
+      f.remove_contained_cubes();
+      functions.push_back(std::move(f));
+    }
+    size_t before = 0;
+    for (const auto& f : functions) before += f.num_literals();
+    const auto ex = extract_shared(functions);
+    EXPECT_LE(ex.total_literals(), before);
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+      std::vector<bool> assignment;
+      for (uint32_t i = 0; i < num_vars; ++i) assignment.push_back(((m >> i) & 1) != 0);
+      for (size_t fi = 0; fi < functions.size(); ++fi)
+        ASSERT_EQ(eval_extraction(ex, fi, assignment), functions[fi].eval(assignment))
+            << "function " << fi << " minterm " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eco::sop

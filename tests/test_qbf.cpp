@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/sim.hpp"
+#include "qbf/qbf2.hpp"
+#include "util/rng.hpp"
+
+namespace eco::qbf {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_not;
+
+TEST(Qbf2, TrueWhenNoUniversalVars) {
+  // ∃x. x — trivially true with witness x=1.
+  Aig g;
+  const Lit x = g.add_pi("x");
+  g.add_po(x);
+  const auto r = solve_exists_forall(g, x, 1);
+  EXPECT_EQ(r.status, Qbf2Status::kTrue);
+  ASSERT_EQ(r.witness_x.size(), 1u);
+  EXPECT_TRUE(r.witness_x[0]);
+}
+
+TEST(Qbf2, FalseWhenMatrixUnsatisfiable) {
+  Aig g;
+  const Lit x = g.add_pi("x");
+  g.add_pi("n");
+  const Lit root = g.add_and(x, lit_not(x));  // constant 0
+  g.add_po(root);
+  const auto r = solve_exists_forall(g, root, 1);
+  EXPECT_EQ(r.status, Qbf2Status::kFalse);
+}
+
+TEST(Qbf2, ForallBlocksWitness) {
+  // ∃x ∀n (x & n): false — n=0 defeats any x.
+  Aig g;
+  const Lit x = g.add_pi("x");
+  const Lit n = g.add_pi("n");
+  const Lit root = g.add_and(x, n);
+  g.add_po(root);
+  const auto r = solve_exists_forall(g, root, 1);
+  EXPECT_EQ(r.status, Qbf2Status::kFalse);
+  ASSERT_FALSE(r.moves.empty());
+}
+
+TEST(Qbf2, ExistsBeatsForallWithXor) {
+  // ∃x ∀n (x xor n): false.
+  // ∃x ∀n (x or n): true with x=1.
+  Aig g;
+  const Lit x = g.add_pi("x");
+  const Lit n = g.add_pi("n");
+  g.add_po(g.add_xor(x, n));
+  g.add_po(g.add_or(x, n));
+  EXPECT_EQ(solve_exists_forall(g, g.po_lit(0), 1).status, Qbf2Status::kFalse);
+  const auto r = solve_exists_forall(g, g.po_lit(1), 1);
+  EXPECT_EQ(r.status, Qbf2Status::kTrue);
+  EXPECT_TRUE(r.witness_x[0]);
+}
+
+TEST(Qbf2, BudgetYieldsUnknown) {
+  Aig g;
+  std::vector<Lit> xs, ns;
+  for (int i = 0; i < 4; ++i) xs.push_back(g.add_pi());
+  for (int i = 0; i < 4; ++i) ns.push_back(g.add_pi());
+  Lit acc = aig::kLitFalse;
+  for (int i = 0; i < 4; ++i) acc = g.add_xor(acc, g.add_and(xs[i], ns[i]));
+  g.add_po(acc);
+  Qbf2Options options;
+  options.max_iterations = 1;
+  const auto r = solve_exists_forall(g, acc, 4, options);
+  EXPECT_EQ(r.status, Qbf2Status::kUnknown);
+}
+
+/// Validates a kFalse certificate: for every x some move j makes the matrix
+/// false; and validates kTrue witnesses by exhaustive check.
+void validate_result(const Aig& g, Lit root, uint32_t num_x, const Qbf2Result& r) {
+  const uint32_t num_n = g.num_pis() - num_x;
+  ASSERT_LE(g.num_pis(), 12u);
+  if (r.status == Qbf2Status::kTrue) {
+    // For the witness x*, all n must satisfy the matrix.
+    for (uint32_t mn = 0; mn < (1u << num_n); ++mn) {
+      std::vector<bool> pattern;
+      for (uint32_t i = 0; i < num_x; ++i) pattern.push_back(r.witness_x[i]);
+      for (uint32_t i = 0; i < num_n; ++i) pattern.push_back(((mn >> i) & 1) != 0);
+      Aig copy = g;
+      copy.add_po(root);
+      EXPECT_TRUE(aig::eval(copy, pattern).back()) << "witness fails at n=" << mn;
+    }
+    return;
+  }
+  if (r.status == Qbf2Status::kFalse) {
+    for (uint32_t mx = 0; mx < (1u << num_x); ++mx) {
+      bool some_move_defeats = false;
+      for (const auto& move : r.moves) {
+        std::vector<bool> pattern;
+        for (uint32_t i = 0; i < num_x; ++i) pattern.push_back(((mx >> i) & 1) != 0);
+        for (uint32_t i = 0; i < num_n; ++i) pattern.push_back(move[i]);
+        Aig copy = g;
+        copy.add_po(root);
+        if (!aig::eval(copy, pattern).back()) {
+          some_move_defeats = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(some_move_defeats) << "certificate incomplete at x=" << mx;
+    }
+  }
+}
+
+class Qbf2RandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Qbf2RandomTest, VerdictMatchesBruteForceAndCertificatesAreValid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 11);
+  for (int iter = 0; iter < 8; ++iter) {
+    Aig g;
+    const uint32_t num_x = 2 + static_cast<uint32_t>(rng.below(3));
+    const uint32_t num_n = 1 + static_cast<uint32_t>(rng.below(3));
+    std::vector<Lit> pool;
+    for (uint32_t i = 0; i < num_x + num_n; ++i) pool.push_back(g.add_pi());
+    for (int i = 0; i < 25; ++i) {
+      const Lit a = pool[rng.below(pool.size())];
+      const Lit b = pool[rng.below(pool.size())];
+      pool.push_back(g.add_and(aig::lit_notif(a, rng.chance(1, 2)),
+                               aig::lit_notif(b, rng.chance(1, 2))));
+    }
+    const Lit root = aig::lit_notif(pool.back(), rng.chance(1, 2));
+    g.add_po(root);
+
+    // Brute-force ∃x ∀n root(x, n).
+    bool expected = false;
+    for (uint32_t mx = 0; mx < (1u << num_x) && !expected; ++mx) {
+      bool all_n = true;
+      for (uint32_t mn = 0; mn < (1u << num_n) && all_n; ++mn) {
+        std::vector<bool> pattern;
+        for (uint32_t i = 0; i < num_x; ++i) pattern.push_back(((mx >> i) & 1) != 0);
+        for (uint32_t i = 0; i < num_n; ++i) pattern.push_back(((mn >> i) & 1) != 0);
+        all_n = aig::eval(g, pattern)[0];
+      }
+      expected = all_n;
+    }
+
+    const auto r = solve_exists_forall(g, root, num_x);
+    ASSERT_NE(r.status, Qbf2Status::kUnknown);
+    EXPECT_EQ(r.status == Qbf2Status::kTrue, expected);
+    validate_result(g, root, num_x, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Qbf2RandomTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace eco::qbf

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "aig/sim.hpp"
+#include "eco/resub.hpp"
+#include "net/verilog.hpp"
+#include "sop/synth.hpp"
+#include "util/rng.hpp"
+
+namespace eco::core {
+namespace {
+
+/// Implementation whose internal signals make several functions of the PIs
+/// re-expressible: n1 = a&b, n2 = a^c, n3 = !(b|c).
+struct Fixture {
+  aig::Aig impl;
+  std::vector<Divisor> divisors;
+  aig::Lit a, b, c;
+
+  Fixture() {
+    a = impl.add_pi("a");
+    b = impl.add_pi("b");
+    c = impl.add_pi("c");
+    const aig::Lit n1 = impl.add_and(a, b);
+    const aig::Lit n2 = impl.add_xor(a, c);
+    const aig::Lit n3 = impl.add_nor(b, c);
+    impl.add_po(n1, "n1");
+    divisors = {
+        {n1, "n1", 1}, {n2, "n2", 1}, {n3, "n3", 1},
+        {a, "a", 10},  {b, "b", 10},  {c, "c", 10},
+    };
+  }
+  std::vector<size_t> all_candidates() const { return {0, 1, 2, 3, 4, 5}; }
+};
+
+TEST(FunctionalResub, ReexpressesOverSingleDivisor) {
+  Fixture f;
+  // func = a & b == n1 exactly.
+  const aig::Lit func = f.impl.add_and(f.a, f.b);
+  const ResubResult r =
+      functional_resub(f.impl, func, f.divisors, f.all_candidates());
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.support.size(), 1u);
+  EXPECT_EQ(f.divisors[r.support[0]].name, "n1");
+  EXPECT_EQ(r.cost, 1);
+}
+
+TEST(FunctionalResub, ComposesMultipleDivisors) {
+  Fixture f;
+  // func = (a&b) | (a^c) = n1 | n2: expressible with cost 2 over {n1, n2}
+  // instead of cost 30 over the PIs.
+  const aig::Lit func = f.impl.add_or(f.impl.add_and(f.a, f.b), f.impl.add_xor(f.a, f.c));
+  const ResubResult r =
+      functional_resub(f.impl, func, f.divisors, f.all_candidates());
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.cost, 2);
+  // The synthesized cover must equal func on every minterm.
+  aig::Aig check = f.impl;
+  std::vector<aig::Lit> var_lits;
+  for (const size_t g : r.support) var_lits.push_back(f.divisors[g].lit);
+  const aig::Lit rebuilt = sop::synthesize_cover(check, r.cover, var_lits);
+  check.add_po(func, "orig");
+  check.add_po(rebuilt, "rebuilt");
+  const auto tts = aig::po_truth_tables(check);
+  EXPECT_EQ(tts[tts.size() - 2], tts[tts.size() - 1]);
+}
+
+TEST(FunctionalResub, ComplementedDivisorUsable) {
+  Fixture f;
+  // func = b | c = !n3: one divisor, negated literal in the cover.
+  const aig::Lit func = f.impl.add_or(f.b, f.c);
+  const ResubResult r =
+      functional_resub(f.impl, func, f.divisors, f.all_candidates());
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.support.size(), 1u);
+  EXPECT_EQ(f.divisors[r.support[0]].name, "n3");
+  ASSERT_EQ(r.cover.cubes.size(), 1u);
+  EXPECT_TRUE(sop::lit_negated(r.cover.cubes[0].lits()[0]));
+}
+
+TEST(FunctionalResub, FailsWhenNotAFunctionOfCandidates) {
+  Fixture f;
+  // func = a alone; candidates = {n1, n3} cannot express it (e.g. b flips
+  // n1 while a stays).
+  const std::vector<size_t> candidates = {0, 2};
+  const ResubResult r = functional_resub(f.impl, f.a, f.divisors, candidates);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(FunctionalResub, ConstantFunctionNeedsNoSupport) {
+  Fixture f;
+  const ResubResult r0 =
+      functional_resub(f.impl, aig::kLitFalse, f.divisors, f.all_candidates());
+  ASSERT_TRUE(r0.ok);
+  EXPECT_TRUE(r0.support.empty());
+  EXPECT_TRUE(r0.cover.cubes.empty());
+  const ResubResult r1 =
+      functional_resub(f.impl, aig::kLitTrue, f.divisors, f.all_candidates());
+  ASSERT_TRUE(r1.ok);
+  EXPECT_TRUE(r1.support.empty());
+  ASSERT_EQ(r1.cover.cubes.size(), 1u);
+  EXPECT_TRUE(r1.cover.cubes[0].empty());
+}
+
+// Property: random functions over PIs are always re-expressible when the
+// PIs themselves are candidates, and the rebuilt cover matches exactly.
+class ResubRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResubRandomTest, RebuiltCoverMatchesOriginalFunction) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7907 + 3);
+  for (int iter = 0; iter < 6; ++iter) {
+    aig::Aig impl;
+    std::vector<aig::Lit> pis;
+    const int n = 4 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < n; ++i) pis.push_back(impl.add_pi("p" + std::to_string(i)));
+    std::vector<aig::Lit> pool = pis;
+    for (int i = 0; i < 25; ++i) {
+      const aig::Lit x = pool[rng.below(pool.size())];
+      const aig::Lit y = pool[rng.below(pool.size())];
+      pool.push_back(impl.add_and(aig::lit_notif(x, rng.chance(1, 2)),
+                                  aig::lit_notif(y, rng.chance(1, 2))));
+    }
+    const aig::Lit func = pool.back();
+    impl.add_po(func, "f");
+
+    std::vector<Divisor> divisors;
+    std::vector<size_t> candidates;
+    // A few random internal divisors first (cheap), then the PIs.
+    for (int d = 0; d < 3; ++d) {
+      divisors.push_back({pool[pool.size() - 2 - static_cast<size_t>(d)],
+                          "d" + std::to_string(d), 1});
+      candidates.push_back(divisors.size() - 1);
+    }
+    for (int i = 0; i < n; ++i) {
+      divisors.push_back({pis[static_cast<size_t>(i)], "p" + std::to_string(i), 5});
+      candidates.push_back(divisors.size() - 1);
+    }
+
+    const ResubResult r = functional_resub(impl, func, divisors, candidates);
+    ASSERT_TRUE(r.ok);
+    aig::Aig check = impl;
+    std::vector<aig::Lit> var_lits;
+    for (const size_t g : r.support) var_lits.push_back(divisors[g].lit);
+    const aig::Lit rebuilt = sop::synthesize_cover(check, r.cover, var_lits);
+    check.add_po(rebuilt, "rebuilt");
+    const auto tts = aig::po_truth_tables(check);
+    EXPECT_EQ(tts[0], tts[tts.size() - 1]) << "seed " << GetParam() << " iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResubRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eco::core

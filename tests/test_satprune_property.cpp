@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/circuits.hpp"
+#include "benchgen/mutate.hpp"
+#include "eco/miter.hpp"
+#include "eco/problem.hpp"
+#include "eco/satprune.hpp"
+#include "eco/support.hpp"
+#include "eco/window.hpp"
+#include "util/rng.hpp"
+
+namespace eco::core {
+namespace {
+
+/// Brute-force minimum-cost feasible divisor subset over the candidates.
+int64_t brute_force_min_cost(SupportInstance& inst, const std::vector<Divisor>& divisors,
+                             const std::vector<size_t>& candidates) {
+  const size_t n = candidates.size();
+  EXPECT_LE(n, 12u);
+  int64_t best = -1;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int64_t cost = 0;
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < n; ++i)
+      if ((mask >> i) & 1u) {
+        subset.push_back(candidates[i]);
+        cost += divisors[candidates[i]].cost;
+      }
+    if (best >= 0 && cost >= best) continue;  // cannot improve
+    if (inst.check_subset(subset).is_false()) best = cost;
+  }
+  return best;
+}
+
+// Property: on single-target instances with a trimmed candidate list,
+// SAT_prune's result matches the brute-force minimum exactly (paper §3.4.2's
+// exactness guarantee for one target).
+class SatPruneExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatPruneExactness, MatchesBruteForceMinimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48271 + 13);
+  int tested = 0;
+  for (int iter = 0; iter < 10 && tested < 4; ++iter) {
+    const net::Network base = benchgen::make_random_logic(
+        5 + static_cast<int>(rng.below(4)), 3 + static_cast<int>(rng.below(3)),
+        25 + static_cast<int>(rng.below(40)), rng);
+    benchgen::EcoInstance instance;
+    try {
+      instance = benchgen::make_eco_instance(base, 1, rng);
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    // Random weights 1..9 to make the optimum nontrivial.
+    net::WeightMap weights;
+    for (const auto& s : instance.impl.all_signals())
+      weights.weights.emplace(s, static_cast<int64_t>(1 + rng.below(9)));
+    const EcoProblem problem = make_problem(instance.impl, instance.spec, weights);
+    const Window window = compute_window(problem);
+    if (!window.outside_equal) continue;
+    if (window.divisor_indices.empty()) continue;
+
+    // Trim the candidate list to at most 12 entries: all PI divisors first
+    // (they always form a sufficient set when the step is feasible), then
+    // the cheapest internal ones.
+    std::vector<size_t> candidates;
+    for (const size_t g : window.divisor_indices)
+      if (problem.impl.is_pi(aig::lit_node(problem.divisors[g].lit)))
+        candidates.push_back(g);
+    if (candidates.size() > 12) continue;  // too many PIs for brute force
+    for (const size_t g : window.divisor_indices) {
+      if (candidates.size() >= 12) break;
+      if (std::find(candidates.begin(), candidates.end(), g) == candidates.end())
+        candidates.push_back(g);
+    }
+    const EcoMiter miter = build_eco_miter(problem.impl, problem.spec, problem.divisors,
+                                           window.affected_pos);
+    SupportInstance inst(miter, 0, problem.divisors, candidates);
+    if (!inst.check_subset(candidates).is_false()) continue;
+
+    const int64_t brute = brute_force_min_cost(inst, problem.divisors, candidates);
+    ASSERT_GE(brute, 0);
+
+    const SatPruneResult pruned = sat_prune(inst, problem.divisors, SatPruneOptions{});
+    ASSERT_TRUE(pruned.feasible);
+    EXPECT_TRUE(pruned.optimal);
+    EXPECT_EQ(pruned.cost, brute) << "seed " << GetParam() << " iter " << iter;
+    EXPECT_TRUE(inst.check_subset(pruned.chosen).is_false());
+    ++tested;
+  }
+  EXPECT_GT(tested, 0) << "no instance exercised for seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatPruneExactness, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace eco::core

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "aig/sim.hpp"
+#include "sop/cover.hpp"
+#include "sop/factor.hpp"
+#include "sop/synth.hpp"
+#include "util/rng.hpp"
+
+namespace eco::sop {
+namespace {
+
+Cube cube(std::initializer_list<Lit> lits) { return Cube(std::vector<Lit>(lits)); }
+
+TEST(Cube, LiteralHelpers) {
+  EXPECT_EQ(lit_pos(3), 6u);
+  EXPECT_EQ(lit_neg(3), 7u);
+  EXPECT_EQ(lit_var(7), 3u);
+  EXPECT_TRUE(lit_negated(7));
+  EXPECT_FALSE(lit_negated(6));
+}
+
+TEST(Cube, SortedAndDeduplicated) {
+  const Cube c = cube({lit_neg(2), lit_pos(0), lit_pos(0)});
+  EXPECT_EQ(c.lits(), (std::vector<Lit>{lit_pos(0), lit_neg(2)}));
+}
+
+TEST(Cube, Containment) {
+  const Cube big = cube({lit_pos(0)});             // x0
+  const Cube small = cube({lit_pos(0), lit_pos(1)});  // x0 x1
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+  const Cube taut = cube({});
+  EXPECT_TRUE(taut.contains(big));
+  EXPECT_FALSE(big.contains(taut));
+}
+
+TEST(Cube, Contradictory) {
+  EXPECT_TRUE(cube({lit_pos(1), lit_neg(1)}).contradictory());
+  EXPECT_FALSE(cube({lit_pos(1), lit_neg(2)}).contradictory());
+}
+
+TEST(Cube, EvalAndWithoutVar) {
+  const Cube c = cube({lit_pos(0), lit_neg(1)});
+  EXPECT_TRUE(c.eval({true, false}));
+  EXPECT_FALSE(c.eval({true, true}));
+  EXPECT_FALSE(c.eval({false, false}));
+  const Cube reduced = c.without_var(1);
+  EXPECT_EQ(reduced.lits(), (std::vector<Lit>{lit_pos(0)}));
+}
+
+TEST(Cover, EvalIsDisjunction) {
+  Cover f;
+  f.num_vars = 2;
+  f.cubes = {cube({lit_pos(0)}), cube({lit_neg(1)})};  // x0 + !x1
+  EXPECT_TRUE(f.eval({true, true}));
+  EXPECT_TRUE(f.eval({false, false}));
+  EXPECT_FALSE(f.eval({false, true}));
+}
+
+TEST(Cover, RemoveContainedCubes) {
+  Cover f;
+  f.num_vars = 3;
+  f.cubes = {cube({lit_pos(0)}), cube({lit_pos(0), lit_pos(1)}),
+             cube({lit_pos(2)}), cube({lit_pos(2)})};
+  f.remove_contained_cubes();
+  EXPECT_EQ(f.cubes.size(), 2u);
+  EXPECT_EQ(f.cubes[0], cube({lit_pos(0)}));
+  EXPECT_EQ(f.cubes[1], cube({lit_pos(2)}));
+}
+
+TEST(Cover, ToStringReadable) {
+  Cover f;
+  f.num_vars = 3;
+  f.cubes = {cube({lit_pos(0), lit_neg(2)})};
+  EXPECT_EQ(f.to_string(), "x0 !x2");
+  f.cubes.clear();
+  EXPECT_EQ(f.to_string(), "0");
+}
+
+TEST(Factor, ConstantsAndSingletons) {
+  Cover empty;
+  empty.num_vars = 2;
+  EXPECT_EQ(factor(empty)->kind, FactorTree::Kind::kConst0);
+
+  Cover taut;
+  taut.num_vars = 2;
+  taut.cubes = {cube({})};
+  EXPECT_EQ(factor(taut)->kind, FactorTree::Kind::kConst1);
+
+  Cover single;
+  single.num_vars = 2;
+  single.cubes = {cube({lit_pos(0), lit_neg(1)})};
+  const auto tree = factor(single);
+  EXPECT_EQ(tree->num_leaves(), 2u);
+}
+
+TEST(Factor, DropsContradictoryCubes) {
+  Cover f;
+  f.num_vars = 1;
+  f.cubes = {cube({lit_pos(0), lit_neg(0)})};
+  EXPECT_EQ(factor(f)->kind, FactorTree::Kind::kConst0);
+}
+
+TEST(Factor, SharesCommonLiteral) {
+  // x0 x1 + x0 x2 -> x0 (x1 + x2): 3 leaves instead of 4.
+  Cover f;
+  f.num_vars = 3;
+  f.cubes = {cube({lit_pos(0), lit_pos(1)}), cube({lit_pos(0), lit_pos(2)})};
+  const auto tree = factor(f);
+  EXPECT_EQ(tree->num_leaves(), 3u);
+}
+
+TEST(Factor, KnownFactoringExample) {
+  // F = ab + ac + ad + bc -> a(b + c + d) + bc: 6 leaves (flat SOP has 8).
+  Cover f;
+  f.num_vars = 4;
+  const Lit a = lit_pos(0), b = lit_pos(1), c = lit_pos(2), d = lit_pos(3);
+  f.cubes = {cube({a, b}), cube({a, c}), cube({a, d}), cube({b, c})};
+  const auto tree = factor(f);
+  EXPECT_LE(tree->num_leaves(), 6u);
+}
+
+/// Checks tree equivalence with the cover on all minterms.
+void expect_equivalent(const Cover& cover, const FactorTree& tree) {
+  ASSERT_LE(cover.num_vars, 12u);
+  for (uint32_t m = 0; m < (1u << cover.num_vars); ++m) {
+    std::vector<bool> assignment(cover.num_vars);
+    for (uint32_t i = 0; i < cover.num_vars; ++i) assignment[i] = ((m >> i) & 1) != 0;
+    EXPECT_EQ(cover.eval(assignment), tree.eval(assignment)) << "minterm " << m;
+  }
+}
+
+class FactorRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorRandomTest, FactoringPreservesFunctionAndNeverGrows) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37 + 5);
+  for (int iter = 0; iter < 20; ++iter) {
+    Cover f;
+    f.num_vars = 3 + static_cast<uint32_t>(rng.below(6));
+    const int num_cubes = 1 + static_cast<int>(rng.below(10));
+    for (int c = 0; c < num_cubes; ++c) {
+      std::vector<Lit> lits;
+      for (uint32_t v = 0; v < f.num_vars; ++v) {
+        const uint64_t r = rng.below(3);
+        if (r == 0) lits.push_back(lit_pos(v));
+        if (r == 1) lits.push_back(lit_neg(v));
+      }
+      f.cubes.push_back(Cube(std::move(lits)));
+    }
+    const auto tree = factor(f);
+    expect_equivalent(f, *tree);
+    EXPECT_LE(tree->num_leaves(), f.num_literals());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorRandomTest, ::testing::Range(0, 10));
+
+TEST(Synth, TreeToAigMatchesEval) {
+  Cover f;
+  f.num_vars = 4;
+  const Lit a = lit_pos(0), b = lit_pos(1), c = lit_pos(2), d = lit_neg(3);
+  f.cubes = {cube({a, b}), cube({c, d}), cube({a, d})};
+
+  aig::Aig g;
+  std::vector<aig::Lit> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(g.add_pi());
+  const aig::Lit factored = synthesize_cover(g, f, vars);
+  const aig::Lit flat = synthesize_cover_flat(g, f, vars);
+  g.add_po(factored, "factored");
+  g.add_po(flat, "flat");
+  const auto tts = aig::po_truth_tables(g);
+  EXPECT_EQ(tts[0], tts[1]);
+  for (uint32_t m = 0; m < 16; ++m) {
+    std::vector<bool> assignment;
+    for (int i = 0; i < 4; ++i) assignment.push_back(((m >> i) & 1) != 0);
+    EXPECT_EQ(((tts[0][0] >> m) & 1) != 0, f.eval(assignment));
+  }
+}
+
+TEST(Synth, MapsVariablesThroughGivenLiterals) {
+  // Synthesize x0 & !x1 with var 0 mapped to an inverted signal.
+  Cover f;
+  f.num_vars = 2;
+  f.cubes = {cube({lit_pos(0), lit_neg(1)})};
+  aig::Aig g;
+  const aig::Lit p = g.add_pi();
+  const aig::Lit q = g.add_pi();
+  const std::vector<aig::Lit> vars = {aig::lit_not(p), q};
+  g.add_po(synthesize_cover(g, f, vars), "f");  // = !p & !q
+  const auto tt = aig::po_truth_tables(g)[0];
+  EXPECT_EQ(tt[0] & 0xFu, 0b0001u);
+}
+
+TEST(Synth, FactoredNotBiggerThanFlat) {
+  Rng rng(77);
+  for (int iter = 0; iter < 10; ++iter) {
+    Cover f;
+    f.num_vars = 6;
+    for (int c = 0; c < 8; ++c) {
+      std::vector<Lit> lits;
+      for (uint32_t v = 0; v < f.num_vars; ++v) {
+        const uint64_t r = rng.below(3);
+        if (r == 0) lits.push_back(lit_pos(v));
+        if (r == 1) lits.push_back(lit_neg(v));
+      }
+      f.cubes.push_back(Cube(std::move(lits)));
+    }
+    aig::Aig g_factored, g_flat;
+    std::vector<aig::Lit> v1, v2;
+    for (uint32_t i = 0; i < f.num_vars; ++i) {
+      v1.push_back(g_factored.add_pi());
+      v2.push_back(g_flat.add_pi());
+    }
+    const aig::Lit r1 = synthesize_cover(g_factored, f, v1);
+    const aig::Lit r2 = synthesize_cover_flat(g_flat, f, v2);
+    const aig::Lit roots1[] = {r1};
+    const aig::Lit roots2[] = {r2};
+    EXPECT_LE(g_factored.cone_size(roots1), g_flat.cone_size(roots2) + 2);
+  }
+}
+
+}  // namespace
+}  // namespace eco::sop

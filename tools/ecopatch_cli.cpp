@@ -1,0 +1,222 @@
+// ecopatch — command-line front end for the library.
+//
+//   ecopatch solve <impl.v> <spec.v> <weights.txt> [options]
+//       Runs the ECO engine on a contest-style instance and writes the
+//       patch. Options:
+//         --algo baseline|minimize|satprune   (default minimize)
+//         --budget SECONDS                    (default 60)
+//         --patch FILE                        (default patch.v)
+//         --patched FILE                      write the patched netlist
+//         --force-structural
+//   ecopatch gen <unit 1..20> <outdir> [--seed N]
+//       Materializes a synthetic suite unit as impl.v/spec.v/weights.txt.
+//   ecopatch stats <circuit>
+//       Parses a circuit (.v, .blif, .aag/.aig) and prints statistics.
+//   ecopatch cec <a> <b>
+//       Combinational equivalence check between two circuit files.
+//   ecopatch convert <in> <out>
+//       Converts between formats; both chosen by file extension.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "aig/aiger.hpp"
+#include "aig/window.hpp"
+#include "benchgen/suite.hpp"
+#include "cec/cec.hpp"
+#include "eco/engine.hpp"
+#include "net/aignet.hpp"
+#include "net/blif.hpp"
+#include "net/elaborate.hpp"
+#include "net/verilog.hpp"
+#include "net/weights.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
+               "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
+               "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
+               "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
+               "  ecopatch cec <a> <b>\n"
+               "  ecopatch convert <in> <out>\n");
+  return 2;
+}
+
+std::string extension_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? "" : path.substr(dot + 1);
+}
+
+/// Loads any supported circuit format as an AIG.
+eco::aig::Aig load_circuit(const std::string& path) {
+  const std::string ext = extension_of(path);
+  if (ext == "v") return eco::net::elaborate(eco::net::parse_verilog_file(path)).aig;
+  if (ext == "blif") return eco::net::parse_blif_file(path);
+  if (ext == "aag" || ext == "aig") return eco::aig::read_aiger_file(path);
+  throw std::runtime_error("unsupported circuit format: ." + ext);
+}
+
+void save_circuit(const std::string& path, const eco::aig::Aig& g) {
+  const std::string ext = extension_of(path);
+  if (ext == "v") {
+    eco::net::write_verilog_file(path, eco::net::aig_to_network(g, "top"));
+  } else if (ext == "blif") {
+    eco::net::write_blif_file(path, g);
+  } else if (ext == "aag" || ext == "aig") {
+    eco::aig::write_aiger_file(path, g, /*binary=*/ext == "aig");
+  } else {
+    throw std::runtime_error("unsupported output format: ." + ext);
+  }
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string impl_path = argv[2], spec_path = argv[3], weights_path = argv[4];
+  eco::core::EngineOptions options;
+  options.time_budget = 60;
+  std::string patch_path = "patch.v", patched_path;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--algo" && i + 1 < argc) {
+      const std::string algo = argv[++i];
+      if (algo == "baseline") options.algorithm = eco::core::Algorithm::kBaseline;
+      else if (algo == "minimize") options.algorithm = eco::core::Algorithm::kMinimize;
+      else if (algo == "satprune") options.algorithm = eco::core::Algorithm::kSatPruneCegarMin;
+      else return usage();
+    } else if (arg == "--budget" && i + 1 < argc) {
+      options.time_budget = std::atof(argv[++i]);
+    } else if (arg == "--patch" && i + 1 < argc) {
+      patch_path = argv[++i];
+    } else if (arg == "--patched" && i + 1 < argc) {
+      patched_path = argv[++i];
+    } else if (arg == "--force-structural") {
+      options.force_structural = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const eco::net::Network impl = eco::net::parse_verilog_file(impl_path);
+  const eco::net::Network spec = eco::net::parse_verilog_file(spec_path);
+  const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
+  const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
+
+  using Status = eco::core::EcoOutcome::Status;
+  if (outcome.status == Status::kInfeasible) {
+    std::printf("INFEASIBLE: the targets cannot rectify the implementation (method %s)\n",
+                outcome.method.c_str());
+    return 1;
+  }
+  if (outcome.status == Status::kUnknown) {
+    std::printf("UNKNOWN: budgets exhausted before an answer\n");
+    return 3;
+  }
+  const char* verification =
+      outcome.verified ? "verified"
+      : outcome.verification == eco::core::EcoOutcome::Verification::kInconclusive
+          ? "verification inconclusive"
+          : "VERIFICATION REFUTED";
+  std::printf("PATCHED (%s) in %.2fs — method %s, cost %lld, %u gates\n", verification,
+              outcome.seconds, outcome.method.c_str(),
+              static_cast<long long>(outcome.total_cost), outcome.patch_gates);
+  for (const auto& target : outcome.targets) {
+    std::printf("  %-16s <= %s\n", target.target_name.c_str(),
+                target.sop.empty() ? "(structural circuit)" : target.sop.c_str());
+  }
+  eco::net::write_verilog_file(patch_path,
+                               eco::net::aig_to_network(outcome.patch_module, "patch"));
+  std::printf("patch written to %s\n", patch_path.c_str());
+  if (!patched_path.empty()) {
+    save_circuit(patched_path, outcome.patched_impl);
+    std::printf("patched implementation written to %s\n", patched_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int unit_index = std::atoi(argv[2]) - 1;
+  const std::string outdir = argv[3];
+  uint64_t seed = 20170912;
+  for (int i = 4; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+  const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(unit_index, seed);
+  std::filesystem::create_directories(outdir);
+  eco::net::write_verilog_file(outdir + "/impl.v", unit.impl);
+  eco::net::write_verilog_file(outdir + "/spec.v", unit.spec);
+  eco::net::write_weights_file(outdir + "/weights.txt", unit.weights);
+  std::printf("%s: %zu-gate impl, %zu-gate spec, %d target(s), weights %s -> %s/\n",
+              unit.name.c_str(), unit.impl.num_gates(), unit.spec.num_gates(),
+              unit.num_targets, eco::benchgen::weight_type_name(unit.weight_type),
+              outdir.c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const eco::aig::Aig g = load_circuit(argv[2]);
+  const auto levels = g.levels();
+  uint32_t depth = 0;
+  for (uint32_t o = 0; o < g.num_pos(); ++o)
+    depth = std::max(depth, levels[eco::aig::lit_node(g.po_lit(o))]);
+  std::printf("%s: %u PIs, %u POs, %u AND nodes, depth %u\n", argv[2], g.num_pis(),
+              g.num_pos(), g.num_ands(), depth);
+  return 0;
+}
+
+int cmd_cec(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const eco::aig::Aig a = load_circuit(argv[2]);
+  const eco::aig::Aig b = load_circuit(argv[3]);
+  const auto result = eco::cec::check_equivalence(a, b);
+  switch (result.status) {
+    case eco::cec::Status::kEquivalent:
+      std::printf("EQUIVALENT\n");
+      return 0;
+    case eco::cec::Status::kNotEquivalent: {
+      std::printf("NOT EQUIVALENT; counterexample:");
+      for (uint32_t i = 0; i < a.num_pis(); ++i)
+        std::printf(" %s=%d", a.pi_name(i).empty() ? ("i" + std::to_string(i)).c_str()
+                                                   : a.pi_name(i).c_str(),
+                    result.counterexample[i] ? 1 : 0);
+      std::printf("\n");
+      return 1;
+    }
+    case eco::cec::Status::kUnknown:
+      std::printf("UNKNOWN (budget)\n");
+      return 3;
+  }
+  return 3;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc < 4) return usage();
+  save_circuit(argv[3], load_circuit(argv[2]).cleanup());
+  std::printf("%s -> %s\n", argv[2], argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "solve") return cmd_solve(argc, argv);
+    if (command == "gen") return cmd_gen(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "cec") return cmd_cec(argc, argv);
+    if (command == "convert") return cmd_convert(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ecopatch: %s\n", e.what());
+    return 4;
+  }
+  return usage();
+}
