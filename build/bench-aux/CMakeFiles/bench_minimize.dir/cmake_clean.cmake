@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minimize"
+  "../bench/bench_minimize.pdb"
+  "CMakeFiles/bench_minimize.dir/bench_minimize.cpp.o"
+  "CMakeFiles/bench_minimize.dir/bench_minimize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

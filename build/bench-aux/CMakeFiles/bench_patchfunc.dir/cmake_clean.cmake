@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_patchfunc"
+  "../bench/bench_patchfunc.pdb"
+  "CMakeFiles/bench_patchfunc.dir/bench_patchfunc.cpp.o"
+  "CMakeFiles/bench_patchfunc.dir/bench_patchfunc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patchfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qbf_copies"
+  "../bench/bench_qbf_copies.pdb"
+  "CMakeFiles/bench_qbf_copies.dir/bench_qbf_copies.cpp.o"
+  "CMakeFiles/bench_qbf_copies.dir/bench_qbf_copies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qbf_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_flow.dir/contest_flow.cpp.o"
+  "CMakeFiles/contest_flow.dir/contest_flow.cpp.o.d"
+  "contest_flow"
+  "contest_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

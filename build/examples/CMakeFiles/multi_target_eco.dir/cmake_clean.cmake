@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_target_eco.dir/multi_target_eco.cpp.o"
+  "CMakeFiles/multi_target_eco.dir/multi_target_eco.cpp.o.d"
+  "multi_target_eco"
+  "multi_target_eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_target_eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_aware.dir/resource_aware.cpp.o"
+  "CMakeFiles/resource_aware.dir/resource_aware.cpp.o.d"
+  "resource_aware"
+  "resource_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_fallback.dir/structural_fallback.cpp.o"
+  "CMakeFiles/structural_fallback.dir/structural_fallback.cpp.o.d"
+  "structural_fallback"
+  "structural_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

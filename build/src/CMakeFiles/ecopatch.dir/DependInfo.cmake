@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/CMakeFiles/ecopatch.dir/aig/aig.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/aiger.cpp" "src/CMakeFiles/ecopatch.dir/aig/aiger.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/aig/aiger.cpp.o.d"
+  "/root/repo/src/aig/ops.cpp" "src/CMakeFiles/ecopatch.dir/aig/ops.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/aig/ops.cpp.o.d"
+  "/root/repo/src/aig/sim.cpp" "src/CMakeFiles/ecopatch.dir/aig/sim.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/aig/sim.cpp.o.d"
+  "/root/repo/src/aig/window.cpp" "src/CMakeFiles/ecopatch.dir/aig/window.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/aig/window.cpp.o.d"
+  "/root/repo/src/benchgen/circuits.cpp" "src/CMakeFiles/ecopatch.dir/benchgen/circuits.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/benchgen/circuits.cpp.o.d"
+  "/root/repo/src/benchgen/mutate.cpp" "src/CMakeFiles/ecopatch.dir/benchgen/mutate.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/benchgen/mutate.cpp.o.d"
+  "/root/repo/src/benchgen/suite.cpp" "src/CMakeFiles/ecopatch.dir/benchgen/suite.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/benchgen/suite.cpp.o.d"
+  "/root/repo/src/benchgen/weightgen.cpp" "src/CMakeFiles/ecopatch.dir/benchgen/weightgen.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/benchgen/weightgen.cpp.o.d"
+  "/root/repo/src/cec/cec.cpp" "src/CMakeFiles/ecopatch.dir/cec/cec.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/cec/cec.cpp.o.d"
+  "/root/repo/src/cnf/tseitin.cpp" "src/CMakeFiles/ecopatch.dir/cnf/tseitin.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/cnf/tseitin.cpp.o.d"
+  "/root/repo/src/eco/cegarmin.cpp" "src/CMakeFiles/ecopatch.dir/eco/cegarmin.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/cegarmin.cpp.o.d"
+  "/root/repo/src/eco/engine.cpp" "src/CMakeFiles/ecopatch.dir/eco/engine.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/engine.cpp.o.d"
+  "/root/repo/src/eco/miter.cpp" "src/CMakeFiles/ecopatch.dir/eco/miter.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/miter.cpp.o.d"
+  "/root/repo/src/eco/patchfunc.cpp" "src/CMakeFiles/ecopatch.dir/eco/patchfunc.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/patchfunc.cpp.o.d"
+  "/root/repo/src/eco/problem.cpp" "src/CMakeFiles/ecopatch.dir/eco/problem.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/problem.cpp.o.d"
+  "/root/repo/src/eco/resub.cpp" "src/CMakeFiles/ecopatch.dir/eco/resub.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/resub.cpp.o.d"
+  "/root/repo/src/eco/satprune.cpp" "src/CMakeFiles/ecopatch.dir/eco/satprune.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/satprune.cpp.o.d"
+  "/root/repo/src/eco/structural.cpp" "src/CMakeFiles/ecopatch.dir/eco/structural.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/structural.cpp.o.d"
+  "/root/repo/src/eco/support.cpp" "src/CMakeFiles/ecopatch.dir/eco/support.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/support.cpp.o.d"
+  "/root/repo/src/eco/window.cpp" "src/CMakeFiles/ecopatch.dir/eco/window.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/eco/window.cpp.o.d"
+  "/root/repo/src/flow/maxflow.cpp" "src/CMakeFiles/ecopatch.dir/flow/maxflow.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/flow/maxflow.cpp.o.d"
+  "/root/repo/src/net/aignet.cpp" "src/CMakeFiles/ecopatch.dir/net/aignet.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/aignet.cpp.o.d"
+  "/root/repo/src/net/blif.cpp" "src/CMakeFiles/ecopatch.dir/net/blif.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/blif.cpp.o.d"
+  "/root/repo/src/net/elaborate.cpp" "src/CMakeFiles/ecopatch.dir/net/elaborate.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/elaborate.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ecopatch.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/verilog.cpp" "src/CMakeFiles/ecopatch.dir/net/verilog.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/verilog.cpp.o.d"
+  "/root/repo/src/net/weights.cpp" "src/CMakeFiles/ecopatch.dir/net/weights.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/net/weights.cpp.o.d"
+  "/root/repo/src/qbf/qbf2.cpp" "src/CMakeFiles/ecopatch.dir/qbf/qbf2.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/qbf/qbf2.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/ecopatch.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/minimize.cpp" "src/CMakeFiles/ecopatch.dir/sat/minimize.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sat/minimize.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/ecopatch.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sop/cover.cpp" "src/CMakeFiles/ecopatch.dir/sop/cover.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sop/cover.cpp.o.d"
+  "/root/repo/src/sop/factor.cpp" "src/CMakeFiles/ecopatch.dir/sop/factor.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sop/factor.cpp.o.d"
+  "/root/repo/src/sop/isop.cpp" "src/CMakeFiles/ecopatch.dir/sop/isop.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sop/isop.cpp.o.d"
+  "/root/repo/src/sop/kernels.cpp" "src/CMakeFiles/ecopatch.dir/sop/kernels.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sop/kernels.cpp.o.d"
+  "/root/repo/src/sop/synth.cpp" "src/CMakeFiles/ecopatch.dir/sop/synth.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/sop/synth.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/ecopatch.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ecopatch.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ecopatch.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

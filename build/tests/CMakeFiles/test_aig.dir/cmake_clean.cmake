@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aig.dir/test_aig.cpp.o"
+  "CMakeFiles/test_aig.dir/test_aig.cpp.o.d"
+  "test_aig"
+  "test_aig.pdb"
+  "test_aig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

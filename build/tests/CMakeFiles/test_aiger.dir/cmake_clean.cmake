@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aiger.dir/test_aiger.cpp.o"
+  "CMakeFiles/test_aiger.dir/test_aiger.cpp.o.d"
+  "test_aiger"
+  "test_aiger.pdb"
+  "test_aiger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aignet.dir/test_aignet.cpp.o"
+  "CMakeFiles/test_aignet.dir/test_aignet.cpp.o.d"
+  "test_aignet"
+  "test_aignet.pdb"
+  "test_aignet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aignet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cegarmin.dir/test_cegarmin.cpp.o"
+  "CMakeFiles/test_cegarmin.dir/test_cegarmin.cpp.o.d"
+  "test_cegarmin"
+  "test_cegarmin.pdb"
+  "test_cegarmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cegarmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eco_core.dir/test_eco_core.cpp.o"
+  "CMakeFiles/test_eco_core.dir/test_eco_core.cpp.o.d"
+  "test_eco_core"
+  "test_eco_core.pdb"
+  "test_eco_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

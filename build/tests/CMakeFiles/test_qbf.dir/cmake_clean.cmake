@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qbf.dir/test_qbf.cpp.o"
+  "CMakeFiles/test_qbf.dir/test_qbf.cpp.o.d"
+  "test_qbf"
+  "test_qbf.pdb"
+  "test_qbf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resub.dir/test_resub.cpp.o"
+  "CMakeFiles/test_resub.dir/test_resub.cpp.o.d"
+  "test_resub"
+  "test_resub.pdb"
+  "test_resub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_satprune_property.dir/test_satprune_property.cpp.o"
+  "CMakeFiles/test_satprune_property.dir/test_satprune_property.cpp.o.d"
+  "test_satprune_property"
+  "test_satprune_property.pdb"
+  "test_satprune_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_satprune_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

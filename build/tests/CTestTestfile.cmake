@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_aig[1]_include.cmake")
+include("/root/repo/build/tests/test_cnf[1]_include.cmake")
+include("/root/repo/build/tests/test_cec[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sop[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_qbf[1]_include.cmake")
+include("/root/repo/build/tests/test_eco_core[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_benchgen[1]_include.cmake")
+include("/root/repo/build/tests/test_aignet[1]_include.cmake")
+include("/root/repo/build/tests/test_cegarmin[1]_include.cmake")
+include("/root/repo/build/tests/test_satprune_property[1]_include.cmake")
+include("/root/repo/build/tests/test_resub[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_aiger[1]_include.cmake")
+include("/root/repo/build/tests/test_isop[1]_include.cmake")
+include("/root/repo/build/tests/test_blif[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
