@@ -8,13 +8,20 @@
 // Columns mirror the paper: resource cost, patch size (gates), runtime.
 // The final row reports geometric means of the per-unit ratios vs. config A.
 //
-// Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS]
+// Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--json FILE]
+//
+// With --json FILE, one machine-readable record per (unit, configuration)
+// run is written as a JSON array (schema `ecopatch-bench-table1-v1`,
+// docs/OBSERVABILITY.md): unit shape, algorithm, outcome, phase breakdown,
+// SAT conflict/propagation totals, cost, gates, seconds. This is the stable
+// perf-trajectory format future PRs compare against (BENCH_table1.json).
 
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,15 +29,18 @@
 #include "benchgen/weightgen.hpp"
 #include "eco/engine.hpp"
 #include "eco/problem.hpp"
+#include "util/jsonw.hpp"
 
 namespace {
 
 struct RunRow {
   bool ok = false;
+  bool verified = false;
   int64_t cost = 0;
   uint32_t gates = 0;
   double seconds = 0;
   std::string method;
+  eco::core::EngineStats stats;
 };
 
 RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm algorithm,
@@ -47,13 +57,56 @@ RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm alg
   const eco::core::EcoOutcome outcome = eco::core::run_eco(problem, options);
   RunRow row;
   row.ok = outcome.status == eco::core::EcoOutcome::Status::kPatched;
+  row.verified = outcome.verified;
   row.cost = outcome.total_cost;
   row.gates = outcome.patch_gates;
   row.seconds = outcome.seconds;
   row.method = outcome.method;
+  row.stats = outcome.stats;
   if (outcome.verification == eco::core::EcoOutcome::Verification::kInconclusive)
     row.method += " (verify?)";
   return row;
+}
+
+void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
+                   const eco::core::EcoProblem& problem, const char* algorithm,
+                   const RunRow& row) {
+  w.begin_object();
+  w.kv("unit", unit.name);
+  w.kv("algorithm", algorithm);
+  w.kv("pis", problem.num_shared_pis());
+  w.kv("pos", problem.spec.num_pos());
+  w.kv("gates_impl", static_cast<uint64_t>(unit.impl.num_gates()));
+  w.kv("gates_spec", static_cast<uint64_t>(unit.spec.num_gates()));
+  w.kv("targets", unit.num_targets);
+  w.kv("weights", eco::benchgen::weight_type_name(unit.weight_type));
+  w.kv("ok", row.ok);
+  w.kv("verified", row.verified);
+  w.kv("method", row.method);
+  w.kv("cost", row.cost);
+  w.kv("gates", row.gates);
+  w.kv("seconds", row.seconds);
+  w.key("phases");
+  w.begin_object();
+  w.kv("window", row.stats.window_seconds);
+  w.kv("qbf_feasibility", row.stats.qbf_seconds);
+  w.kv("sat_path", row.stats.sat_path_seconds);
+  w.kv("structural", row.stats.structural_seconds);
+  w.kv("assemble", row.stats.assemble_seconds);
+  w.kv("verify", row.stats.verify_seconds);
+  w.end_object();
+  w.kv("qbf_iterations", row.stats.qbf_iterations);
+  w.kv("support_sat_calls", row.stats.support_sat_calls);
+  w.kv("satprune_iterations", row.stats.satprune_iterations);
+  w.key("sat");
+  w.begin_object();
+  w.kv("solvers", row.stats.sat_solvers);
+  w.kv("solves", row.stats.sat_solves);
+  w.kv("decisions", row.stats.sat_decisions);
+  w.kv("propagations", row.stats.sat_propagations);
+  w.kv("conflicts", row.stats.sat_conflicts);
+  w.end_object();
+  w.end_object();
 }
 
 double ratio_or_one(double num, double den) {
@@ -68,15 +121,26 @@ int main(int argc, char** argv) {
   uint64_t seed = 20170912;
   int only_unit = -1;
   double budget = 15.0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
     else if (!std::strcmp(argv[i], "--unit") && i + 1 < argc) only_unit = std::atoi(argv[++i]);
     else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) budget = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
     else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--unit K] [--budget SECONDS]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--json FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
+
+  eco::JsonWriter json;
+  json.begin_object();
+  json.kv("schema", "ecopatch-bench-table1-v1");
+  json.kv("seed", seed);
+  json.kv("budget_seconds", budget);
+  json.key("runs");
+  json.begin_array();
 
   std::printf("Table 1 reproduction: comparison of the three algorithm configurations\n");
   std::printf("(synthetic ICCAD'17-suite substitute, seed %" PRIu64 ")\n\n", seed);
@@ -100,6 +164,9 @@ int main(int argc, char** argv) {
     const RunRow a = run_config(problem, eco::core::Algorithm::kBaseline, budget);
     const RunRow b = run_config(problem, eco::core::Algorithm::kMinimize, budget);
     const RunRow c = run_config(problem, eco::core::Algorithm::kSatPruneCegarMin, budget);
+    append_record(json, unit, problem, "baseline", a);
+    append_record(json, unit, problem, "minimize", b);
+    append_record(json, unit, problem, "satprune_cegarmin", c);
 
     std::printf("%-7s %5u %5u %7zu %7zu %4d %3s | %8" PRId64 " %7u %8.2f | %8" PRId64
                 " %7u %8.2f | %8" PRId64 " %7u %8.2f %-12s\n",
@@ -134,6 +201,18 @@ int main(int argc, char** argv) {
                 std::exp(log_cost_c / counted), std::exp(log_gate_c / counted),
                 std::exp(log_time_c / counted));
   }
+  json.end_array();
+  json.end_object();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "bench_table1: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("\nJSON records written to %s\n", json_path.c_str());
+  }
+
   if (failures) std::printf("\n%d unit(s) had unverified configurations.\n", failures);
   return failures == 0 ? 0 : 1;
 }

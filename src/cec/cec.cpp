@@ -8,6 +8,7 @@
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace eco::cec {
 
@@ -44,6 +45,8 @@ std::vector<bool> extract_pattern(const aig::Aig& g, cnf::Encoder& enc,
 
 CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget,
                        const eco::Deadline& deadline) {
+  ECO_TELEMETRY_PHASE("cec");
+  ECO_TELEMETRY_COUNT("cec.checks");
   CecResult result;
   if (root == aig::kLitFalse) {
     result.status = Status::kEquivalent;
@@ -77,19 +80,24 @@ CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
   const aig::Lit out = miter.po_lit(0);
 
   // Cheap screening by random simulation.
-  Rng rng(0x5eedULL);
-  for (uint64_t round = 0; round < sim_rounds; ++round) {
-    const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
-    const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
-    const uint64_t diff = aig::sim_value(words, out);
-    if (diff != 0) {
-      const int bit = __builtin_ctzll(diff);
-      CecResult result;
-      result.status = Status::kNotEquivalent;
-      result.counterexample.resize(miter.num_pis());
-      for (uint32_t i = 0; i < miter.num_pis(); ++i)
-        result.counterexample[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
-      return result;
+  {
+    ECO_TELEMETRY_PHASE("cec_sim");
+    Rng rng(0x5eedULL);
+    for (uint64_t round = 0; round < sim_rounds; ++round) {
+      ECO_TELEMETRY_COUNT("cec.sim_rounds");
+      const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
+      const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
+      const uint64_t diff = aig::sim_value(words, out);
+      if (diff != 0) {
+        ECO_TELEMETRY_COUNT("cec.sim_counterexamples");
+        const int bit = __builtin_ctzll(diff);
+        CecResult result;
+        result.status = Status::kNotEquivalent;
+        result.counterexample.resize(miter.num_pis());
+        for (uint32_t i = 0; i < miter.num_pis(); ++i)
+          result.counterexample[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
+        return result;
+      }
     }
   }
   return check_const0(miter, out, conflict_budget, deadline);

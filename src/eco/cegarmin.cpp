@@ -10,6 +10,7 @@
 #include "sat/solver.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace eco::core {
 
@@ -46,6 +47,7 @@ struct SigHash {
 
 std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& patches,
                                      const CegarMinOptions& options) {
+  ECO_TELEMETRY_PHASE("cegar_min");
   const uint32_t num_targets = patches.num_pos();
   std::vector<TargetRewrite> result(num_targets);
 
@@ -145,6 +147,7 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
       }
       if (diff == aig::kLitTrue) continue;
       solver.set_conflict_budget(options.conflict_budget);
+      ECO_TELEMETRY_COUNT("cegarmin.equiv_sat_calls");
       const sat::LBool verdict = solver.solve({enc.lit(diff)});
       solver.clear_budgets();
       if (verdict.is_false()) {
@@ -208,6 +211,7 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
 
     const auto cut = graph.solve();
     if (cut.cut_value >= flow::kInfinite) continue;  // keep PI-based patch
+    ECO_TELEMETRY_COUNT("cegarmin.cuts_used");
     result[t].used_cut = true;
     result[t].cut_cost = cut.cut_value;
     for (const int ci : cut.cut_nodes) {

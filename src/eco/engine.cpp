@@ -13,7 +13,9 @@
 #include "eco/structural.hpp"
 #include "eco/window.hpp"
 #include "sop/synth.hpp"
+#include "util/jsonw.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace eco::core {
@@ -26,6 +28,8 @@ struct BuiltPatch {
   std::vector<size_t> support;     ///< global divisor indices
   bool structural = false;
   std::string sop;
+  double support_seconds = 0;
+  int support_sat_calls = 0;
 };
 
 /// Replaces PI \p pi_index of \p impl by \p patch_lit (a literal of \p impl
@@ -158,6 +162,8 @@ void fill_target_info(EcoOutcome& outcome, const std::vector<BuiltPatch>& built,
     info.target_name = problem.target_names[t];
     info.structural = built[t].structural;
     info.sop = built[t].sop;
+    info.support_seconds = built[t].support_seconds;
+    info.support_sat_calls = built[t].support_sat_calls;
     for (const size_t g : built[t].support) {
       info.support.push_back(problem.divisors[g].name);
       info.support_cost += problem.divisors[g].cost;
@@ -171,12 +177,16 @@ void fill_target_info(EcoOutcome& outcome, const std::vector<BuiltPatch>& built,
 bool run_sat_path(const EcoProblem& problem, const Window& window,
                   const EngineOptions& options, const Deadline& deadline,
                   std::vector<BuiltPatch>& built, aig::Aig& work,
-                  std::vector<aig::Lit>& div_lits, bool& proven_infeasible) {
+                  std::vector<aig::Lit>& div_lits, bool& proven_infeasible,
+                  EngineStats& stats) {
   const uint32_t k = problem.num_targets();
   std::vector<aig::Lit> patch_lits;
 
   for (uint32_t t = 0; t < k; ++t) {
     if (deadline.expired()) return false;
+    ECO_TELEMETRY_PHASE("target");
+    ECO_TELEMETRY_COUNT("engine.targets_attempted");
+    ++stats.targets_attempted;
 
     std::vector<Divisor> cur_div = problem.divisors;
     for (size_t i = 0; i < cur_div.size(); ++i) cur_div[i].lit = div_lits[i];
@@ -186,9 +196,11 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     for (uint32_t u = t + 1; u < k; ++u) remaining.push_back(u);
     EcoMiter mq;
     try {
+      ECO_TELEMETRY_PHASE("quantify");
       mq = quantify_targets(m, remaining, options.max_expansion_nodes);
     } catch (const std::runtime_error&) {
       log_info("engine: quantification expansion too large; structural fallback");
+      ECO_TELEMETRY_COUNT("engine.quantify_overflows");
       return false;
     }
 
@@ -201,9 +213,12 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     sopt.conflict_budget = options.conflict_budget;
     Timer support_timer;
     SupportResult support = compute_support(inst, problem.divisors, sopt);
+    const double support_seconds = support_timer.seconds();
+    int target_sat_calls = support.sat_calls;
+    stats.support_sat_calls += support.sat_calls;
     log_info("engine: target %u support: feasible=%d |S|=%zu cost=%lld in %.2fs (%d calls)",
              t, support.feasible, support.chosen.size(),
-             static_cast<long long>(support.cost), support_timer.seconds(),
+             static_cast<long long>(support.cost), support_seconds,
              support.sat_calls);
     if (support.budget_expired) return false;
     if (!support.feasible) {
@@ -217,6 +232,9 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
       if (po.time_budget <= 0 && deadline.remaining() < 1e17)
         po.time_budget = std::max(0.1, deadline.remaining() * 0.5);
       const SatPruneResult pruned = sat_prune(inst, problem.divisors, po, &support.chosen);
+      stats.satprune_sat_calls += pruned.sat_calls;
+      stats.satprune_iterations += pruned.iterations;
+      target_sat_calls += pruned.sat_calls;
       if (pruned.feasible && pruned.cost <= support.cost) {
         support.chosen = pruned.chosen;
         support.cost = pruned.cost;
@@ -237,6 +255,7 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     pf_opt.deadline = deadline;
     const PatchFuncResult pf = compute_patch_cover(mq, t, problem.divisors,
                                                    support.chosen, pf_opt);
+    target_sat_calls += pf.sat_calls;
     if (!pf.ok) return false;
 
     // Keep only the divisors the SOP actually uses.
@@ -269,9 +288,12 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     BuiltPatch bp;
     bp.support = final_support;
     bp.sop = cover_to_named_sop(cover, final_support, problem);
+    bp.support_seconds = support_seconds;
+    bp.support_sat_calls = target_sat_calls;
     built.push_back(bp);
 
     // Substitute and remap every tracked literal.
+    ECO_TELEMETRY_PHASE("substitute");
     std::vector<aig::Lit> tracked = div_lits;
     tracked.insert(tracked.end(), patch_lits.begin(), patch_lits.end());
     tracked.push_back(patch_lit);
@@ -403,17 +425,39 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   Deadline deadline(options.time_budget);
   EcoOutcome outcome;
   const uint32_t k = problem.num_targets();
+  ECO_TELEMETRY_PHASE("engine");
+  const telemetry::SolverTotals sat_before = telemetry::solver_totals();
+  const auto finish = [&](EcoOutcome& out) {
+    out.seconds = timer.seconds();
+    const telemetry::SolverTotals sat_after = telemetry::solver_totals();
+    out.stats.sat_solvers = sat_after.solvers - sat_before.solvers;
+    out.stats.sat_solves = sat_after.solves - sat_before.solves;
+    out.stats.sat_decisions = sat_after.decisions - sat_before.decisions;
+    out.stats.sat_propagations = sat_after.propagations - sat_before.propagations;
+    out.stats.sat_conflicts = sat_after.conflicts - sat_before.conflicts;
+    out.stats.sat_restarts = sat_after.restarts - sat_before.restarts;
+  };
 
   // 1. Structural pruning (paper §3.3).
   Timer phase_timer;
-  const Window window = compute_window(problem, options.conflict_budget);
+  Window window;
+  {
+    ECO_TELEMETRY_PHASE("window");
+    window = compute_window(problem, options.conflict_budget);
+  }
+  outcome.stats.window_seconds = phase_timer.seconds();
   log_info("engine: window computed in %.2fs (%zu affected POs, %zu divisors)",
-           phase_timer.seconds(), window.affected_pos.size(), window.divisor_indices.size());
+           outcome.stats.window_seconds, window.affected_pos.size(),
+           window.divisor_indices.size());
+  ECO_TELEMETRY_GAUGE_MAX("engine.window.affected_pos",
+                          static_cast<int64_t>(window.affected_pos.size()));
+  ECO_TELEMETRY_GAUGE_MAX("engine.window.divisors",
+                          static_cast<int64_t>(window.divisor_indices.size()));
   phase_timer.reset();
   if (!window.outside_equal) {
     outcome.status = EcoOutcome::Status::kInfeasible;
     outcome.method = "window";
-    outcome.seconds = timer.seconds();
+    finish(outcome);
     log_info("engine: infeasible — PO %u outside the target cone differs", window.mismatch_po);
     return outcome;
   }
@@ -430,15 +474,21 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
         options.conflict_budget < 0 ? 20000 : std::min<int64_t>(options.conflict_budget, 20000);
   if (qopt.time_budget <= 0)
     qopt.time_budget = options.time_budget > 0 ? options.time_budget * 0.25 : 30.0;
-  const qbf::Qbf2Result qbf_result =
-      qbf::solve_exists_forall(feas_miter.aig, feas_miter.out, feas_miter.num_x, qopt);
+  qbf::Qbf2Result qbf_result;
+  {
+    ECO_TELEMETRY_PHASE("qbf_feasibility");
+    qbf_result = qbf::solve_exists_forall(feas_miter.aig, feas_miter.out, feas_miter.num_x, qopt);
+  }
+  outcome.stats.qbf_seconds = phase_timer.seconds();
+  outcome.stats.qbf_iterations = qbf_result.iterations;
   log_info("engine: qbf feasibility finished in %.2fs (status %d, %d iterations)",
-           phase_timer.seconds(), static_cast<int>(qbf_result.status), qbf_result.iterations);
+           outcome.stats.qbf_seconds, static_cast<int>(qbf_result.status),
+           qbf_result.iterations);
   phase_timer.reset();
   if (qbf_result.status == qbf::Qbf2Status::kTrue) {
     outcome.status = EcoOutcome::Status::kInfeasible;
     outcome.method = "qbf";
-    outcome.seconds = timer.seconds();
+    finish(outcome);
     return outcome;
   }
 
@@ -451,36 +501,44 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   bool proven_infeasible = false;
   outcome.method = "sat";
   if (!options.force_structural) {
+    ECO_TELEMETRY_PHASE("sat_path");
     ok = run_sat_path(problem, window, options, deadline, built, work, div_lits,
-                      proven_infeasible);
+                      proven_infeasible, outcome.stats);
+    outcome.stats.sat_path_seconds = phase_timer.seconds();
     log_info("engine: sat path %s in %.2fs", ok ? "succeeded" : "failed",
-             phase_timer.seconds());
+             outcome.stats.sat_path_seconds);
     phase_timer.reset();
   }
   if (proven_infeasible) {
     outcome.status = EcoOutcome::Status::kInfeasible;
-    outcome.seconds = timer.seconds();
+    finish(outcome);
     return outcome;
   }
   if (!ok) {
+    ECO_TELEMETRY_PHASE("structural");
+    ECO_TELEMETRY_COUNT("engine.structural_fallbacks");
     built.clear();
     work = problem.impl;
-    if (!run_structural_path(problem, window, qbf_result, options, built, work, div_lits,
-                             outcome.method)) {
+    const bool structural_ok = run_structural_path(problem, window, qbf_result, options,
+                                                   built, work, div_lits, outcome.method);
+    outcome.stats.structural_seconds = phase_timer.seconds();
+    phase_timer.reset();
+    if (!structural_ok) {
       outcome.status = EcoOutcome::Status::kUnknown;
-      outcome.seconds = timer.seconds();
+      finish(outcome);
       return outcome;
     }
   }
 
   // 4. Assemble the patch module and the patched implementation.
-  outcome.patch_module = build_patch_module(work, div_lits, problem, built);
-  outcome.patch_gates = outcome.patch_module.num_ands();
-  outcome.total_cost = union_cost(built, problem);
-  fill_target_info(outcome, built, problem);
-
-  // Substitute all targets at once (patches never depend on target PIs).
   {
+    ECO_TELEMETRY_PHASE("assemble");
+    outcome.patch_module = build_patch_module(work, div_lits, problem, built);
+    outcome.patch_gates = outcome.patch_module.num_ands();
+    outcome.total_cost = union_cost(built, problem);
+    fill_target_info(outcome, built, problem);
+
+    // Substitute all targets at once (patches never depend on target PIs).
     std::vector<aig::Lit> tracked;
     aig::Aig patched = work;
     for (uint32_t t = 0; t < k; ++t) {
@@ -491,6 +549,7 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     }
     outcome.patched_impl = patched.cleanup();
   }
+  outcome.stats.assemble_seconds = phase_timer.seconds();
 
   // 5. Verification (paper Fig. 2 final check).
   phase_timer.reset();
@@ -501,9 +560,13 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   double verify_budget = options.verify_time_budget;
   if (verify_budget <= 0)
     verify_budget = options.time_budget > 0 ? std::max(options.time_budget, 30.0) : 0;
-  const cec::Status check =
-      verify_patched(problem, outcome.patched_impl, /*conflict_budget=*/-1,
-                     Deadline(verify_budget));
+  cec::Status check;
+  {
+    ECO_TELEMETRY_PHASE("verify");
+    check = verify_patched(problem, outcome.patched_impl, /*conflict_budget=*/-1,
+                           Deadline(verify_budget));
+  }
+  outcome.stats.verify_seconds = phase_timer.seconds();
   switch (check) {
     case cec::Status::kEquivalent:
       outcome.verification = EcoOutcome::Verification::kVerified;
@@ -519,16 +582,94 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
       outcome.status = EcoOutcome::Status::kUnknown;
       break;
   }
-  log_info("engine: verification finished in %.2fs (%s)", phase_timer.seconds(),
+  log_info("engine: verification finished in %.2fs (%s)", outcome.stats.verify_seconds,
            outcome.verified ? "equivalent"
                             : (check == cec::Status::kUnknown ? "inconclusive" : "REFUTED"));
-  outcome.seconds = timer.seconds();
+  finish(outcome);
   return outcome;
 }
 
 EcoOutcome run_eco(const net::Network& impl, const net::Network& spec,
                    const net::WeightMap& weights, const EngineOptions& options) {
   return run_eco(make_problem(impl, spec, weights), options);
+}
+
+std::string outcome_to_json(const EcoOutcome& outcome) {
+  const auto status_name = [](EcoOutcome::Status s) {
+    switch (s) {
+      case EcoOutcome::Status::kPatched: return "patched";
+      case EcoOutcome::Status::kInfeasible: return "infeasible";
+      case EcoOutcome::Status::kUnknown: return "unknown";
+    }
+    return "unknown";
+  };
+  const auto verification_name = [](EcoOutcome::Verification v) {
+    switch (v) {
+      case EcoOutcome::Verification::kVerified: return "verified";
+      case EcoOutcome::Verification::kInconclusive: return "inconclusive";
+      case EcoOutcome::Verification::kRefuted: return "refuted";
+    }
+    return "inconclusive";
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "ecopatch-outcome-v1");
+  w.kv("status", status_name(outcome.status));
+  w.kv("verification", verification_name(outcome.verification));
+  w.kv("method", outcome.method);
+  w.kv("total_cost", outcome.total_cost);
+  w.kv("patch_gates", outcome.patch_gates);
+  w.kv("seconds", outcome.seconds);
+
+  w.key("phases");
+  w.begin_object();
+  w.kv("window", outcome.stats.window_seconds);
+  w.kv("qbf_feasibility", outcome.stats.qbf_seconds);
+  w.kv("sat_path", outcome.stats.sat_path_seconds);
+  w.kv("structural", outcome.stats.structural_seconds);
+  w.kv("assemble", outcome.stats.assemble_seconds);
+  w.kv("verify", outcome.stats.verify_seconds);
+  w.end_object();
+
+  w.key("counts");
+  w.begin_object();
+  w.kv("qbf_iterations", outcome.stats.qbf_iterations);
+  w.kv("support_sat_calls", outcome.stats.support_sat_calls);
+  w.kv("satprune_sat_calls", outcome.stats.satprune_sat_calls);
+  w.kv("satprune_iterations", outcome.stats.satprune_iterations);
+  w.kv("targets_attempted", outcome.stats.targets_attempted);
+  w.end_object();
+
+  w.key("sat");
+  w.begin_object();
+  w.kv("solvers", outcome.stats.sat_solvers);
+  w.kv("solves", outcome.stats.sat_solves);
+  w.kv("decisions", outcome.stats.sat_decisions);
+  w.kv("propagations", outcome.stats.sat_propagations);
+  w.kv("conflicts", outcome.stats.sat_conflicts);
+  w.kv("restarts", outcome.stats.sat_restarts);
+  w.end_object();
+
+  w.key("targets");
+  w.begin_array();
+  for (const auto& t : outcome.targets) {
+    w.begin_object();
+    w.kv("name", t.target_name);
+    w.kv("structural", t.structural);
+    w.kv("support_cost", t.support_cost);
+    w.kv("support_seconds", t.support_seconds);
+    w.kv("support_sat_calls", t.support_sat_calls);
+    if (!t.sop.empty()) w.kv("sop", t.sop);
+    w.key("support");
+    w.begin_array();
+    for (const auto& name : t.support) w.value(name);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace eco::core

@@ -61,6 +61,36 @@ struct TargetPatchInfo {
   int64_t support_cost = 0;          ///< sum of their weights
   bool structural = false;           ///< produced by the structural path
   std::string sop;                   ///< printable SOP (SAT path only)
+  double support_seconds = 0;        ///< support computation time (SAT path)
+  int support_sat_calls = 0;         ///< SAT queries for this target's support
+};
+
+/// Structured engine statistics, filled on every run (independent of the
+/// telemetry runtime flag): phase wall-clock breakdown, loop/iteration
+/// counts, and the SAT totals aggregated over every solver the run created.
+struct EngineStats {
+  // Phase breakdown; the phases partition outcome.seconds (up to glue code).
+  double window_seconds = 0;      ///< structural pruning (§3.3)
+  double qbf_seconds = 0;         ///< 2QBF target-sufficiency check (§3.2)
+  double sat_path_seconds = 0;    ///< per-target SAT loop (§3.1/3.4/3.5)
+  double structural_seconds = 0;  ///< structural fallback (§3.6)
+  double assemble_seconds = 0;    ///< patch module build + substitution
+  double verify_seconds = 0;      ///< final equivalence check
+
+  int qbf_iterations = 0;        ///< CEGAR refinements in the feasibility check
+  int support_sat_calls = 0;     ///< summed over targets (SAT path)
+  int satprune_sat_calls = 0;    ///< SAT_prune feasibility queries
+  int satprune_iterations = 0;   ///< implicit-hitting-set refinements
+  int targets_attempted = 0;     ///< targets entered in the SAT loop
+
+  // Deltas of the process-wide solver totals over this run: every solver
+  // constructed and destroyed inside run_eco is covered.
+  uint64_t sat_solvers = 0;
+  uint64_t sat_solves = 0;
+  uint64_t sat_decisions = 0;
+  uint64_t sat_propagations = 0;
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_restarts = 0;
 };
 
 /// Result of a full ECO run.
@@ -86,6 +116,8 @@ struct EcoOutcome {
   /// AND-node count of the combined patch module.
   uint32_t patch_gates = 0;
   double seconds = 0;
+  /// Phase/counter/SAT breakdown of this run (always filled).
+  EngineStats stats;
   std::vector<TargetPatchInfo> targets;
   /// The patch as a standalone module: PIs = patch inputs (named after the
   /// implementation signals), PO t = the function for target t.
@@ -101,5 +133,10 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options = {})
 /// into Networks + weights).
 EcoOutcome run_eco(const net::Network& impl, const net::Network& spec,
                    const net::WeightMap& weights, const EngineOptions& options = {});
+
+/// Serializes an outcome — status, method, cost, per-target supports, and
+/// the EngineStats block — as a JSON object (schema `ecopatch-outcome-v1`,
+/// docs/OBSERVABILITY.md). Circuit payloads are summarized, not embedded.
+std::string outcome_to_json(const EcoOutcome& outcome);
 
 }  // namespace eco::core

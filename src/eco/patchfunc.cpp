@@ -6,6 +6,7 @@
 #include "sat/minimize.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace eco::core {
 
@@ -14,6 +15,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
                                     const std::vector<size_t>& support,
                                     const PatchFuncOptions& options) {
   (void)divisors;
+  ECO_TELEMETRY_PHASE("patch_func");
   PatchFuncResult result;
   result.cover.num_vars = static_cast<uint32_t>(support.size());
   const aig::Lit target_lit = m.target_lit(target);
@@ -105,6 +107,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     }
     result.cover.cubes.push_back(sop::Cube(std::move(sop_lits)));
     ++result.cubes_enumerated;
+    ECO_TELEMETRY_COUNT("patchfunc.cubes");
     on_solver.add_clause(blocking);  // empty cube -> empty clause -> done
     if (!on_solver.okay()) break;
   }
@@ -156,6 +159,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
   result.ok = true;
   on_solver.clear_budgets();
   off_solver.clear_budgets();
+  ECO_TELEMETRY_COUNT("patchfunc.sat_calls", static_cast<uint64_t>(result.sat_calls));
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace eco::core {
@@ -104,6 +105,7 @@ int64_t cost_of(const std::vector<size_t>& subset, const std::vector<Divisor>& d
 SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divisors,
                          const SatPruneOptions& options,
                          const std::vector<size_t>* warm_start) {
+  ECO_TELEMETRY_PHASE("sat_prune");
   SatPruneResult result;
   Deadline deadline(options.time_budget);
 
@@ -127,6 +129,7 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
+    ECO_TELEMETRY_COUNT("satprune.iterations");
     if (deadline.expired()) break;
 
     // Minimum-cost hitting set of the separators found so far = lower bound.
@@ -153,6 +156,7 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
       break;
     }
     // Infeasible: learn the separator clause ("block infeasible divisors").
+    ECO_TELEMETRY_COUNT("satprune.separators");
     std::vector<size_t> sep = inst.separator();
     if (sep.empty()) {
       // No divisor can distinguish the witness pair: the whole candidate
@@ -166,6 +170,8 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
   result.optimal = proven_optimal;
   result.chosen = std::move(incumbent);
   result.cost = incumbent_cost;
+  ECO_TELEMETRY_COUNT("satprune.sat_calls", static_cast<uint64_t>(result.sat_calls));
+  if (result.optimal) ECO_TELEMETRY_COUNT("satprune.proven_optimal");
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "cnf/tseitin.hpp"
 #include "sat/minimize.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace eco::core {
 
@@ -74,6 +75,7 @@ std::vector<size_t> SupportInstance::separator() const {
 
 SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>& divisors,
                               const SupportOptions& options) {
+  ECO_TELEMETRY_PHASE("support");
   SupportResult result;
   sat::Solver& solver = inst.solver();
   const std::vector<size_t>& candidates = inst.candidates();
@@ -138,7 +140,9 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
           trial[pos] = candidate;
           --budget;
           ++result.sat_calls;
+          ECO_TELEMETRY_COUNT("support.last_gasp_queries");
           if (inst.check_subset(trial, options.conflict_budget).is_false()) {
+            ECO_TELEMETRY_COUNT("support.last_gasp_improvements");
             chosen = std::move(trial);
             break;
           }
@@ -151,6 +155,7 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
   result.feasible = true;
   result.chosen = std::move(chosen);
   for (const size_t g : result.chosen) result.cost += divisors[g].cost;
+  ECO_TELEMETRY_COUNT("support.sat_calls", static_cast<uint64_t>(result.sat_calls));
   return result;
 }
 

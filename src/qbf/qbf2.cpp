@@ -6,12 +6,14 @@
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace eco::qbf {
 
 Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
                                const Qbf2Options& options) {
+  ECO_TELEMETRY_PHASE("qbf");
   Qbf2Result result;
   Deadline deadline(options.time_budget);
   const uint32_t num_n = g.num_pis() - num_x;
@@ -46,6 +48,7 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
+    ECO_TELEMETRY_COUNT("qbf.iterations");
     if (deadline.expired()) return result;
 
     // Propose x*.
@@ -84,6 +87,7 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
     for (uint32_t i = 0; i < g.num_pis(); ++i) map[g.pi_node(i)] = pi_map[i];
     const aig::Lit roots[] = {root};
     const aig::Lit cof = aig::transfer(g, acc, roots, map)[0];
+    ECO_TELEMETRY_COUNT("qbf.refinements");
     a_solver.add_unit(a_enc.lit(cof));
     if (!a_solver.okay()) {
       result.status = Qbf2Status::kFalse;

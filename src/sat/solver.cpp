@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace eco::sat {
 
 // ---------------------------------------------------------------------------
@@ -75,6 +77,19 @@ void Solver::VarHeap::sift_down(size_t i, const std::vector<double>& act) {
 // ---------------------------------------------------------------------------
 
 Solver::Solver() { arena_.reserve(1024 * 64); }
+
+Solver::~Solver() {
+  telemetry::SolverTotals t;
+  t.solvers = 1;
+  t.solves = stats_.solves;
+  t.decisions = stats_.decisions;
+  t.propagations = stats_.propagations;
+  t.conflicts = stats_.conflicts;
+  t.restarts = stats_.restarts;
+  t.learnt_literals = stats_.learnts_literals;
+  t.db_reductions = stats_.db_reductions;
+  telemetry::add_solver_totals(t);
+}
 
 Var Solver::new_var(bool decision, bool default_polarity) {
   const Var v = num_vars();

@@ -39,6 +39,9 @@ struct SolverStats {
 class Solver {
  public:
   Solver();
+  /// Rolls this solver's statistics into the process-wide telemetry totals
+  /// (util/telemetry.hpp), so snapshots cover every solver ever created.
+  ~Solver();
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;

@@ -1,0 +1,136 @@
+/// \file jsonw.hpp
+/// \brief Minimal streaming JSON writer.
+///
+/// Shared by the telemetry snapshot/trace emitters, the engine's outcome
+/// serialization, and the benchmark JSON records, so every machine-readable
+/// artifact the repo produces escapes strings and formats numbers the same
+/// way. Emits compact, valid JSON; the caller is responsible for balanced
+/// begin/end calls (checked with asserts in debug builds).
+#pragma once
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace eco {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    separate();
+    out_ += '{';
+    stack_.push_back(kFirst);
+  }
+  void end_object() {
+    assert(!stack_.empty());
+    stack_.pop_back();
+    out_ += '}';
+  }
+  void begin_array() {
+    separate();
+    out_ += '[';
+    stack_.push_back(kFirst);
+  }
+  void end_array() {
+    assert(!stack_.empty());
+    stack_.pop_back();
+    out_ += ']';
+  }
+
+  void key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ':';
+    // The upcoming value must not emit a comma.
+    stack_.push_back(kAfterKey);
+  }
+
+  void value(std::string_view v) {
+    separate();
+    append_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+  }
+  void null() {
+    separate();
+    out_ += "null";
+  }
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                                         int> = 0>
+  void value(T v) {
+    separate();
+    char buf[48];
+    if constexpr (std::is_floating_point_v<T>) {
+      if (!std::isfinite(static_cast<double>(v))) {
+        out_ += "null";  // JSON has no inf/nan
+        return;
+      }
+      std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<int64_t>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%" PRIu64, static_cast<uint64_t>(v));
+    }
+    out_ += buf;
+  }
+
+  /// key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  enum State : uint8_t { kFirst, kLater, kAfterKey };
+
+  void separate() {
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == kAfterKey) {
+      stack_.pop_back();  // value right after a key: no comma
+      return;
+    }
+    if (s == kLater) out_ += ',';
+    s = kLater;
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+};
+
+}  // namespace eco

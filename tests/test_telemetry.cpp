@@ -1,0 +1,439 @@
+// Tests for util/telemetry: counter/gauge/timer registry correctness,
+// hierarchical phase nesting, thread-safety, runtime-disabled no-ops, and
+// validity of the emitted JSON (snapshot + Chrome trace), checked with the
+// minimal JSON parser below.
+
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/jsonw.hpp"
+
+namespace tel = eco::telemetry;
+
+namespace {
+
+// ---- minimal JSON parser (validation only) -------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::kNull;
+      return literal("null");
+    }
+    return parse_number(out);
+  }
+  bool parse_string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char e = s_[pos_ + 1];
+        if (e == 'u') {
+          if (pos_ + 5 >= s_.size()) return false;
+          out += '?';  // decoded value irrelevant for these tests
+          pos_ += 6;
+          continue;
+        }
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: return false;
+        }
+        pos_ += 2;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool parse_number(JsonValue& out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.kind = JsonValue::kNumber;
+    out.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tel::reset();
+    tel::set_enabled(true);
+  }
+  void TearDown() override {
+    tel::set_enabled(false);
+    tel::reset();
+  }
+};
+
+}  // namespace
+
+TEST_F(TelemetryTest, CountersAccumulate) {
+  EXPECT_EQ(tel::counter_value("t.c"), 0u);
+  tel::counter_add("t.c");
+  tel::counter_add("t.c", 41);
+  EXPECT_EQ(tel::counter_value("t.c"), 42u);
+  tel::reset();
+  EXPECT_EQ(tel::counter_value("t.c"), 0u);
+}
+
+TEST_F(TelemetryTest, GaugesSetAndMax) {
+  tel::gauge_set("t.g", 7);
+  tel::gauge_set("t.g", 3);
+  EXPECT_EQ(tel::gauge_value("t.g"), 3);
+  tel::gauge_max("t.m", 5);
+  tel::gauge_max("t.m", 2);
+  tel::gauge_max("t.m", 9);
+  EXPECT_EQ(tel::gauge_value("t.m"), 9);
+}
+
+TEST_F(TelemetryTest, TimersAccumulateCountAndSeconds) {
+  tel::timer_add("t.t", 0.5);
+  tel::timer_add("t.t", 0.25);
+  const tel::TimerStat t = tel::timer_value("t.t");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.seconds, 0.75);
+}
+
+TEST_F(TelemetryTest, ScopedTimerRecords) {
+  {
+    tel::ScopedTimer timer("t.scoped");
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  const tel::TimerStat t = tel::timer_value("t.scoped");
+  EXPECT_EQ(t.count, 1u);
+  EXPECT_GT(t.seconds, 0.0);
+}
+
+TEST_F(TelemetryTest, PhasesNestHierarchically) {
+  {
+    tel::ScopedPhase outer("outer");
+    {
+      tel::ScopedPhase inner("inner");
+      tel::ScopedTimer spin("t.spin");
+      volatile int sink = 0;
+      for (int i = 0; i < 100000; ++i) sink = sink + i;
+    }
+    { tel::ScopedPhase inner2("inner"); }
+  }
+  EXPECT_EQ(tel::timer_value("outer").count, 1u);
+  EXPECT_EQ(tel::timer_value("outer/inner").count, 2u);
+  EXPECT_EQ(tel::timer_value("inner").count, 0u);  // only the joined path
+  // The outer phase's time covers the inner phases'.
+  EXPECT_GE(tel::timer_value("outer").seconds, tel::timer_value("outer/inner").seconds);
+}
+
+TEST_F(TelemetryTest, RuntimeDisabledIsNoop) {
+  tel::set_enabled(false);
+  tel::counter_add("t.off");
+  tel::gauge_set("t.off.g", 1);
+  tel::timer_add("t.off.t", 1.0);
+  { tel::ScopedPhase p("t.off.phase"); }
+  EXPECT_EQ(tel::counter_value("t.off"), 0u);
+  EXPECT_EQ(tel::gauge_value("t.off.g"), 0);
+  EXPECT_EQ(tel::timer_value("t.off.t").count, 0u);
+  EXPECT_EQ(tel::timer_value("t.off.phase").count, 0u);
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_TRUE(s.counters.empty());
+  EXPECT_TRUE(s.timers.empty());
+}
+
+TEST_F(TelemetryTest, PhaseOpenAcrossDisableStillClosesSafely) {
+  auto phase = std::make_unique<tel::ScopedPhase>("t.toggle");
+  tel::set_enabled(false);
+  phase.reset();  // must not crash; slice recorded from the active ctor
+  EXPECT_EQ(tel::timer_value("t.toggle").count, 1u);
+}
+
+TEST_F(TelemetryTest, ThreadSafetySmoke) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int j = 0; j < kIters; ++j) {
+        tel::counter_add("t.mt");
+        if ((j & 1023) == 0) {
+          tel::ScopedPhase p("mt_phase");
+          tel::gauge_max("t.mt.max", j);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tel::counter_value("t.mt"), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(tel::gauge_value("t.mt.max"), 9216);
+  EXPECT_EQ(tel::timer_value("mt_phase").count, static_cast<uint64_t>(kThreads) * 10);
+}
+
+TEST_F(TelemetryTest, SolverStatsRollIntoTotals) {
+  const tel::SolverTotals before = tel::solver_totals();
+  {
+    eco::sat::Solver solver;
+    const eco::sat::Var a = solver.new_var();
+    const eco::sat::Var b = solver.new_var();
+    solver.add_clause({eco::sat::mk_lit(a), eco::sat::mk_lit(b)});
+    solver.add_clause({~eco::sat::mk_lit(a), eco::sat::mk_lit(b)});
+    EXPECT_TRUE(solver.solve().is_true());
+  }  // destructor publishes the stats
+  const tel::SolverTotals after = tel::solver_totals();
+  EXPECT_EQ(after.solvers, before.solvers + 1);
+  EXPECT_EQ(after.solves, before.solves + 1);
+}
+
+TEST_F(TelemetryTest, SnapshotJsonRoundTrips) {
+  tel::counter_add("alpha", 3);
+  tel::counter_add("needs \"escaping\"\n", 1);
+  tel::gauge_set("g1", -5);
+  tel::timer_add("engine/window", 0.125);
+  { tel::ScopedPhase p("solo"); }
+
+  const std::string text = tel::snapshot_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).parse(root)) << text;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_NE(root.find("schema"), nullptr);
+  EXPECT_EQ(root.find("schema")->string, "ecopatch-telemetry-v1");
+
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("alpha")->number, 3.0);
+  EXPECT_NE(counters->find("needs \"escaping\"\n"), nullptr);
+
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("g1")->number, -5.0);
+
+  const JsonValue* timers = root.find("timers");
+  ASSERT_NE(timers, nullptr);
+  const JsonValue* window = timers->find("engine/window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_DOUBLE_EQ(window->find("seconds")->number, 0.125);
+  EXPECT_DOUBLE_EQ(window->find("count")->number, 1.0);
+  EXPECT_NE(timers->find("solo"), nullptr);
+
+  const JsonValue* sat = root.find("sat");
+  ASSERT_NE(sat, nullptr);
+  EXPECT_NE(sat->find("conflicts"), nullptr);
+  EXPECT_NE(sat->find("propagations"), nullptr);
+}
+
+TEST_F(TelemetryTest, TraceJsonRoundTripsAsCatapultFormat) {
+  {
+    tel::ScopedPhase outer("engine");
+    tel::ScopedPhase inner("window");
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  const std::string text = tel::trace_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).parse(root)) << text;
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const JsonValue& e : events->array) {
+    EXPECT_EQ(e.find("ph")->string, "X");
+    EXPECT_NE(e.find("name"), nullptr);
+    EXPECT_GE(e.find("ts")->number, 0.0);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+  }
+  // Inner slice closes first, so it is recorded first and nests inside.
+  const JsonValue& inner = events->array[0];
+  const JsonValue& outer = events->array[1];
+  EXPECT_EQ(inner.find("name")->string, "window");
+  EXPECT_EQ(outer.find("name")->string, "engine");
+  EXPECT_LE(outer.find("ts")->number, inner.find("ts")->number);
+  EXPECT_GE(outer.find("ts")->number + outer.find("dur")->number,
+            inner.find("ts")->number + inner.find("dur")->number);
+}
+
+TEST_F(TelemetryTest, TraceCapacityBoundsMemory) {
+  tel::set_trace_capacity(4);
+  for (int i = 0; i < 10; ++i) tel::ScopedPhase p("spam");
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.trace_events, 4u);
+  EXPECT_EQ(s.dropped_trace_events, 6u);
+  tel::set_trace_capacity(1u << 20);
+}
+
+TEST_F(TelemetryTest, JsonWriterEscapesAndNests) {
+  eco::JsonWriter w;
+  w.begin_object();
+  w.kv("s", "a\"b\\c\nd");
+  w.kv("i", -12);
+  w.kv("u", 12u);
+  w.kv("d", 1.5);
+  w.kv("b", true);
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.value("two");
+  w.begin_object();
+  w.kv("k", 3);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(w.str()).parse(root)) << w.str();
+  EXPECT_EQ(root.find("s")->string, "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(root.find("i")->number, -12.0);
+  EXPECT_TRUE(root.find("b")->boolean);
+  ASSERT_EQ(root.find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(root.find("arr")->array[2].find("k")->number, 3.0);
+}
+
+// Declared in test_telemetry_disabled.cpp, a TU compiled with
+// ECO_TELEMETRY=0: returns the value of counter "disabled.count" after
+// running the compiled-out instrumentation macros.
+uint64_t run_compiled_out_instrumentation();
+
+TEST_F(TelemetryTest, CompileTimeDisabledMacrosAreZeroCost) {
+  EXPECT_EQ(run_compiled_out_instrumentation(), 0u);
+  EXPECT_EQ(tel::timer_value("disabled.phase").count, 0u);
+}

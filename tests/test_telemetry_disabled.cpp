@@ -1,0 +1,25 @@
+// Compiled with ECO_TELEMETRY forced to 0 for this translation unit: proves
+// the instrumentation macros expand to no-ops that still compile, and that
+// nothing reaches the registry. Linked into test_telemetry, which asserts on
+// the result (CompileTimeDisabledMacrosAreZeroCost).
+
+#define ECO_TELEMETRY 0
+#include "util/telemetry.hpp"
+
+#include <cstdint>
+
+static_assert(ECO_TELEMETRY == 0, "this TU must build with telemetry compiled out");
+
+uint64_t run_compiled_out_instrumentation() {
+  // All of these must vanish; none may touch the registry even while the
+  // runtime flag is enabled (the test enables it before calling us).
+  ECO_TELEMETRY_PHASE("disabled.phase");
+  ECO_TELEMETRY_COUNT("disabled.count");
+  ECO_TELEMETRY_COUNT("disabled.count", 41);
+  ECO_TELEMETRY_GAUGE_SET("disabled.gauge", 7);
+  ECO_TELEMETRY_GAUGE_MAX("disabled.gauge", 9);
+  ECO_TELEMETRY_TIMER("disabled.timer");
+  // The registry API itself is still available (library code may call it
+  // directly); only the macros are compiled out.
+  return eco::telemetry::counter_value("disabled.count");
+}

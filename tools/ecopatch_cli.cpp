@@ -8,7 +8,13 @@
 //         --patch FILE                        (default patch.v)
 //         --patched FILE                      write the patched netlist
 //         --force-structural
+//         --stats-json FILE                   outcome + telemetry snapshot JSON
+//         --trace FILE                        Chrome trace_event JSON
 //   ecopatch gen <unit 1..20> <outdir> [--seed N]
+//
+// Global options (any command): -v/--verbose raises the log level to info,
+// -vv to debug, and routes the telemetry phase/counter summary through the
+// logger. See docs/OBSERVABILITY.md for the JSON schemas.
 //       Materializes a synthetic suite unit as impl.v/spec.v/weights.txt.
 //   ecopatch stats <circuit>
 //       Parses a circuit (.v, .blif, .aag/.aig) and prints statistics.
@@ -33,6 +39,8 @@
 #include "net/elaborate.hpp"
 #include "net/verilog.hpp"
 #include "net/weights.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -41,10 +49,12 @@ int usage() {
                "usage:\n"
                "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
+               "                 [--stats-json FILE] [--trace FILE]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
                "  ecopatch cec <a> <b>\n"
-               "  ecopatch convert <in> <out>\n");
+               "  ecopatch convert <in> <out>\n"
+               "global options: -v/--verbose (info), -vv (debug)\n");
   return 2;
 }
 
@@ -80,7 +90,7 @@ int cmd_solve(int argc, char** argv) {
   const std::string impl_path = argv[2], spec_path = argv[3], weights_path = argv[4];
   eco::core::EngineOptions options;
   options.time_budget = 60;
-  std::string patch_path = "patch.v", patched_path;
+  std::string patch_path = "patch.v", patched_path, stats_json_path, trace_path;
   for (int i = 5; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--algo" && i + 1 < argc) {
@@ -97,15 +107,49 @@ int cmd_solve(int argc, char** argv) {
       patched_path = argv[++i];
     } else if (arg == "--force-structural") {
       options.force_structural = true;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       return usage();
     }
   }
+  // Telemetry recording is off by default; any observability output (or an
+  // explicit ECO_TELEMETRY=1 in the environment) turns it on for the run.
+  if (!stats_json_path.empty() || !trace_path.empty()) eco::telemetry::set_enabled(true);
 
   const eco::net::Network impl = eco::net::parse_verilog_file(impl_path);
   const eco::net::Network spec = eco::net::parse_verilog_file(spec_path);
   const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
   const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
+
+  // Observability outputs are written for every status, including failures —
+  // where the time went matters most when no patch came out.
+  eco::log_info("solve: phases window %.2fs qbf %.2fs sat %.2fs structural %.2fs "
+                "assemble %.2fs verify %.2fs | %llu sat conflicts in %llu solvers",
+                outcome.stats.window_seconds, outcome.stats.qbf_seconds,
+                outcome.stats.sat_path_seconds, outcome.stats.structural_seconds,
+                outcome.stats.assemble_seconds, outcome.stats.verify_seconds,
+                static_cast<unsigned long long>(outcome.stats.sat_conflicts),
+                static_cast<unsigned long long>(outcome.stats.sat_solvers));
+  eco::telemetry::log_summary();
+  if (!stats_json_path.empty()) {
+    // One document: the outcome block plus the flat telemetry snapshot.
+    std::string doc = "{\"outcome\":" + eco::core::outcome_to_json(outcome) +
+                      ",\"telemetry\":" + eco::telemetry::snapshot_json() + "}";
+    std::ofstream out(stats_json_path);
+    out << doc << '\n';
+    if (!out) std::fprintf(stderr, "ecopatch: cannot write %s\n", stats_json_path.c_str());
+    else std::printf("stats written to %s\n", stats_json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!eco::telemetry::write_trace_json(trace_path))
+      std::fprintf(stderr, "ecopatch: cannot write %s\n", trace_path.c_str());
+    else
+      std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path.c_str());
+  }
 
   using Status = eco::core::EcoOutcome::Status;
   if (outcome.status == Status::kInfeasible) {
@@ -206,6 +250,19 @@ int cmd_convert(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global verbosity flags (valid in any position) before dispatch.
+  int verbosity = 0;
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-v" || arg == "--verbose") ++verbosity;
+    else if (arg == "-vv") verbosity += 2;
+    else argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+  if (verbosity >= 2) eco::set_log_level(eco::LogLevel::kDebug);
+  else if (verbosity == 1) eco::set_log_level(eco::LogLevel::kInfo);
+
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
