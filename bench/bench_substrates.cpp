@@ -10,6 +10,7 @@
 #include "flow/maxflow.hpp"
 #include "sat/solver.hpp"
 #include "sop/factor.hpp"
+#include "util/executor.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -55,6 +56,36 @@ void BM_SatRandom3Sat(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SatRandom3Sat)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// A sweep of independent random-3SAT instances over a util::Executor pool:
+// the job-level parallelism pattern of bench_table1 in microbenchmark form.
+// Arg is the job count (1 = the executor's exact serial mode), so comparing
+// rows isolates the pool's scheduling overhead and the machine's scaling.
+void BM_SatSweepJobs(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  constexpr int kInstances = 16;
+  constexpr int kVars = 120;
+  eco::util::Executor executor(jobs);
+  for (auto _ : state) {
+    executor.parallel_for(kInstances, [&](size_t inst) {
+      eco::Rng rng(0xabcdULL + inst);  // per-instance stream, schedule-free
+      eco::sat::Solver solver;
+      for (int i = 0; i < kVars; ++i) solver.new_var();
+      for (int c = 0; c < static_cast<int>(4.1 * kVars); ++c) {
+        eco::sat::LitVec clause;
+        for (int k = 0; k < 3; ++k)
+          clause.push_back(eco::sat::mk_lit(
+              static_cast<eco::sat::Var>(rng.below(static_cast<uint64_t>(kVars))),
+              rng.chance(1, 2)));
+        solver.add_clause(clause);
+      }
+      benchmark::DoNotOptimize(solver.solve());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kInstances);
+}
+BENCHMARK(BM_SatSweepJobs)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_AigStrash(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

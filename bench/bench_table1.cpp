@@ -8,19 +8,32 @@
 // Columns mirror the paper: resource cost, patch size (gates), runtime.
 // The final row reports geometric means of the per-unit ratios vs. config A.
 //
-// Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--json FILE]
+// Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--jobs N]
+//                     [--json FILE]
+//
+// The 60 (unit, configuration) runs are independent; `--jobs N` (or the
+// ECO_JOBS environment variable; 0 = all hardware threads) sweeps them over
+// a util::Executor thread pool. Each run regenerates its unit from the seed
+// and executes single-threaded, so results are identical for every jobs
+// value; only the schedule changes. Per-run `seconds` is wall-clock and
+// `cpu_seconds` is the run's thread CPU time (CLOCK_THREAD_CPUTIME_ID), so
+// oversubscribed sweeps stay interpretable.
 //
 // With --json FILE, one machine-readable record per (unit, configuration)
 // run is written as a JSON array (schema `ecopatch-bench-table1-v1`,
 // docs/OBSERVABILITY.md): unit shape, algorithm, outcome, phase breakdown,
-// SAT conflict/propagation totals, cost, gates, seconds. This is the stable
-// perf-trajectory format future PRs compare against (BENCH_table1.json).
+// SAT conflict/propagation totals, cost, gates, seconds, cpu_seconds. This
+// is the stable perf-trajectory format future PRs compare against
+// (BENCH_table1.json).
 
+#include <cerrno>
 #include <cinttypes>
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -29,7 +42,9 @@
 #include "benchgen/weightgen.hpp"
 #include "eco/engine.hpp"
 #include "eco/problem.hpp"
+#include "util/executor.hpp"
 #include "util/jsonw.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -39,9 +54,16 @@ struct RunRow {
   int64_t cost = 0;
   uint32_t gates = 0;
   double seconds = 0;
+  double cpu_seconds = 0;
   std::string method;
   eco::core::EngineStats stats;
 };
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm algorithm,
                   double budget) {
@@ -54,8 +76,10 @@ RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm alg
   options.max_expansion_nodes = 1500000;
   options.qbf.max_iterations = 3000;
   options.verify_time_budget = 60;
+  const double cpu_before = thread_cpu_seconds();
   const eco::core::EcoOutcome outcome = eco::core::run_eco(problem, options);
   RunRow row;
+  row.cpu_seconds = thread_cpu_seconds() - cpu_before;
   row.ok = outcome.status == eco::core::EcoOutcome::Status::kPatched;
   row.verified = outcome.verified;
   row.cost = outcome.total_cost;
@@ -86,6 +110,7 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("cost", row.cost);
   w.kv("gates", row.gates);
   w.kv("seconds", row.seconds);
+  w.kv("cpu_seconds", row.cpu_seconds);
   w.key("phases");
   w.begin_object();
   w.kv("window", row.stats.window_seconds);
@@ -115,35 +140,146 @@ double ratio_or_one(double num, double den) {
   return a / b;
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--jobs N] [--json FILE]\n"
+               "  --seed N          benchmark-suite generator seed (default 20170912)\n"
+               "  --unit K          run only unit K (0..%d)\n"
+               "  --budget SECONDS  per-run engine time budget > 0 (default 15)\n"
+               "  --jobs N          parallel runs; 0 = all hardware threads\n"
+               "                    (default: ECO_JOBS, else 1)\n"
+               "  --json FILE       write machine-readable records to FILE\n",
+               argv0, eco::benchgen::kNumUnits - 1);
+  return 2;
+}
+
+// Strict numeric operand parsers: the whole operand must parse, in range.
+bool parse_u64(const char* s, uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_int(const char* s, int& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < INT_MIN || v > INT_MAX) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t seed = 20170912;
   int only_unit = -1;
   double budget = 15.0;
+  int jobs = eco::util::default_jobs();
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
-    else if (!std::strcmp(argv[i], "--unit") && i + 1 < argc) only_unit = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) budget = std::atof(argv[++i]);
-    else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
-    else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--json FILE]\n",
-                   argv[0]);
-      return 2;
+    const char* arg = argv[i];
+    const char* operand = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (!std::strcmp(arg, "--seed")) {
+      if (!parse_u64(operand, seed)) {
+        std::fprintf(stderr, "%s: --seed needs a non-negative integer\n", argv[0]);
+        return usage(argv[0]);
+      }
+      ++i;
+    } else if (!std::strcmp(arg, "--unit")) {
+      if (!parse_int(operand, only_unit) || only_unit < 0 ||
+          only_unit >= eco::benchgen::kNumUnits) {
+        std::fprintf(stderr, "%s: --unit needs an integer in [0, %d]\n", argv[0],
+                     eco::benchgen::kNumUnits - 1);
+        return usage(argv[0]);
+      }
+      ++i;
+    } else if (!std::strcmp(arg, "--budget")) {
+      if (!parse_double(operand, budget) || !(budget > 0)) {
+        std::fprintf(stderr, "%s: --budget needs a positive number of seconds\n", argv[0]);
+        return usage(argv[0]);
+      }
+      ++i;
+    } else if (!std::strcmp(arg, "--jobs")) {
+      if (!parse_int(operand, jobs) || jobs < 0) {
+        std::fprintf(stderr, "%s: --jobs needs a non-negative integer\n", argv[0]);
+        return usage(argv[0]);
+      }
+      if (jobs == 0) jobs = eco::util::hardware_jobs();
+      ++i;
+    } else if (!std::strcmp(arg, "--json")) {
+      if (operand == nullptr || operand[0] == '\0') {
+        std::fprintf(stderr, "%s: --json needs a file path\n", argv[0]);
+        return usage(argv[0]);
+      }
+      json_path = operand;
+      ++i;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
+      return usage(argv[0]);
     }
   }
+
+  std::vector<int> units;
+  for (int u = 0; u < eco::benchgen::kNumUnits; ++u)
+    if (only_unit < 0 || u == only_unit) units.push_back(u);
+
+  static constexpr const char* kAlgoNames[3] = {"baseline", "minimize", "satprune_cegarmin"};
+  static constexpr eco::core::Algorithm kAlgos[3] = {
+      eco::core::Algorithm::kBaseline, eco::core::Algorithm::kMinimize,
+      eco::core::Algorithm::kSatPruneCegarMin};
+
+  // One task per (unit, configuration): each regenerates its unit from the
+  // seed, so tasks share nothing and any schedule gives identical results.
+  struct Task {
+    int unit;
+    int cfg;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(units.size() * 3);
+  for (const int u : units)
+    for (int cfg = 0; cfg < 3; ++cfg) tasks.push_back(Task{u, cfg});
+  std::vector<RunRow> results(tasks.size());
+
+  eco::util::Executor executor(jobs);
+  eco::Timer sweep_timer;
+  executor.parallel_for(tasks.size(), [&](size_t t) {
+    const Task& task = tasks[t];
+    const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(task.unit, seed);
+    const eco::core::EcoProblem problem =
+        eco::core::make_problem(unit.impl, unit.spec, unit.weights);
+    results[t] = run_config(problem, kAlgos[task.cfg], budget);
+  });
+  const double sweep_wall = sweep_timer.seconds();
 
   eco::JsonWriter json;
   json.begin_object();
   json.kv("schema", "ecopatch-bench-table1-v1");
   json.kv("seed", seed);
   json.kv("budget_seconds", budget);
+  json.kv("jobs", executor.jobs());
+  json.kv("sweep_wall_seconds", sweep_wall);
   json.key("runs");
   json.begin_array();
 
   std::printf("Table 1 reproduction: comparison of the three algorithm configurations\n");
-  std::printf("(synthetic ICCAD'17-suite substitute, seed %" PRIu64 ")\n\n", seed);
+  std::printf("(synthetic ICCAD'17-suite substitute, seed %" PRIu64 ", %d job%s)\n\n", seed,
+              executor.jobs(), executor.jobs() == 1 ? "" : "s");
   std::printf("%-7s %5s %5s %7s %7s %4s %3s | %8s %7s %8s | %8s %7s %8s | %8s %7s %8s %-12s\n",
               "unit", "#PI", "#PO", "#gateF", "#gateS", "#tgt", "wt",
               "A:cost", "A:gate", "A:time",
@@ -155,18 +291,18 @@ int main(int argc, char** argv) {
   int counted = 0;
   int failures = 0;
 
-  for (int u = 0; u < eco::benchgen::kNumUnits; ++u) {
-    if (only_unit >= 0 && u != only_unit) continue;
+  for (size_t ui = 0; ui < units.size(); ++ui) {
+    const int u = units[ui];
     const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(u, seed);
     const eco::core::EcoProblem problem =
         eco::core::make_problem(unit.impl, unit.spec, unit.weights);
 
-    const RunRow a = run_config(problem, eco::core::Algorithm::kBaseline, budget);
-    const RunRow b = run_config(problem, eco::core::Algorithm::kMinimize, budget);
-    const RunRow c = run_config(problem, eco::core::Algorithm::kSatPruneCegarMin, budget);
-    append_record(json, unit, problem, "baseline", a);
-    append_record(json, unit, problem, "minimize", b);
-    append_record(json, unit, problem, "satprune_cegarmin", c);
+    const RunRow& a = results[ui * 3 + 0];
+    const RunRow& b = results[ui * 3 + 1];
+    const RunRow& c = results[ui * 3 + 2];
+    append_record(json, unit, problem, kAlgoNames[0], a);
+    append_record(json, unit, problem, kAlgoNames[1], b);
+    append_record(json, unit, problem, kAlgoNames[2], c);
 
     std::printf("%-7s %5u %5u %7zu %7zu %4d %3s | %8" PRId64 " %7u %8.2f | %8" PRId64
                 " %7u %8.2f | %8" PRId64 " %7u %8.2f %-12s\n",
@@ -201,6 +337,11 @@ int main(int argc, char** argv) {
                 std::exp(log_cost_c / counted), std::exp(log_gate_c / counted),
                 std::exp(log_time_c / counted));
   }
+  double cpu_total = 0;
+  for (const RunRow& r : results) cpu_total += r.cpu_seconds;
+  std::printf("\nSweep: %.2fs wall, %.2fs total run CPU, %d job%s\n", sweep_wall, cpu_total,
+              executor.jobs(), executor.jobs() == 1 ? "" : "s");
+
   json.end_array();
   json.end_object();
   if (!json_path.empty()) {
@@ -210,7 +351,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_table1: cannot write %s\n", json_path.c_str());
       return 2;
     }
-    std::printf("\nJSON records written to %s\n", json_path.c_str());
+    std::printf("JSON records written to %s\n", json_path.c_str());
   }
 
   if (failures) std::printf("\n%d unit(s) had unverified configurations.\n", failures);

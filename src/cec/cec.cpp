@@ -1,12 +1,15 @@
 #include "cec/cec.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 
 #include "aig/ops.hpp"
 #include "aig/sim.hpp"
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
+#include "util/executor.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
@@ -39,6 +42,31 @@ std::vector<bool> extract_pattern(const aig::Aig& g, cnf::Encoder& enc,
     if (enc.encoded(n)) pattern[i] = solver.model_value(sat::mk_lit(enc.var(n)));
   }
   return pattern;
+}
+
+/// Seed for simulation round \p round: each round owns an independent
+/// SplitMix64-expanded stream, so rounds can run in any order (or on any
+/// thread) and still produce the exact patterns of the serial sweep.
+uint64_t round_seed(uint64_t round) noexcept {
+  return 0x5eedULL + (round + 1) * 0x9e3779b97f4a7c15ULL;
+}
+
+/// Simulates one round of the miter. Returns true (with the failing pattern
+/// in \p out_pattern) when a counterexample was found.
+bool simulate_round(const aig::Aig& miter, aig::Lit out, uint64_t round,
+                    std::vector<bool>& out_pattern) {
+  ECO_TELEMETRY_COUNT("cec.sim_rounds");
+  Rng rng(round_seed(round));
+  const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
+  const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
+  const uint64_t diff = aig::sim_value(words, out);
+  if (diff == 0) return false;
+  ECO_TELEMETRY_COUNT("cec.sim_counterexamples");
+  const int bit = __builtin_ctzll(diff);
+  out_pattern.resize(miter.num_pis());
+  for (uint32_t i = 0; i < miter.num_pis(); ++i)
+    out_pattern[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
+  return true;
 }
 
 }  // namespace
@@ -75,27 +103,46 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
 
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget, uint64_t sim_rounds,
-                            const eco::Deadline& deadline) {
+                            const eco::Deadline& deadline, eco::util::Executor* executor) {
   const aig::Aig miter = build_miter(a, b);
   const aig::Lit out = miter.po_lit(0);
 
-  // Cheap screening by random simulation.
-  {
+  // Cheap screening by random simulation. Rounds are independent (each has
+  // its own seed), so they sweep across the executor's threads when one is
+  // available. To keep the answer identical to the serial sweep, the
+  // counterexample of the lowest-numbered failing round wins.
+  if (executor != nullptr && executor->jobs() > 1 && sim_rounds > 1) {
     ECO_TELEMETRY_PHASE("cec_sim");
-    Rng rng(0x5eedULL);
+    std::mutex mu;
+    uint64_t best_round = sim_rounds;
+    std::vector<bool> best_pattern;
+    std::atomic<uint64_t> found_floor{sim_rounds};
+    executor->parallel_for(sim_rounds, [&](size_t round) {
+      // A counterexample in an earlier round makes this one irrelevant.
+      if (round >= found_floor.load(std::memory_order_relaxed)) return;
+      std::vector<bool> pattern;
+      if (!simulate_round(miter, out, round, pattern)) return;
+      std::lock_guard<std::mutex> lock(mu);
+      if (round < best_round) {
+        best_round = round;
+        best_pattern = std::move(pattern);
+        found_floor.store(round, std::memory_order_relaxed);
+      }
+    });
+    if (best_round < sim_rounds) {
+      CecResult result;
+      result.status = Status::kNotEquivalent;
+      result.counterexample = std::move(best_pattern);
+      return result;
+    }
+  } else {
+    ECO_TELEMETRY_PHASE("cec_sim");
     for (uint64_t round = 0; round < sim_rounds; ++round) {
-      ECO_TELEMETRY_COUNT("cec.sim_rounds");
-      const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
-      const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
-      const uint64_t diff = aig::sim_value(words, out);
-      if (diff != 0) {
-        ECO_TELEMETRY_COUNT("cec.sim_counterexamples");
-        const int bit = __builtin_ctzll(diff);
+      std::vector<bool> pattern;
+      if (simulate_round(miter, out, round, pattern)) {
         CecResult result;
         result.status = Status::kNotEquivalent;
-        result.counterexample.resize(miter.num_pis());
-        for (uint32_t i = 0; i < miter.num_pis(); ++i)
-          result.counterexample[i] = ((pi_words[i] >> bit) & 1ULL) != 0;
+        result.counterexample = std::move(pattern);
         return result;
       }
     }

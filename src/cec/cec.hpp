@@ -12,6 +12,10 @@
 #include "aig/aig.hpp"
 #include "util/timer.hpp"
 
+namespace eco::util {
+class Executor;
+}
+
 namespace eco::cec {
 
 enum class Status {
@@ -34,9 +38,17 @@ aig::Aig build_miter(const aig::Aig& a, const aig::Aig& b);
 ///
 /// Random simulation screens for cheap counterexamples first; the residue is
 /// decided by SAT. \p conflict_budget < 0 means unlimited.
+///
+/// Each simulation round draws from its own seed derived from the round
+/// index, so the screening is deterministic regardless of how rounds are
+/// scheduled. When \p executor is non-null with more than one job, the
+/// rounds sweep across its threads; the reported counterexample is always
+/// the one from the lowest-numbered failing round, identical to the serial
+/// result.
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget = -1, uint64_t sim_rounds = 8,
-                            const eco::Deadline& deadline = {});
+                            const eco::Deadline& deadline = {},
+                            eco::util::Executor* executor = nullptr);
 
 /// Decides whether the single-output function rooted in \p g is constant
 /// false. Returns kEquivalent when it is, kNotEquivalent (with a satisfying

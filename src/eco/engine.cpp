@@ -1,6 +1,8 @@
 #include "eco/engine.hpp"
 
 #include <algorithm>
+#include <future>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -13,6 +15,7 @@
 #include "eco/structural.hpp"
 #include "eco/window.hpp"
 #include "sop/synth.hpp"
+#include "util/executor.hpp"
 #include "util/jsonw.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -426,16 +429,21 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   EcoOutcome outcome;
   const uint32_t k = problem.num_targets();
   ECO_TELEMETRY_PHASE("engine");
-  const telemetry::SolverTotals sat_before = telemetry::solver_totals();
+  // Per-run SAT accounting: a run-local accumulator captured on this thread
+  // (and on any worker thread doing solver work for this run) instead of
+  // differencing the process-wide totals, which would silently blend in the
+  // solver work of concurrently executing runs.
+  telemetry::SolverTotalsAccumulator sat_acc;
+  telemetry::ScopedSolverCapture sat_capture(sat_acc);
   const auto finish = [&](EcoOutcome& out) {
     out.seconds = timer.seconds();
-    const telemetry::SolverTotals sat_after = telemetry::solver_totals();
-    out.stats.sat_solvers = sat_after.solvers - sat_before.solvers;
-    out.stats.sat_solves = sat_after.solves - sat_before.solves;
-    out.stats.sat_decisions = sat_after.decisions - sat_before.decisions;
-    out.stats.sat_propagations = sat_after.propagations - sat_before.propagations;
-    out.stats.sat_conflicts = sat_after.conflicts - sat_before.conflicts;
-    out.stats.sat_restarts = sat_after.restarts - sat_before.restarts;
+    const telemetry::SolverTotals sat = sat_acc.totals();
+    out.stats.sat_solvers = sat.solvers;
+    out.stats.sat_solves = sat.solves;
+    out.stats.sat_decisions = sat.decisions;
+    out.stats.sat_propagations = sat.propagations;
+    out.stats.sat_conflicts = sat.conflicts;
+    out.stats.sat_restarts = sat.restarts;
   };
 
   // 1. Structural pruning (paper §3.3).
@@ -530,29 +538,25 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     }
   }
 
-  // 4. Assemble the patch module and the patched implementation.
+  // 4. Assemble. The patched implementation is produced first so that the
+  // final verification — usually the dominant phase — can overlap the
+  // remaining patch-module/stats assembly on an executor thread.
   {
     ECO_TELEMETRY_PHASE("assemble");
-    outcome.patch_module = build_patch_module(work, div_lits, problem, built);
-    outcome.patch_gates = outcome.patch_module.num_ands();
-    outcome.total_cost = union_cost(built, problem);
-    fill_target_info(outcome, built, problem);
-
     // Substitute all targets at once (patches never depend on target PIs).
+    std::vector<aig::Lit> plits(k);
+    for (uint32_t t = 0; t < k; ++t) plits[t] = built[t].lit;
     std::vector<aig::Lit> tracked;
     aig::Aig patched = work;
     for (uint32_t t = 0; t < k; ++t) {
-      tracked.clear();
-      for (uint32_t u = t + 1; u < k; ++u) tracked.push_back(built[u].lit);
-      patched = substitute_target(patched, problem.target_pi(t), built[t].lit, tracked);
-      for (uint32_t u = t + 1; u < k; ++u) built[u].lit = tracked[u - t - 1];
+      tracked.assign(plits.begin() + t + 1, plits.end());
+      patched = substitute_target(patched, problem.target_pi(t), plits[t], tracked);
+      std::copy(tracked.begin(), tracked.end(), plits.begin() + t + 1);
     }
     outcome.patched_impl = patched.cleanup();
   }
-  outcome.stats.assemble_seconds = phase_timer.seconds();
 
   // 5. Verification (paper Fig. 2 final check).
-  phase_timer.reset();
   // Verification gets its own grace window so a hard CEC cannot hang the
   // engine. An inconclusive check ships the patch but flags it, matching
   // the paper's behaviour when the prover times out (§3.2); a refutation is
@@ -560,13 +564,41 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   double verify_budget = options.verify_time_budget;
   if (verify_budget <= 0)
     verify_budget = options.time_budget > 0 ? std::max(options.time_budget, 30.0) : 0;
-  cec::Status check;
-  {
+  double verify_seconds = 0;
+  const auto verify_job = [&](bool capture_totals) {
+    // The solver-capture stack is per thread: when verification runs on an
+    // executor thread, this run's accumulator must be re-attached there so
+    // the verification solvers are credited to the right run.
+    std::optional<telemetry::ScopedSolverCapture> capture;
+    if (capture_totals) capture.emplace(sat_acc);
     ECO_TELEMETRY_PHASE("verify");
-    check = verify_patched(problem, outcome.patched_impl, /*conflict_budget=*/-1,
-                           Deadline(verify_budget));
+    Timer verify_timer;
+    const cec::Status s = verify_patched(problem, outcome.patched_impl,
+                                         /*conflict_budget=*/-1, Deadline(verify_budget));
+    verify_seconds = verify_timer.seconds();
+    return s;
+  };
+  std::future<cec::Status> verify_future;
+  if (options.executor != nullptr && options.executor->jobs() > 1)
+    verify_future = options.executor->submit([&verify_job] { return verify_job(true); });
+
+  {
+    // Independent of verification: runs concurrently with it when possible.
+    ECO_TELEMETRY_PHASE("assemble");
+    outcome.patch_module = build_patch_module(work, div_lits, problem, built);
+    outcome.patch_gates = outcome.patch_module.num_ands();
+    outcome.total_cost = union_cost(built, problem);
+    fill_target_info(outcome, built, problem);
   }
-  outcome.stats.verify_seconds = phase_timer.seconds();
+  outcome.stats.assemble_seconds = phase_timer.seconds();
+
+  // wait_helping, not get(): if this run itself executes on a pool task and
+  // every worker is busy, the wait drains queued work (possibly the verify
+  // job itself) instead of deadlocking.
+  const cec::Status check = verify_future.valid()
+                                ? options.executor->wait_helping(verify_future)
+                                : verify_job(false);
+  outcome.stats.verify_seconds = verify_seconds;
   switch (check) {
     case cec::Status::kEquivalent:
       outcome.verification = EcoOutcome::Verification::kVerified;

@@ -22,6 +22,10 @@
 #include "net/network.hpp"
 #include "qbf/qbf2.hpp"
 
+namespace eco::util {
+class Executor;
+}
+
 namespace eco::core {
 
 /// The three configurations compared in Table 1 of the paper.
@@ -52,6 +56,12 @@ struct EngineOptions {
   CegarMinOptions cegarmin{};
   /// Last-gasp support improvement (paper §3.4.1), on for non-baseline.
   bool last_gasp = true;
+  /// Optional thread pool (util/executor.hpp). When set with more than one
+  /// job, the final verification runs concurrently with patch-module /
+  /// stats assembly. The engine never creates threads on its own; per-run
+  /// SAT stat attribution stays exact either way (the worker thread is
+  /// captured into this run's solver-totals accumulator).
+  util::Executor* executor = nullptr;
 };
 
 /// Per-target report.
@@ -83,8 +93,10 @@ struct EngineStats {
   int satprune_iterations = 0;   ///< implicit-hitting-set refinements
   int targets_attempted = 0;     ///< targets entered in the SAT loop
 
-  // Deltas of the process-wide solver totals over this run: every solver
-  // constructed and destroyed inside run_eco is covered.
+  // SAT totals of this run, collected by a per-run accumulator
+  // (telemetry::SolverTotalsAccumulator): every solver destroyed on the
+  // run's threads is credited here, so the values are identical whether the
+  // run executes alone or concurrently with other runs in the process.
   uint64_t sat_solvers = 0;
   uint64_t sat_solves = 0;
   uint64_t sat_decisions = 0;

@@ -95,6 +95,8 @@ Var Solver::new_var(bool decision, bool default_polarity) {
   const Var v = num_vars();
   watches_.emplace_back();
   watches_.emplace_back();
+  watches_bin_.emplace_back();
+  watches_bin_.emplace_back();
   assigns_.push_back(kUndef);
   polarity_.push_back(default_polarity ? 1 : 0);
   decision_.push_back(decision ? 1 : 0);
@@ -159,12 +161,30 @@ bool Solver::add_clause(std::span<const Lit> lits) {
 void Solver::attach_clause(CRef ref) {
   auto c = clause(ref);
   assert(c.size() > 1);
+  if (c.size() == 2) {
+    watches_bin_[static_cast<size_t>((~c[0]).raw())].push_back(BinWatcher{c[1], ref});
+    watches_bin_[static_cast<size_t>((~c[1]).raw())].push_back(BinWatcher{c[0], ref});
+    return;
+  }
   watches_[static_cast<size_t>((~c[0]).raw())].push_back(Watcher{ref, c[1]});
   watches_[static_cast<size_t>((~c[1]).raw())].push_back(Watcher{ref, c[0]});
 }
 
 void Solver::detach_clause(CRef ref) {
   auto c = clause(ref);
+  if (c.size() == 2) {
+    for (const Lit w : {~c[0], ~c[1]}) {
+      auto& ws = watches_bin_[static_cast<size_t>(w.raw())];
+      for (size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].cref == ref) {
+          ws[i] = ws.back();
+          ws.pop_back();
+          break;
+        }
+      }
+    }
+    return;
+  }
   for (const Lit w : {~c[0], ~c[1]}) {
     auto& ws = watches_[static_cast<size_t>(w.raw())];
     for (size_t i = 0; i < ws.size(); ++i) {
@@ -205,11 +225,38 @@ void Solver::unchecked_enqueue(Lit l, CRef from) {
   trail_.push_back(l);
 }
 
+Solver::ClauseRefView Solver::reason_view(Var v) noexcept {
+  auto c = clause(reason(v));
+  // Binary propagation leaves the arena untouched, so the implied literal
+  // may sit at index 1; analysis expects it first.
+  if (c.size() == 2 && c[0].var() != v) {
+    const Lit tmp = c[0];
+    c[0] = c[1];
+    c[1] = tmp;
+  }
+  return c;
+}
+
 CRef Solver::propagate() {
   CRef confl = kCRefUndef;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
+
+    // Tier 1: binary clauses — the implied literal is inline in the
+    // watcher, so this loop runs on one contiguous array with no arena
+    // dereference and never needs to move a watch.
+    for (const BinWatcher bw : watches_bin_[static_cast<size_t>(p.raw())]) {
+      const LBool v = value(bw.other);
+      if (v.is_true()) continue;
+      if (v.is_false()) {
+        qhead_ = trail_.size();
+        return bw.cref;
+      }
+      unchecked_enqueue(bw.other, bw.cref);
+    }
+
+    // Tier 2: longer clauses with blocker-checked watcher pairs.
     auto& ws = watches_[static_cast<size_t>(p.raw())];
     size_t i = 0, j = 0;
     const size_t n = ws.size();
@@ -329,7 +376,9 @@ void Solver::analyze(CRef confl, LitVec& out_learnt, int& out_btlevel, uint32_t&
 
   do {
     assert(confl != kCRefUndef);
-    auto c = clause(confl);
+    // For reasons (p != undef) the implied literal must be first; binary
+    // reasons restore that invariant lazily.
+    auto c = p == kLitUndef ? clause(confl) : reason_view(p.var());
     if (c.learnt()) cla_bump_activity(c);
     for (uint32_t k = (p == kLitUndef) ? 0 : 1; k < c.size(); ++k) {
       const Lit q = c[k];
@@ -388,7 +437,7 @@ bool Solver::lit_redundant(Lit l, uint32_t abstract_levels) {
     const Lit cur = analyze_stack_.back();
     analyze_stack_.pop_back();
     assert(reason(cur.var()) != kCRefUndef);
-    auto c = clause(reason(cur.var()));
+    auto c = reason_view(cur.var());
     for (uint32_t i = 1; i < c.size(); ++i) {
       const Lit q = c[i];
       const Var v = q.var();
@@ -424,7 +473,7 @@ void Solver::analyze_final(Lit p, LitVec& out_core) {
       assert(level(x) > 0);
       out_core.push_back(~trail_[static_cast<size_t>(i)]);
     } else {
-      auto c = clause(reason(x));
+      auto c = reason_view(x);
       for (uint32_t j = 1; j < c.size(); ++j)
         if (level(c[j].var()) > 0) seen_[static_cast<size_t>(c[j].var())] = 1;
     }
@@ -481,6 +530,8 @@ void Solver::maybe_garbage_collect() {
     ref = nref;
   };
   for (auto& ws : watches_)
+    for (auto& w : ws) reloc(w.cref);
+  for (auto& ws : watches_bin_)
     for (auto& w : ws) reloc(w.cref);
   for (const Lit l : trail_) {
     auto& r = vardata_[static_cast<size_t>(l.var())].reason;

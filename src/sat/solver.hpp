@@ -13,6 +13,18 @@
 /// propagation, VSIDS decision heuristic with an indexed heap, phase saving,
 /// Luby restarts, first-UIP conflict analysis with recursive clause
 /// minimization, and activity/LBD-driven learnt-database reduction.
+///
+/// Propagation uses a two-tier watcher scheme (the MiniSat -> Glucose
+/// refinement): **binary clauses** live in dedicated watch lists whose
+/// entries store the implied literal inline, so propagating a binary chain
+/// touches no clause-arena memory at all — one contiguous scan enqueues or
+/// conflicts directly. **Longer clauses** use the classic blocker-checked
+/// watcher pair with arena access only when the blocker is unsatisfied.
+/// Tseitin-encoded circuit CNF is mostly binary/ternary, so every SAT call
+/// in support/satprune/patchfunc/cegarmin/qbf/cec benefits. The one
+/// consequence visible elsewhere: a binary reason clause may have its
+/// implied literal at index 1, so conflict analysis normalizes lazily
+/// (see `reason_view`).
 #pragma once
 
 #include <cstdint>
@@ -160,6 +172,14 @@ class Solver {
     Lit blocker;
   };
 
+  /// Watcher for a binary clause: the implied literal is stored inline, so
+  /// propagation never dereferences the arena. \c cref is kept only as the
+  /// reason / conflict handle for analysis.
+  struct BinWatcher {
+    Lit other;
+    CRef cref;
+  };
+
   struct VarData {
     CRef reason = kCRefUndef;
     int level = 0;
@@ -196,6 +216,12 @@ class Solver {
   void remove_clause(CRef ref);
   bool satisfied(CRef ref) noexcept;
 
+  /// The reason clause of \p v with the invariant "implied literal first"
+  /// restored. Long-clause propagation maintains it eagerly; binary
+  /// propagation skips the arena write on the hot path, so the swap happens
+  /// lazily here, only when analysis actually reads the reason.
+  ClauseRefView reason_view(Var v) noexcept;
+
   void unchecked_enqueue(Lit l, CRef from = kCRefUndef);
   CRef propagate();
   void cancel_until(int target_level);
@@ -228,7 +254,8 @@ class Solver {
   std::vector<CRef> clauses_;
   std::vector<CRef> learnts_;
 
-  std::vector<std::vector<Watcher>> watches_;  // indexed by lit raw
+  std::vector<std::vector<Watcher>> watches_;        // size > 2 clauses, by lit raw
+  std::vector<std::vector<BinWatcher>> watches_bin_;  // binary clauses, by lit raw
   std::vector<LBool> assigns_;
   std::vector<uint8_t> polarity_;  // saved phase: 1 == assign false first
   std::vector<uint8_t> decision_;

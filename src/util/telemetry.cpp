@@ -73,6 +73,9 @@ AtomicSolverTotals g_solver;
 /// Per-thread phase state: the '/'-joined path of the open frames.
 thread_local std::string t_phase_path;
 
+/// Per-thread stack of captured solver-totals accumulators (innermost last).
+thread_local std::vector<SolverTotalsAccumulator*> t_solver_captures;
+
 void record_slice(const char* leaf, uint64_t start_ns, uint64_t dur_ns) {
   Registry& r = registry();
   if (r.trace.size() >= r.trace_capacity) {
@@ -180,7 +183,45 @@ TimerStat timer_value(std::string_view name) {
 
 // ---- solver rollup ------------------------------------------------------
 
+void SolverTotalsAccumulator::add(const SolverTotals& t) noexcept {
+  solvers_.fetch_add(t.solvers, std::memory_order_relaxed);
+  solves_.fetch_add(t.solves, std::memory_order_relaxed);
+  decisions_.fetch_add(t.decisions, std::memory_order_relaxed);
+  propagations_.fetch_add(t.propagations, std::memory_order_relaxed);
+  conflicts_.fetch_add(t.conflicts, std::memory_order_relaxed);
+  restarts_.fetch_add(t.restarts, std::memory_order_relaxed);
+  learnt_literals_.fetch_add(t.learnt_literals, std::memory_order_relaxed);
+  db_reductions_.fetch_add(t.db_reductions, std::memory_order_relaxed);
+}
+
+SolverTotals SolverTotalsAccumulator::totals() const noexcept {
+  SolverTotals t;
+  t.solvers = solvers_.load(std::memory_order_relaxed);
+  t.solves = solves_.load(std::memory_order_relaxed);
+  t.decisions = decisions_.load(std::memory_order_relaxed);
+  t.propagations = propagations_.load(std::memory_order_relaxed);
+  t.conflicts = conflicts_.load(std::memory_order_relaxed);
+  t.restarts = restarts_.load(std::memory_order_relaxed);
+  t.learnt_literals = learnt_literals_.load(std::memory_order_relaxed);
+  t.db_reductions = db_reductions_.load(std::memory_order_relaxed);
+  return t;
+}
+
+ScopedSolverCapture::ScopedSolverCapture(SolverTotalsAccumulator& acc) noexcept : acc_(&acc) {
+  t_solver_captures.push_back(acc_);
+}
+
+ScopedSolverCapture::~ScopedSolverCapture() {
+  // Captures are strictly scoped, so this one is the innermost open frame.
+  t_solver_captures.pop_back();
+}
+
 void add_solver_totals(const SolverTotals& t) noexcept {
+  // Innermost capture wins: a solver belongs to exactly one run, and when a
+  // pooled thread executes a task on behalf of another run (executor work
+  // stealing), that task's own capture must not leak into the captures the
+  // thread had open underneath it.
+  if (!t_solver_captures.empty()) t_solver_captures.back()->add(t);
   g_solver.solvers.fetch_add(t.solvers, std::memory_order_relaxed);
   g_solver.solves.fetch_add(t.solves, std::memory_order_relaxed);
   g_solver.decisions.fetch_add(t.decisions, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 /// phase stacks are per-thread and slices carry a stable small thread id.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -94,8 +95,51 @@ struct SolverTotals {
 };
 
 /// Called by sat::Solver's destructor; cheap unconditional atomic adds.
+/// Besides the process-wide rollup, the totals are credited to the
+/// innermost accumulator captured on the calling thread (see below).
 void add_solver_totals(const SolverTotals& t) noexcept;
 SolverTotals solver_totals() noexcept;
+
+/// Per-run (or per-scope) solver-totals sink. Differencing the *process*
+/// totals around a run misattributes solver work the moment two runs
+/// overlap on different threads; instead, register an accumulator on every
+/// thread working for the run (ScopedSolverCapture) and read `totals()` at
+/// the end. Concurrency-safe: solvers may be destroyed on several captured
+/// threads at once.
+class SolverTotalsAccumulator {
+ public:
+  SolverTotalsAccumulator() noexcept = default;
+  SolverTotalsAccumulator(const SolverTotalsAccumulator&) = delete;
+  SolverTotalsAccumulator& operator=(const SolverTotalsAccumulator&) = delete;
+
+  /// Adds \p t (relaxed atomics; called from Solver destructors).
+  void add(const SolverTotals& t) noexcept;
+  /// Sum of everything added so far.
+  SolverTotals totals() const noexcept;
+
+ private:
+  std::atomic<uint64_t> solvers_{0}, solves_{0}, decisions_{0}, propagations_{0},
+      conflicts_{0}, restarts_{0}, learnt_literals_{0}, db_reductions_{0};
+};
+
+/// Attaches \p acc to the calling thread for this scope: every Solver
+/// destroyed on this thread while the capture is open is credited to the
+/// accumulator (in addition to the process totals). Captures nest with
+/// innermost-wins semantics — a solver belongs to exactly one run, so when
+/// a thread executes a task for another run (executor work stealing), that
+/// task opens its own capture and the enclosing one is shadowed for the
+/// duration. Open one on each worker thread that runs solver work for the
+/// same logical run to get a complete per-run tally.
+class ScopedSolverCapture {
+ public:
+  explicit ScopedSolverCapture(SolverTotalsAccumulator& acc) noexcept;
+  ~ScopedSolverCapture();
+  ScopedSolverCapture(const ScopedSolverCapture&) = delete;
+  ScopedSolverCapture& operator=(const ScopedSolverCapture&) = delete;
+
+ private:
+  SolverTotalsAccumulator* acc_;
+};
 
 // ---- RAII scopes --------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include "aig/aig.hpp"
 #include "aig/sim.hpp"
 #include "cec/cec.hpp"
+#include "util/executor.hpp"
 #include "util/rng.hpp"
 
 namespace eco::cec {
@@ -143,6 +144,40 @@ TEST_P(CecRandomTest, DetectsFunctionChangesAndConfirmsRebuilds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CecRandomTest, ::testing::Range(0, 8));
+
+// The simulation screen sweeps rounds over an executor when one is given;
+// per-round seeds make the answer — including the counterexample pattern —
+// identical to the serial sweep, whatever the thread schedule.
+TEST(Cec, ParallelSimulationMatchesSerial) {
+  Rng rng(77);
+  for (int iter = 0; iter < 8; ++iter) {
+    Aig g;
+    std::vector<Lit> pool;
+    const int num_pis = 5 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < num_pis; ++i) pool.push_back(g.add_pi());
+    for (int i = 0; i < 50; ++i) {
+      const Lit x = pool[rng.below(pool.size())];
+      const Lit y = pool[rng.below(pool.size())];
+      pool.push_back(
+          g.add_and(lit_notif(x, rng.chance(1, 2)), lit_notif(y, rng.chance(1, 2))));
+    }
+    g.add_po(pool.back(), "f");
+    Aig h = g.cleanup();
+    const Lit flip = h.add_and(h.pi_lit(0), h.pi_lit(1));
+    h.set_po(0, h.add_xor(h.po_lit(0), flip));
+
+    util::Executor executor(4);
+    for (const uint64_t rounds : {1ULL, 8ULL, 32ULL}) {
+      const CecResult serial = check_equivalence(g, h, -1, rounds);
+      const CecResult parallel = check_equivalence(g, h, -1, rounds, {}, &executor);
+      ASSERT_EQ(parallel.status, serial.status) << "rounds " << rounds;
+      EXPECT_EQ(parallel.counterexample, serial.counterexample) << "rounds " << rounds;
+    }
+    // Equivalent pair through the same parallel path.
+    const CecResult eq = check_equivalence(g, g.cleanup(), -1, 8, {}, &executor);
+    EXPECT_EQ(eq.status, Status::kEquivalent);
+  }
+}
 
 }  // namespace
 }  // namespace eco::cec

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "benchgen/circuits.hpp"
 #include "benchgen/mutate.hpp"
 #include "benchgen/weightgen.hpp"
 #include "cec/cec.hpp"
 #include "eco/engine.hpp"
 #include "net/verilog.hpp"
+#include "util/executor.hpp"
 #include "util/rng.hpp"
 
 namespace eco::core {
@@ -249,8 +252,59 @@ TEST(Engine, ConstantPatchFunctions) {
   EXPECT_EQ(outcome.patch_gates, 0u);
 }
 
+// Per-run SAT stat attribution: EngineStats.sat_* comes from a per-run
+// accumulator, not from differencing the process-wide totals, so two engines
+// running concurrently — sharing an executor, with their verification steps
+// bouncing between threads — must report exactly the stats of their solo
+// runs. (The old differencing scheme failed precisely here: any solver
+// destroyed by the *other* run inside the window inflated both reports.)
+TEST(Engine, ConcurrentRunsKeepExactPerRunSatAttribution) {
+  std::vector<EcoProblem> problems;
+  for (const uint64_t seed : {111ULL, 222ULL}) {
+    Rng rng(seed);
+    const net::Network base = benchgen::make_random_logic(8, 6, 80, rng);
+    const benchgen::EcoInstance instance = benchgen::make_eco_instance(base, 2, rng);
+    const net::WeightMap weights =
+        benchgen::make_weights(instance.impl, benchgen::WeightType::kT1, rng);
+    problems.push_back(make_problem(instance.impl, instance.spec, weights));
+  }
+
+  // Solo reference runs, strictly serial.
+  std::vector<EcoOutcome> solo;
+  for (const EcoProblem& p : problems) solo.push_back(run_eco(p, fast_options(Algorithm::kMinimize)));
+
+  // Both runs concurrently on one shared pool; each also hands the executor
+  // to the engine so the verification steps overlap assembly and may execute
+  // on whichever thread picks them up.
+  util::Executor executor(2);
+  EngineOptions options = fast_options(Algorithm::kMinimize);
+  options.executor = &executor;
+  std::vector<EcoOutcome> conc(problems.size());
+  executor.parallel_for(problems.size(), [&](size_t i) { conc[i] = run_eco(problems[i], options); });
+
+  for (size_t i = 0; i < problems.size(); ++i) {
+    ASSERT_EQ(conc[i].status, solo[i].status) << "problem " << i;
+    EXPECT_EQ(conc[i].total_cost, solo[i].total_cost);
+    EXPECT_EQ(conc[i].patch_gates, solo[i].patch_gates);
+    EXPECT_EQ(conc[i].method, solo[i].method);
+    EXPECT_EQ(conc[i].stats.sat_solvers, solo[i].stats.sat_solvers) << "problem " << i;
+    EXPECT_EQ(conc[i].stats.sat_solves, solo[i].stats.sat_solves) << "problem " << i;
+    EXPECT_EQ(conc[i].stats.sat_decisions, solo[i].stats.sat_decisions) << "problem " << i;
+    EXPECT_EQ(conc[i].stats.sat_propagations, solo[i].stats.sat_propagations) << "problem " << i;
+    EXPECT_EQ(conc[i].stats.sat_conflicts, solo[i].stats.sat_conflicts) << "problem " << i;
+    EXPECT_EQ(conc[i].stats.sat_restarts, solo[i].stats.sat_restarts) << "problem " << i;
+    EXPECT_GT(conc[i].stats.sat_solvers, 0u);
+  }
+}
+
 // Property: over random generated instances, every algorithm produces a
-// verified patch, and cost-aware modes never exceed the baseline's cost.
+// verified patch, and on single-target instances the cost-aware mode never
+// exceeds the baseline's cost. (Single-target only: minimize starts from the
+// same final-conflict core as the baseline and only shrinks or swaps toward
+// cheaper divisors, so its cost is a deterministic lower bound there. With
+// several targets the smaller first patch changes the circuit later targets
+// are solved against, and the union cost of the diverged trajectories is not
+// ordered.)
 class EngineRandomTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EngineRandomTest, RandomInstancesPatchedAndVerified) {
@@ -280,8 +334,9 @@ TEST_P(EngineRandomTest, RandomInstancesPatchedAndVerified) {
       EXPECT_TRUE(outcome.verified);
       if (algorithm == Algorithm::kBaseline) {
         baseline_cost = outcome.total_cost;
-      } else if (algorithm == Algorithm::kMinimize) {
-        EXPECT_LE(outcome.total_cost, baseline_cost);
+      } else if (algorithm == Algorithm::kMinimize && num_targets == 1) {
+        EXPECT_LE(outcome.total_cost, baseline_cost)
+            << "single-target instance, seed " << GetParam() << " iter " << iter;
       }
     }
   }

@@ -340,6 +340,118 @@ TEST(Solver, LearntDatabaseReductionKeepsSoundness) {
   EXPECT_TRUE(s.solve().is_false());  // still UNSAT overall
 }
 
+// The dedicated binary-clause watch lists (solver.hpp, two-tier scheme)
+// change the propagation order and keep reason clauses un-normalized until
+// conflict analysis reads them. These tests drive exactly those paths:
+// binary-heavy CNFs, conflicts inside the binary pass, and cores derived
+// from chains of binary reasons.
+
+/// Random CNF dominated by binary clauses (with a few units and ternaries),
+/// the Tseitin shape the two-tier watchers are built for.
+Cnf random_binary_heavy(Rng& rng, int num_vars, int num_clauses) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    const uint64_t shape = rng.below(10);
+    const int width = shape < 7 ? 2 : (shape < 9 ? 3 : 1);
+    LitVec clause;
+    for (int k = 0; k < width; ++k)
+      clause.push_back(mk_lit(static_cast<Var>(rng.below(static_cast<uint64_t>(num_vars))),
+                              rng.chance(1, 2)));
+    cnf.clauses.push_back(clause);
+  }
+  return cnf;
+}
+
+class BinaryHeavyCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryHeavyCnfTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 3);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int num_vars = 4 + static_cast<int>(rng.below(10));
+    const int num_clauses = 1 + static_cast<int>(rng.below(static_cast<uint64_t>(5 * num_vars)));
+    const Cnf cnf = random_binary_heavy(rng, num_vars, num_clauses);
+    Solver s;
+    const bool load_ok = load_into(s, cnf);
+    const LBool verdict = load_ok ? s.solve() : kFalse;
+    EXPECT_EQ(verdict.is_true(), brute_force_sat(cnf));
+    if (verdict.is_true()) expect_model_satisfies(s, cnf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryHeavyCnfTest, ::testing::Range(0, 10));
+
+TEST_P(BinaryHeavyCnfTest, CoresUnderAssumptionsAreSound) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2887 + 11);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int num_vars = 5 + static_cast<int>(rng.below(9));
+    const Cnf cnf = random_binary_heavy(rng, num_vars, 4 * num_vars);
+    Solver s;
+    if (!load_into(s, cnf)) continue;
+    LitVec assumptions;
+    for (Var v = 0; v < num_vars; ++v)
+      if (rng.chance(1, 2)) assumptions.push_back(mk_lit(v, rng.chance(1, 2)));
+    if (!s.solve(assumptions).is_false()) continue;
+    const LitVec core = s.core();
+    for (const Lit l : core) {
+      EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l), assumptions.end());
+      EXPECT_TRUE(s.in_core(l));
+    }
+    EXPECT_FALSE(brute_force_sat(cnf, core));
+  }
+}
+
+TEST(Solver, BinaryImplicationChainCore) {
+  // x0 -> x1 -> ... -> x19 entirely through binary clauses, and a kill
+  // switch t -> ~x19. Assuming {x0, t} forces analyze_final to walk the
+  // whole chain of *binary* reason clauses (the lazily-normalized
+  // reason_view path) at a nonzero decision level; the core must name
+  // exactly the two assumptions, not the spectator.
+  Solver s;
+  constexpr int kN = 20;
+  std::vector<Var> x;
+  for (int i = 0; i < kN; ++i) x.push_back(s.new_var());
+  for (int i = 0; i + 1 < kN; ++i)
+    ASSERT_TRUE(s.add_binary(mk_lit(x[static_cast<size_t>(i)], true),
+                             mk_lit(x[static_cast<size_t>(i + 1)])));
+  const Var t = s.new_var();
+  const Var spectator = s.new_var();
+  ASSERT_TRUE(s.add_binary(mk_lit(t, true), mk_lit(x[kN - 1], true)));
+
+  ASSERT_TRUE(s.solve({mk_lit(x[0]), mk_lit(spectator), mk_lit(t)}).is_false());
+  EXPECT_TRUE(s.in_core(mk_lit(x[0])));
+  EXPECT_TRUE(s.in_core(mk_lit(t)));
+  EXPECT_FALSE(s.in_core(mk_lit(spectator)));
+  EXPECT_EQ(s.core().size(), 2u);
+
+  // Assuming from the middle of the chain behaves identically.
+  ASSERT_TRUE(s.solve({mk_lit(spectator), mk_lit(x[kN / 2]), mk_lit(t)}).is_false());
+  EXPECT_TRUE(s.in_core(mk_lit(x[kN / 2])));
+  EXPECT_TRUE(s.in_core(mk_lit(t)));
+  EXPECT_EQ(s.core().size(), 2u);
+
+  // Dropping either core member makes the instance satisfiable again.
+  ASSERT_TRUE(s.solve({mk_lit(x[0]), mk_lit(spectator)}).is_true());
+  EXPECT_TRUE(s.model_value(x[kN - 1]));
+  ASSERT_TRUE(s.solve({mk_lit(spectator), mk_lit(t)}).is_true());
+  EXPECT_FALSE(s.model_value(x[0]));
+}
+
+TEST(Solver, BinaryConflictMidPropagation) {
+  // A diamond a -> b, a -> ~c, b -> c: assuming a conflicts inside the
+  // binary watch pass itself (both polarities of c forced by binaries).
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  ASSERT_TRUE(s.add_binary(mk_lit(a, true), mk_lit(b)));
+  ASSERT_TRUE(s.add_binary(mk_lit(a, true), mk_lit(c, true)));
+  ASSERT_TRUE(s.add_binary(mk_lit(b, true), mk_lit(c)));
+  ASSERT_TRUE(s.solve({mk_lit(a)}).is_false());
+  ASSERT_EQ(s.core().size(), 1u);
+  EXPECT_EQ(s.core()[0], mk_lit(a));
+  EXPECT_TRUE(s.solve({mk_lit(a, true)}).is_true());
+  EXPECT_TRUE(s.solve().is_true());
+}
+
 TEST(Dimacs, ParseAndWriteRoundTrip) {
   const std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
   const Cnf cnf = parse_dimacs_string(text);

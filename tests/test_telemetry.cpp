@@ -323,6 +323,38 @@ TEST_F(TelemetryTest, SolverStatsRollIntoTotals) {
   EXPECT_EQ(after.solves, before.solves + 1);
 }
 
+TEST_F(TelemetryTest, ScopedSolverCaptureCreditsInnermostAccumulator) {
+  // A capture receives the totals of every solver destroyed in its scope on
+  // this thread; an inner capture shadows the outer one (a solver belongs
+  // to exactly one run), and solvers destroyed outside any capture are
+  // credited to nobody.
+  auto burn_one_solver = [] {
+    eco::sat::Solver solver;
+    const eco::sat::Var a = solver.new_var();
+    solver.add_clause({eco::sat::mk_lit(a)});
+    EXPECT_TRUE(solver.solve().is_true());
+  };
+
+  tel::SolverTotalsAccumulator outer, inner;
+  burn_one_solver();  // before any capture: untracked
+  {
+    tel::ScopedSolverCapture outer_capture(outer);
+    burn_one_solver();
+    {
+      tel::ScopedSolverCapture inner_capture(inner);
+      burn_one_solver();
+      burn_one_solver();
+    }
+    burn_one_solver();
+  }
+  burn_one_solver();  // after the capture closed: untracked
+
+  EXPECT_EQ(outer.totals().solvers, 2u);
+  EXPECT_EQ(outer.totals().solves, 2u);
+  EXPECT_EQ(inner.totals().solvers, 2u);
+  EXPECT_EQ(inner.totals().solves, 2u);
+}
+
 TEST_F(TelemetryTest, SnapshotJsonRoundTrips) {
   tel::counter_add("alpha", 3);
   tel::counter_add("needs \"escaping\"\n", 1);

@@ -10,6 +10,9 @@
 //         --force-structural
 //         --stats-json FILE                   outcome + telemetry snapshot JSON
 //         --trace FILE                        Chrome trace_event JSON
+//         --jobs N                            thread pool for the run
+//                                             (0 = all hardware threads;
+//                                             default: ECO_JOBS, else 1)
 //   ecopatch gen <unit 1..20> <outdir> [--seed N]
 //
 // Global options (any command): -v/--verbose raises the log level to info,
@@ -24,6 +27,7 @@
 //       Converts between formats; both chosen by file extension.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +43,7 @@
 #include "net/elaborate.hpp"
 #include "net/verilog.hpp"
 #include "net/weights.hpp"
+#include "util/executor.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
@@ -49,10 +54,10 @@ int usage() {
                "usage:\n"
                "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
-               "                 [--stats-json FILE] [--trace FILE]\n"
+               "                 [--stats-json FILE] [--trace FILE] [--jobs N]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
-               "  ecopatch cec <a> <b>\n"
+               "  ecopatch cec <a> <b> [--jobs N]\n"
                "  ecopatch convert <in> <out>\n"
                "global options: -v/--verbose (info), -vv (debug)\n");
   return 2;
@@ -61,6 +66,16 @@ int usage() {
 std::string extension_of(const std::string& path) {
   const auto dot = path.rfind('.');
   return dot == std::string::npos ? "" : path.substr(dot + 1);
+}
+
+/// Parses a `--jobs` operand: non-negative integer, 0 = all hardware
+/// threads. Returns -1 on a malformed operand.
+int parse_jobs(const char* s) {
+  if (s == nullptr || *s == '\0') return -1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0 || v > 4096) return -1;
+  return v == 0 ? eco::util::hardware_jobs() : static_cast<int>(v);
 }
 
 /// Loads any supported circuit format as an AIG.
@@ -90,10 +105,14 @@ int cmd_solve(int argc, char** argv) {
   const std::string impl_path = argv[2], spec_path = argv[3], weights_path = argv[4];
   eco::core::EngineOptions options;
   options.time_budget = 60;
+  int jobs = eco::util::default_jobs();
   std::string patch_path = "patch.v", patched_path, stats_json_path, trace_path;
   for (int i = 5; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--algo" && i + 1 < argc) {
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = parse_jobs(argv[++i]);
+      if (jobs < 0) return usage();
+    } else if (arg == "--algo" && i + 1 < argc) {
       const std::string algo = argv[++i];
       if (algo == "baseline") options.algorithm = eco::core::Algorithm::kBaseline;
       else if (algo == "minimize") options.algorithm = eco::core::Algorithm::kMinimize;
@@ -122,6 +141,8 @@ int cmd_solve(int argc, char** argv) {
   const eco::net::Network impl = eco::net::parse_verilog_file(impl_path);
   const eco::net::Network spec = eco::net::parse_verilog_file(spec_path);
   const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
+  eco::util::Executor executor(jobs);
+  options.executor = &executor;
   const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
 
   // Observability outputs are written for every status, including failures —
@@ -217,9 +238,20 @@ int cmd_stats(int argc, char** argv) {
 
 int cmd_cec(int argc, char** argv) {
   if (argc < 4) return usage();
+  int jobs = eco::util::default_jobs();
+  for (int i = 4; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      jobs = parse_jobs(argv[++i]);
+      if (jobs < 0) return usage();
+    } else {
+      return usage();
+    }
+  }
   const eco::aig::Aig a = load_circuit(argv[2]);
   const eco::aig::Aig b = load_circuit(argv[3]);
-  const auto result = eco::cec::check_equivalence(a, b);
+  eco::util::Executor executor(jobs);
+  const auto result = eco::cec::check_equivalence(a, b, /*conflict_budget=*/-1,
+                                                  /*sim_rounds=*/8, {}, &executor);
   switch (result.status) {
     case eco::cec::Status::kEquivalent:
       std::printf("EQUIVALENT\n");
