@@ -61,6 +61,89 @@ void BM_MinimizeAssumptions(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(total_calls), benchmark::Counter::kAvgIterations);
 }
 
+// Same instance family, trail reuse disabled — isolates the incremental
+// fast path's contribution (every query restarts propagation from scratch).
+void BM_MinimizeAssumptionsNoReuse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  eco::Rng rng(42);
+  int64_t total_calls = 0;
+  eco::sat::SolverOptions opts;
+  opts.trail_reuse = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver(opts);
+    LitVec selectors;
+    build_selector_problem(solver, selectors, n, spread_core(n, m, rng));
+    LitVec assumps = selectors;
+    LitVec ctx;
+    (void)solver.solve(assumps);
+    state.ResumeTiming();
+    MinimizeStats stats;
+    const int kept = eco::sat::minimize_assumptions(solver, assumps, ctx, &stats);
+    benchmark::DoNotOptimize(kept);
+    total_calls += stats.sat_calls;
+  }
+  state.counters["sat_calls"] =
+      benchmark::Counter(static_cast<double>(total_calls), benchmark::Counter::kAvgIterations);
+}
+
+/// Propagation-heavy variant: every selector s_i drives an implication chain
+/// s_i -> a_1 -> ... -> a_L, and the unique minimal core is a clause over
+/// the chain *ends* of the core selectors. Each query therefore propagates
+/// O(N * L) literals; shared assumption prefixes let trail reuse retain
+/// almost all of that work between the recursion's queries.
+void build_chained_problem(Solver& solver, LitVec& selectors, int n, int chain_len,
+                           const std::vector<int>& core) {
+  std::vector<Lit> chain_end;
+  chain_end.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Lit s = mk_lit(solver.new_var());
+    selectors.push_back(s);
+    Lit prev = s;
+    for (int j = 0; j < chain_len; ++j) {
+      const Lit next = mk_lit(solver.new_var());
+      solver.add_binary(~prev, next);
+      prev = next;
+    }
+    chain_end.push_back(prev);
+  }
+  LitVec clause;
+  for (const int c : core) clause.push_back(~chain_end[static_cast<size_t>(c)]);
+  solver.add_clause(clause);
+}
+
+void BM_MinimizeChained(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int chain_len = static_cast<int>(state.range(2));
+  const bool reuse = state.range(3) != 0;
+  eco::Rng rng(42);
+  int64_t total_calls = 0;
+  uint64_t saved = 0;
+  eco::sat::SolverOptions opts;
+  opts.trail_reuse = reuse;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver(opts);
+    LitVec selectors;
+    build_chained_problem(solver, selectors, n, chain_len, spread_core(n, m, rng));
+    LitVec assumps = selectors;
+    LitVec ctx;
+    (void)solver.solve(assumps);
+    state.ResumeTiming();
+    MinimizeStats stats;
+    const int kept = eco::sat::minimize_assumptions(solver, assumps, ctx, &stats);
+    benchmark::DoNotOptimize(kept);
+    total_calls += stats.sat_calls;
+    saved += solver.stats().propagations_saved;
+  }
+  state.counters["sat_calls"] =
+      benchmark::Counter(static_cast<double>(total_calls), benchmark::Counter::kAvgIterations);
+  state.counters["props_saved"] =
+      benchmark::Counter(static_cast<double>(saved), benchmark::Counter::kAvgIterations);
+}
+
 void BM_MinimizeNaive(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int m = static_cast<int>(state.range(1));
@@ -90,6 +173,16 @@ void BM_MinimizeNaive(benchmark::State& state) {
 BENCHMARK(BM_MinimizeAssumptions)
     ->Args({64, 2})->Args({256, 2})->Args({1024, 2})->Args({4096, 2})
     ->Args({1024, 8})->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MinimizeAssumptionsNoReuse)
+    ->Args({64, 2})->Args({256, 2})->Args({1024, 2})->Args({4096, 2})
+    ->Args({1024, 8})->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);
+// {N, M, chain length, trail reuse on/off} — adjacent pairs are the A/B.
+BENCHMARK(BM_MinimizeChained)
+    ->Args({256, 4, 64, 1})->Args({256, 4, 64, 0})
+    ->Args({1024, 4, 64, 1})->Args({1024, 4, 64, 0})
+    ->Args({1024, 16, 16, 1})->Args({1024, 16, 16, 0})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MinimizeNaive)
     ->Args({64, 2})->Args({256, 2})->Args({1024, 2})->Args({4096, 2})

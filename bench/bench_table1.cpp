@@ -130,6 +130,13 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("decisions", row.stats.sat_decisions);
   w.kv("propagations", row.stats.sat_propagations);
   w.kv("conflicts", row.stats.sat_conflicts);
+  w.kv("restarts", row.stats.sat_restarts);
+  w.kv("prefix_reused_levels", row.stats.sat_prefix_reused_levels);
+  w.kv("propagations_saved", row.stats.sat_propagations_saved);
+  w.kv("restarts_blocked", row.stats.sat_restarts_blocked);
+  w.kv("learnts_core", row.stats.sat_learnts_core);
+  w.kv("learnts_tier2", row.stats.sat_learnts_tier2);
+  w.kv("learnts_local", row.stats.sat_learnts_local);
   w.end_object();
   w.end_object();
 }

@@ -148,6 +148,9 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
       if (diff == aig::kLitTrue) continue;
       solver.set_conflict_budget(options.conflict_budget);
       ECO_TELEMETRY_COUNT("cegarmin.equiv_sat_calls");
+      // Single-assumption query; the encoder lazily adds clauses for `diff`
+      // right before this call, which cancels the solver to level 0 and so
+      // correctly invalidates any trail kept by assumption-prefix reuse.
       const sat::LBool verdict = solver.solve({enc.lit(diff)});
       solver.clear_budgets();
       if (verdict.is_false()) {

@@ -444,6 +444,12 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     out.stats.sat_propagations = sat.propagations;
     out.stats.sat_conflicts = sat.conflicts;
     out.stats.sat_restarts = sat.restarts;
+    out.stats.sat_prefix_reused_levels = sat.prefix_reused_levels;
+    out.stats.sat_propagations_saved = sat.propagations_saved;
+    out.stats.sat_restarts_blocked = sat.restarts_blocked;
+    out.stats.sat_learnts_core = sat.learnts_core;
+    out.stats.sat_learnts_tier2 = sat.learnts_tier2;
+    out.stats.sat_learnts_local = sat.learnts_local;
   };
 
   // 1. Structural pruning (paper §3.3).
@@ -681,6 +687,12 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.kv("propagations", outcome.stats.sat_propagations);
   w.kv("conflicts", outcome.stats.sat_conflicts);
   w.kv("restarts", outcome.stats.sat_restarts);
+  w.kv("prefix_reused_levels", outcome.stats.sat_prefix_reused_levels);
+  w.kv("propagations_saved", outcome.stats.sat_propagations_saved);
+  w.kv("restarts_blocked", outcome.stats.sat_restarts_blocked);
+  w.kv("learnts_core", outcome.stats.sat_learnts_core);
+  w.kv("learnts_tier2", outcome.stats.sat_learnts_tier2);
+  w.kv("learnts_local", outcome.stats.sat_learnts_local);
   w.end_object();
 
   w.key("targets");

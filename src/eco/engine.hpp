@@ -103,6 +103,13 @@ struct EngineStats {
   uint64_t sat_propagations = 0;
   uint64_t sat_conflicts = 0;
   uint64_t sat_restarts = 0;
+  // Incremental fast path + learnt tiering (sat/solver.hpp SolverStats).
+  uint64_t sat_prefix_reused_levels = 0;
+  uint64_t sat_propagations_saved = 0;
+  uint64_t sat_restarts_blocked = 0;
+  uint64_t sat_learnts_core = 0;
+  uint64_t sat_learnts_tier2 = 0;
+  uint64_t sat_learnts_local = 0;
 };
 
 /// Result of a full ECO run.

@@ -77,6 +77,10 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     if (off_verdict.is_undef()) return result;
 
     sat::LitVec kept_lits;
+    // `cube_lits` is in fixed support order, so the expansion solve above and
+    // the first minimize query assume the identical vector — the recursion
+    // then only shrinks/permutes the tail (see minimize.hpp's
+    // assumption-ordering invariant), keeping prefixes shared for trail reuse.
     if (options.use_minimize) {
       sat::MinimizeStats stats;
       sat::LitVec work = cube_lits;
@@ -140,10 +144,15 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     }
     std::vector<uint8_t> kept(result.cover.cubes.size(), 1);
     for (size_t i = 0; i < result.cover.cubes.size(); ++i) {
+      // Assumption order: shared "outside cube j" activations first (in cube
+      // index order), this cube's literals last. Iterations i and i+1 then
+      // agree on the activations out_0..out_{i-1}, so the common prefix grows
+      // as the loop advances and the solver's trail reuse keeps the
+      // corresponding propagations. The verdict is order-independent.
       sat::LitVec assumps;
-      for (const sop::Lit l : result.cover.cubes[i].lits()) assumps.push_back(lit_of(l));
       for (size_t j = 0; j < result.cover.cubes.size(); ++j)
         if (j != i && kept[j]) assumps.push_back(outside[j]);
+      for (const sop::Lit l : result.cover.cubes[i].lits()) assumps.push_back(lit_of(l));
       if (options.conflict_budget >= 0) ir_solver.set_conflict_budget(options.conflict_budget);
       ++result.sat_calls;
       const sat::LBool verdict = ir_solver.solve(assumps);

@@ -35,7 +35,10 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
   if (!verdict.is_false()) return result;  // not a function of the candidates / budget
 
   // Keep the final-conflict core, then minimize (cost-ascending order is
-  // inherited from the candidate list).
+  // inherited from the candidate list). The core keeps the activations in
+  // their original relative order, so the minimize recursion's first query
+  // shares its assumption prefix with the dependency solve above and the
+  // solver's trail reuse retains the propagation work (see minimize.hpp).
   sat::LitVec core;
   std::vector<size_t> core_globals;
   for (size_t i = 0; i < activations.size(); ++i)
@@ -83,6 +86,9 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
       log_warn("functional_resub: support does not separate on/off sets");
       return result;
     }
+    // `cube_lits` is in fixed support order: the expansion solve above and
+    // the minimize recursion's first query assume identical vectors, so
+    // consecutive queries on off_solver share long prefixes for trail reuse.
     sat::LitVec work = cube_lits;
     sat::LitVec ctx2;
     const int cube_kept = sat::minimize_assumptions(off_solver, work, ctx2);

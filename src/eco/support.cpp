@@ -54,6 +54,13 @@ sat::LBool SupportInstance::check_subset(std::span<const size_t> subset,
   sat::LitVec assumps;
   assumps.reserve(subset.size());
   for (const size_t g : subset) assumps.push_back(activation(g));
+  // Canonical (candidate-index) order: activation variables were created in
+  // candidate order, so sorting by literal puts every query's assumptions in
+  // one global order. Consecutive subset checks (hitting-set loops,
+  // last-gasp swaps) then share long assumption prefixes, which the solver's
+  // trail reuse turns into retained propagation work. Verdicts and cores do
+  // not depend on assumption order.
+  std::sort(assumps.begin(), assumps.end());
   if (conflict_budget >= 0)
     solver_.set_conflict_budget(conflict_budget);
   else

@@ -9,24 +9,33 @@ namespace {
 
 /// Solves under the current context plus the assumptions in
 /// [\p lo, \p hi) of \p a. Returns the solver verdict.
+///
+/// Assumption-ordering invariant: the vector handed to the solver is always
+/// `ctx` followed by the `[lo, hi)` suffix, and `ctx` itself only grows and
+/// shrinks at its tail during the recursion. Consecutive queries therefore
+/// share a long common assumption prefix, which is exactly what the solver's
+/// trail reuse (SolverOptions::trail_reuse) exploits — see
+/// docs/OBSERVABILITY.md. `scratch` is a caller-owned buffer reused across
+/// all queries of one minimization to avoid a heap allocation per SAT call.
 LBool query(Solver& solver, const LitVec& ctx, const LitVec& a, size_t lo, size_t hi,
-            MinimizeStats* stats) {
-  LitVec all(ctx);
-  all.insert(all.end(), a.begin() + static_cast<long>(lo), a.begin() + static_cast<long>(hi));
+            LitVec& scratch, MinimizeStats* stats) {
+  scratch.assign(ctx.begin(), ctx.end());
+  scratch.insert(scratch.end(), a.begin() + static_cast<long>(lo),
+                 a.begin() + static_cast<long>(hi));
   if (stats) ++stats->sat_calls;
-  return solver.solve(all);
+  return solver.solve(scratch);
 }
 
 /// Recursive core of Algorithm 1 operating on a[lo, hi).
 /// Kept assumptions are moved to the front of the range; the count is
 /// returned. `ctx` carries the incrementally-assumed outer literals.
 int minimize_rec(Solver& solver, LitVec& a, size_t lo, size_t hi, LitVec& ctx,
-                 MinimizeStats* stats) {
+                 LitVec& scratch, MinimizeStats* stats) {
   const size_t n = hi - lo;
   if (n == 0) return 0;
   if (n == 1) {
     // If there is only one assumption, check whether it is needed.
-    const LBool res = query(solver, ctx, a, lo, lo, stats);
+    const LBool res = query(solver, ctx, a, lo, lo, scratch, stats);
     if (res.is_false()) return 0;  // UNSAT without it: not needed
     return 1;                      // needed (or budget expired: keep, stay safe)
   }
@@ -37,12 +46,12 @@ int minimize_rec(Solver& solver, LitVec& a, size_t lo, size_t hi, LitVec& ctx,
   const size_t mid = lo + n_low;
 
   // Try the lower part without the higher part.
-  if (query(solver, ctx, a, lo, mid, stats).is_false())
-    return minimize_rec(solver, a, lo, mid, ctx, stats);
+  if (query(solver, ctx, a, lo, mid, scratch, stats).is_false())
+    return minimize_rec(solver, a, lo, mid, ctx, scratch, stats);
 
   // Find a solution for A_high while assuming all of A_low.
   ctx.insert(ctx.end(), a.begin() + static_cast<long>(lo), a.begin() + static_cast<long>(mid));
-  const int s_high = minimize_rec(solver, a, mid, hi, ctx, stats);
+  const int s_high = minimize_rec(solver, a, mid, hi, ctx, scratch, stats);
   ctx.resize(ctx.size() - n_low);
 
   // Reorder: place the kept entries of A_high before all entries of A_low.
@@ -53,7 +62,7 @@ int minimize_rec(Solver& solver, LitVec& a, size_t lo, size_t hi, LitVec& ctx,
   ctx.insert(ctx.end(), a.begin() + static_cast<long>(lo),
              a.begin() + static_cast<long>(lo) + s_high);
   const int s_low = minimize_rec(solver, a, lo + static_cast<size_t>(s_high),
-                                 lo + static_cast<size_t>(s_high) + n_low, ctx, stats);
+                                 lo + static_cast<size_t>(s_high) + n_low, ctx, scratch, stats);
   ctx.resize(ctx.size() - static_cast<size_t>(s_high));
 
   return s_high + s_low;
@@ -63,7 +72,9 @@ int minimize_rec(Solver& solver, LitVec& a, size_t lo, size_t hi, LitVec& ctx,
 
 int minimize_assumptions(Solver& solver, LitVec& assumps, LitVec& context,
                          MinimizeStats* stats) {
-  return minimize_rec(solver, assumps, 0, assumps.size(), context, stats);
+  LitVec scratch;
+  scratch.reserve(context.size() + assumps.size());
+  return minimize_rec(solver, assumps, 0, assumps.size(), context, scratch, stats);
 }
 
 int minimize_assumptions(Solver& solver, LitVec& assumps, MinimizeStats* stats) {
@@ -76,8 +87,10 @@ int minimize_assumptions_naive(Solver& solver, LitVec& assumps, LitVec& context,
   // Deletion loop: walk from the most expensive (last) entry down, dropping
   // each assumption whose removal keeps the formula UNSAT.
   LitVec kept(assumps);
+  LitVec trial;
+  trial.reserve(context.size() + assumps.size());
   for (size_t i = kept.size(); i-- > 0;) {
-    LitVec trial(context);
+    trial.assign(context.begin(), context.end());
     for (size_t j = 0; j < kept.size(); ++j)
       if (j != i) trial.push_back(kept[j]);
     if (stats) ++stats->sat_calls;

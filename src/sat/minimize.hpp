@@ -26,6 +26,16 @@ struct MinimizeStats {
 /// \pre solve(context + assumps) is UNSAT on \p solver.
 /// \param context  extra assumption literals that are always assumed and not
 ///                 subject to minimization (may be empty). Restored on exit.
+///
+/// **Assumption-ordering invariant.** Every SAT call issued by the recursion
+/// assumes `context` first, then a contiguous slice of `assumps`, and the
+/// context only grows/shrinks at its tail. Consecutive queries therefore
+/// share long common assumption prefixes, which the solver's trail reuse
+/// (`SolverOptions::trail_reuse`) converts into retained propagation work.
+/// Callers that interleave their own `solve()` calls on the same solver get
+/// the same benefit by keeping *their* assumption order stable — put the
+/// long-lived context literals first and the per-query literals last (see
+/// docs/OBSERVABILITY.md, "Incremental fast path").
 /// \returns number S of kept assumptions; after the call the first S entries
 ///          of \p assumps form the minimal subset (remaining entries are the
 ///          discarded ones, in unspecified order).

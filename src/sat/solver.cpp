@@ -4,10 +4,45 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "util/telemetry.hpp"
 
 namespace eco::sat {
+
+// ---------------------------------------------------------------------------
+// SolverOptions: process-wide, env-seeded defaults
+// ---------------------------------------------------------------------------
+
+namespace {
+
+SolverOptions env_seeded_defaults() {
+  SolverOptions o;
+  if (const char* v = std::getenv("ECO_SAT_TRAIL_REUSE"))
+    o.trail_reuse = !(v[0] == '0' && v[1] == '\0');
+  if (const char* v = std::getenv("ECO_SAT_RESTART")) {
+    const std::string_view s(v);
+    if (s == "ema")
+      o.restart = RestartPolicy::kEma;
+    else if (s == "luby")
+      o.restart = RestartPolicy::kLuby;
+  }
+  return o;
+}
+
+SolverOptions& mutable_defaults() {
+  static SolverOptions o = env_seeded_defaults();
+  return o;
+}
+
+}  // namespace
+
+const SolverOptions& SolverOptions::defaults() noexcept { return mutable_defaults(); }
+
+void SolverOptions::set_defaults(const SolverOptions& opts) noexcept {
+  mutable_defaults() = opts;
+}
 
 // ---------------------------------------------------------------------------
 // VarHeap: indexed binary max-heap ordered by activity.
@@ -76,7 +111,12 @@ void Solver::VarHeap::sift_down(size_t i, const std::vector<double>& act) {
 // Construction / problem building
 // ---------------------------------------------------------------------------
 
-Solver::Solver() { arena_.reserve(1024 * 64); }
+Solver::Solver(const SolverOptions& options) : opts_(options) {
+  arena_.reserve(1024 * 64);
+  next_tier2_shrink_ = opts_.tier2_shrink_interval;
+  next_local_reduce_ = opts_.local_reduce_interval;
+  local_cap_ = opts_.local_cap_base;
+}
 
 Solver::~Solver() {
   telemetry::SolverTotals t;
@@ -88,6 +128,12 @@ Solver::~Solver() {
   t.restarts = stats_.restarts;
   t.learnt_literals = stats_.learnts_literals;
   t.db_reductions = stats_.db_reductions;
+  t.prefix_reused_levels = stats_.prefix_reused_levels;
+  t.propagations_saved = stats_.propagations_saved;
+  t.restarts_blocked = stats_.restarts_blocked;
+  t.learnts_core = stats_.learnts_core;
+  t.learnts_tier2 = stats_.learnts_tier2;
+  t.learnts_local = stats_.learnts_local;
   telemetry::add_solver_totals(t);
 }
 
@@ -115,18 +161,23 @@ CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
   Header h{};
   h.learnt = learnt ? 1u : 0u;
   h.reloced = 0;
+  h.tier = kTierCore;
   h.size = static_cast<uint32_t>(lits.size());
   arena_.push_back(std::bit_cast<uint32_t>(h));
   for (const Lit l : lits) arena_.push_back(static_cast<uint32_t>(l.raw()));
   if (learnt) {
     arena_.push_back(std::bit_cast<uint32_t>(0.0f));
     arena_.push_back(0);  // LBD
+    arena_.push_back(0);  // touched (conflict count of last use)
   }
   return ref;
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
-  assert(decision_level() == 0);
+  // Growing the clause database invalidates the trail retained for
+  // assumption-prefix reuse: literals implied so far were derived without
+  // this clause, and unit enqueues must land at level 0 anyway.
+  if (decision_level() > 0) cancel_until(0);
   if (!ok_) return false;
 
   LitVec ps(lits.begin(), lits.end());
@@ -204,14 +255,7 @@ void Solver::remove_clause(CRef ref) {
   const Var v0 = c[0].var();
   if (reason(v0) == ref) vardata_[static_cast<size_t>(v0)].reason = kCRefUndef;
   c.header().reloced = 1;  // mark dead; storage reclaimed on next rebuild
-  wasted_ += c.size() + 1 + (c.learnt() ? 2 : 0);
-}
-
-bool Solver::satisfied(CRef ref) noexcept {
-  auto c = clause(ref);
-  for (uint32_t i = 0; i < c.size(); ++i)
-    if (value(c[i]).is_true() && level(c[i].var()) == 0) return true;
-  return false;
+  wasted_ += c.size() + 1 + (c.learnt() ? 3 : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,7 +393,19 @@ void Solver::cla_bump_activity(ClauseRefView c) {
   float& a = c.activity();
   a += static_cast<float>(cla_inc_);
   if (a > 1e20f) {
-    for (const CRef ref : learnts_) clause(ref).activity() *= 1e-20f;
+    // Scale each clause exactly once: an entry is authoritative only when
+    // the clause's tier matches the list it sits in (promotions leave stale
+    // entries behind). A rare duplicate local entry may scale twice, which
+    // only lowers that clause's heuristic standing — harmless.
+    const auto rescale = [this](std::vector<CRef>& list, uint32_t tag) {
+      for (const CRef ref : list) {
+        auto cl = clause(ref);
+        if (cl.header().tier == tag) cl.activity() *= 1e-20f;
+      }
+    };
+    rescale(learnts_core_, kTierCore);
+    rescale(learnts_tier2_, kTierTier2);
+    rescale(learnts_local_, kTierLocal);
     cla_inc_ *= 1e-20;
   }
 }
@@ -379,7 +435,19 @@ void Solver::analyze(CRef confl, LitVec& out_learnt, int& out_btlevel, uint32_t&
     // For reasons (p != undef) the implied literal must be first; binary
     // reasons restore that invariant lazily.
     auto c = p == kLitUndef ? clause(confl) : reason_view(p.var());
-    if (c.learnt()) cla_bump_activity(c);
+    if (c.learnt()) {
+      cla_bump_activity(c);
+      c.touched() = static_cast<uint32_t>(stats_.conflicts);
+      // Glucose-style LBD-update-on-use with tier promotion: a clause whose
+      // glue improved since it was learnt earns a longer-lived tier.
+      if (c.header().tier != kTierCore) {
+        const uint32_t new_lbd = compute_lbd(c.lits());
+        if (new_lbd < c.lbd()) {
+          c.lbd() = new_lbd;
+          maybe_promote(confl, c, new_lbd);
+        }
+      }
+    }
     for (uint32_t k = (p == kLitUndef) ? 0 : 1; k < c.size(); ++k) {
       const Lit q = c[k];
       const Var v = q.var();
@@ -483,32 +551,99 @@ void Solver::analyze_final(Lit p, LitVec& out_core) {
 }
 
 // ---------------------------------------------------------------------------
-// Learnt database maintenance & garbage collection
+// Learnt database: three-tier maintenance & garbage collection
 // ---------------------------------------------------------------------------
 
-void Solver::reduce_db() {
-  ++stats_.db_reductions;
-  // Order: high LBD first, then low activity — those get removed.
-  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
-    auto ca = clause(a);
-    auto cb = clause(b);
-    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
-    return ca.activity() < cb.activity();
-  });
-  const double extra_lim = cla_inc_ / std::max<size_t>(learnts_.size(), 1);
+void Solver::admit_learnt(CRef ref, uint32_t lbd) {
+  auto c = clause(ref);
+  c.lbd() = lbd;
+  c.touched() = static_cast<uint32_t>(stats_.conflicts);
+  uint32_t tier;
+  // Size-2 learnts always join core: a binary reason may have its implied
+  // literal at index 1 (lazy normalization), so the locked-clause check in
+  // reduce_local would not protect it — core clauses are never removed.
+  if (lbd <= opts_.core_lbd_cut || c.size() <= 2) {
+    tier = kTierCore;
+    learnts_core_.push_back(ref);
+    ++stats_.learnts_core;
+  } else if (lbd <= opts_.tier2_lbd_cut) {
+    tier = kTierTier2;
+    learnts_tier2_.push_back(ref);
+    ++stats_.learnts_tier2;
+  } else {
+    tier = kTierLocal;
+    learnts_local_.push_back(ref);
+    ++stats_.learnts_local;
+    ++locals_live_;
+  }
+  c.header().tier = tier;
+}
+
+void Solver::maybe_promote(CRef ref, ClauseRefView c, uint32_t new_lbd) {
+  const uint32_t tier = c.header().tier;
+  if (new_lbd <= opts_.core_lbd_cut) {
+    if (tier == kTierCore) return;
+    if (tier == kTierLocal) --locals_live_;
+    c.header().tier = kTierCore;
+    learnts_core_.push_back(ref);
+    ++stats_.learnts_core;
+  } else if (new_lbd <= opts_.tier2_lbd_cut && tier == kTierLocal) {
+    --locals_live_;
+    c.header().tier = kTierTier2;
+    learnts_tier2_.push_back(ref);
+    ++stats_.learnts_tier2;
+  }
+}
+
+void Solver::shrink_tier2() {
+  const auto now = static_cast<uint32_t>(stats_.conflicts);
+  const auto demote_age = static_cast<uint32_t>(opts_.tier2_unused_demote);
   size_t keep = 0;
-  for (size_t i = 0; i < learnts_.size(); ++i) {
-    auto c = clause(learnts_[i]);
-    const bool locked =
-        reason(c[0].var()) == learnts_[i] && value(c[0]).is_true();
-    const bool precious = c.size() <= 2 || c.lbd() <= 2 || locked;
-    if (!precious && (i < learnts_.size() / 2 || c.activity() < extra_lim)) {
-      remove_clause(learnts_[i]);
+  for (const CRef ref : learnts_tier2_) {
+    auto c = clause(ref);
+    if (c.header().tier != kTierTier2) continue;  // promoted away: drop stale entry
+    if (now - c.touched() >= demote_age) {
+      c.header().tier = kTierLocal;
+      learnts_local_.push_back(ref);
+      ++stats_.learnts_local;
+      ++locals_live_;
     } else {
-      learnts_[keep++] = learnts_[i];
+      learnts_tier2_[keep++] = ref;
     }
   }
-  learnts_.resize(keep);
+  learnts_tier2_.resize(keep);
+}
+
+void Solver::reduce_local() {
+  ++stats_.db_reductions;
+  auto& local = learnts_local_;
+  // Promotions leave stale entries behind, and a demote/re-promote cycle can
+  // leave duplicates: dedupe, then keep only entries whose tier is still
+  // local. Everything surviving this pass is live, unique, and local.
+  std::sort(local.begin(), local.end());
+  local.erase(std::unique(local.begin(), local.end()), local.end());
+  size_t cur = 0;
+  for (const CRef ref : local)
+    if (clause(ref).header().tier == kTierLocal) local[cur++] = ref;
+  local.resize(cur);
+  // Lowest activity first: those are removed.
+  std::sort(local.begin(), local.end(),
+            [this](CRef a, CRef b) { return clause(a).activity() < clause(b).activity(); });
+  const size_t target_remove = local.size() / 2;
+  size_t removed = 0;
+  size_t keep = 0;
+  for (size_t i = 0; i < local.size(); ++i) {
+    auto c = clause(local[i]);
+    const bool locked = reason(c[0].var()) == local[i] && value(c[0]).is_true();
+    if (removed < target_remove && !locked) {
+      remove_clause(local[i]);
+      ++removed;
+    } else {
+      local[keep++] = local[i];
+    }
+  }
+  local.resize(keep);
+  locals_live_ = keep;  // exact resync: the list is now live, unique, local
   maybe_garbage_collect();
 }
 
@@ -523,7 +658,7 @@ void Solver::maybe_garbage_collect() {
       return;
     }
     const CRef nref = static_cast<CRef>(fresh.size());
-    const uint32_t total = 1 + c.size() + (c.learnt() ? 2u : 0u);
+    const uint32_t total = 1 + c.size() + (c.learnt() ? 3u : 0u);
     for (uint32_t i = 0; i < total; ++i) fresh.push_back(arena_[ref + i]);
     c.header().reloced = 1;
     c[0] = Lit::from_raw(static_cast<int32_t>(nref));
@@ -543,7 +678,12 @@ void Solver::maybe_garbage_collect() {
     }
   }
   for (auto& ref : clauses_) reloc(ref);
-  for (auto& ref : learnts_) reloc(ref);
+  // Stale/duplicate learnt-list entries reference live clauses only
+  // (reduce_local drops every entry for a clause it kills), and reloc is
+  // idempotent via the forwarding pointer, so relocating them is safe.
+  for (auto& ref : learnts_core_) reloc(ref);
+  for (auto& ref : learnts_tier2_) reloc(ref);
+  for (auto& ref : learnts_local_) reloc(ref);
   arena_.swap(fresh);
   wasted_ = 0;
 }
@@ -571,6 +711,8 @@ bool Solver::within_budget() const noexcept {
   return true;
 }
 
+/// One restart segment. \p conflicts_before_restart >= 0 caps the segment
+/// (Luby policy); a negative value means the EMA policy decides internally.
 LBool Solver::search(int64_t conflicts_before_restart) {
   int64_t conflict_count = 0;
   LitVec learnt;
@@ -580,42 +722,72 @@ LBool Solver::search(int64_t conflicts_before_restart) {
       ++stats_.conflicts;
       ++conflict_count;
       if (decision_level() == 0) {
-        core_.clear();  // contradiction independent of assumptions
+        // Contradiction independent of assumptions: F itself is UNSAT.
+        // Latch it — the falsified clause is behind the propagation queue by
+        // now, so a later search would not rediscover it through watchers.
+        core_.clear();
+        ok_ = false;
         return kFalse;
       }
       int bt_level = 0;
       uint32_t lbd = 0;
       analyze(confl, learnt, bt_level, lbd);
+      ema_lbd_fast_.update(lbd, opts_.ema_lbd_fast_alpha);
+      ema_lbd_slow_.update(lbd, opts_.ema_lbd_slow_alpha);
+      ema_trail_.update(static_cast<double>(trail_.size()), opts_.ema_trail_alpha);
       cancel_until(bt_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0]);
       } else {
         const CRef ref = alloc_clause(learnt, /*learnt=*/true);
-        clause(ref).lbd() = lbd;
-        learnts_.push_back(ref);
+        admit_learnt(ref, lbd);
         attach_clause(ref);
         cla_bump_activity(clause(ref));
         unchecked_enqueue(learnt[0], ref);
       }
       var_decay_activity();
       cla_decay_activity();
-
-      if (--learnt_size_adjust_cnt_ == 0) {
-        learnt_size_adjust_confl_ *= 1.5;
-        learnt_size_adjust_cnt_ = static_cast<int>(learnt_size_adjust_confl_);
-        max_learnts_ *= 1.1;
-      }
       continue;
     }
 
     // No conflict.
-    if (conflict_count >= conflicts_before_restart || !within_budget()) {
-      cancel_until(0);
+    const bool budget_ok = within_budget();
+    bool restart_now = false;
+    if (budget_ok) {
+      if (conflicts_before_restart >= 0) {
+        restart_now = conflict_count >= conflicts_before_restart;
+      } else if (conflict_count >= opts_.restart_min_conflicts &&
+                 ema_lbd_fast_.value > opts_.restart_margin * ema_lbd_slow_.value) {
+        // Glucose-style block: an unusually deep trail suggests the search
+        // is closing in on a model — postpone and let the pressure rebuild.
+        if (ema_trail_.primed &&
+            static_cast<double>(trail_.size()) > opts_.blocking_margin * ema_trail_.value) {
+          ++stats_.restarts_blocked;
+          conflict_count = 0;
+        } else {
+          restart_now = true;
+        }
+      }
+    }
+    if (restart_now || !budget_ok) {
+      // Back off only to the assumption boundary: the assumption levels stay
+      // valid across restarts (and across solve() calls — trail reuse).
+      cancel_until(std::min(static_cast<int>(assumptions_.size()), decision_level()));
       return kUndef;
     }
-    if (static_cast<double>(learnts_.size()) - static_cast<double>(trail_.size()) >=
-        max_learnts_)
-      reduce_db();
+
+    if (locals_live_ >= local_cap_ || stats_.conflicts >= next_local_reduce_) {
+      if (locals_live_ >= local_cap_) local_cap_ += opts_.local_cap_increment;
+      next_local_reduce_ = stats_.conflicts + opts_.local_reduce_interval;
+      reduce_local();
+      // Locked clauses survive reduction; if they alone exceed the cap,
+      // raise it past them so the size trigger cannot fire every conflict.
+      if (locals_live_ >= local_cap_) local_cap_ = locals_live_ + 64;
+    }
+    if (stats_.conflicts >= next_tier2_shrink_) {
+      next_tier2_shrink_ = stats_.conflicts + opts_.tier2_shrink_interval;
+      shrink_tier2();
+    }
 
     Lit next = kLitUndef;
     while (decision_level() < static_cast<int>(assumptions_.size())) {
@@ -661,17 +833,38 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   std::fill(in_core_mark_.begin(), in_core_mark_.end(), 0);
   if (!ok_) return kFalse;
 
+  // Assumption-prefix trail reuse: decision level i (1-based) was opened for
+  // assumption i-1 (as a real decision or a dummy level), so the trail below
+  // the longest common prefix of the previous and current assumption vectors
+  // — those decisions plus everything propagation derived from them — is
+  // still exactly what this call would recompute. Keep it. add_clause
+  // cancels to level 0, so a retained level is never stale w.r.t. the
+  // clause database.
+  int keep = 0;
+  if (opts_.trail_reuse) {
+    const size_t max_keep = std::min({static_cast<size_t>(decision_level()),
+                                      assumptions_.size(), assumptions.size()});
+    while (static_cast<size_t>(keep) < max_keep &&
+           assumptions_[static_cast<size_t>(keep)] == assumptions[static_cast<size_t>(keep)])
+      ++keep;
+  }
+  cancel_until(keep);
+  if (keep > 0) {
+    stats_.prefix_reused_levels += static_cast<uint64_t>(keep);
+    stats_.propagations_saved +=
+        trail_.size() - static_cast<size_t>(trail_lim_[0]);
+  }
+
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflicts_at_solve_start_ = stats_.conflicts;
   propagations_at_solve_start_ = stats_.propagations;
 
-  if (max_learnts_ <= 0)
-    max_learnts_ = std::max(static_cast<double>(clauses_.size()) / 3.0, 1000.0);
-
   LBool status = kUndef;
   for (int restarts = 0; status.is_undef(); ++restarts) {
-    const double budget = luby(2.0, restarts) * 100.0;
-    status = search(static_cast<int64_t>(budget));
+    int64_t segment = -1;  // EMA: search() decides internally
+    if (opts_.restart == RestartPolicy::kLuby)
+      segment = static_cast<int64_t>(luby(2.0, restarts) * 100.0);
+    status = search(segment);
     if (status.is_undef() && !within_budget()) break;
     if (status.is_undef()) ++stats_.restarts;
   }
@@ -689,8 +882,12 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     }
     core_ = std::move(as_assumed);
   }
-  cancel_until(0);
-  assumptions_.clear();
+  if (!opts_.trail_reuse) {
+    cancel_until(0);
+    assumptions_.clear();
+  }
+  // With trail reuse the trail and assumptions_ are retained: the next
+  // solve() computes its reusable prefix from them.
   return status;
 }
 

@@ -11,8 +11,9 @@
 ///
 /// Algorithmically it is a standard CDCL solver: two-watched-literal
 /// propagation, VSIDS decision heuristic with an indexed heap, phase saving,
-/// Luby restarts, first-UIP conflict analysis with recursive clause
-/// minimization, and activity/LBD-driven learnt-database reduction.
+/// restarts (Luby or glucose-style EMA, see SolverOptions), first-UIP
+/// conflict analysis with recursive clause minimization, and a three-tier
+/// learnt-clause database (Chanseok-Oh style).
 ///
 /// Propagation uses a two-tier watcher scheme (the MiniSat -> Glucose
 /// refinement): **binary clauses** live in dedicated watch lists whose
@@ -25,6 +26,25 @@
 /// consequence visible elsewhere: a binary reason clause may have its
 /// implied literal at index 1, so conflict analysis normalizes lazily
 /// (see `reason_view`).
+///
+/// **Incremental fast path (assumption-prefix trail reuse).** The engine's
+/// dominant workload is many `solve()` calls on one solver whose assumption
+/// vectors share a long common prefix (`minimize_assumptions` alone issues
+/// O(k log k) such calls per support/cube computation). With
+/// `SolverOptions::trail_reuse` (the default), `solve()` does not cancel to
+/// decision level 0 on exit; the next call computes the longest common
+/// prefix between the previous and current assumption vectors and backtracks
+/// only to that level, so the retained trail segment — assumption decisions
+/// plus everything unit propagation derived from them — is never re-decided
+/// or re-propagated. This is sound because every retained trail literal at
+/// level i is a consequence of the clause database and the first i
+/// assumptions, both unchanged for the matched prefix; `add_clause` cancels
+/// to level 0 first (invalidating the retained trail) whenever the database
+/// grows between calls. Consumers maximize the win by keeping assumption
+/// order stable: context literals first, then the query-specific suffix
+/// (see sat/minimize.hpp and docs/OBSERVABILITY.md "assumption-ordering
+/// invariant"). `stats().prefix_reused_levels` / `propagations_saved`
+/// report the effect.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +56,69 @@
 
 namespace eco::sat {
 
+/// Restart policy selector (SolverOptions::restart).
+enum class RestartPolicy : uint8_t {
+  kLuby,  ///< Luby sequence × 100 conflicts (the MiniSat classic)
+  kEma,   ///< glucose-style fast/slow LBD EMAs with trail-size blocking
+};
+
+/// Tunable solver behavior, fixed at construction.
+///
+/// Process-wide defaults come from `defaults()` and can be overridden
+/// programmatically (`set_defaults`) or via the environment:
+/// `ECO_SAT_TRAIL_REUSE=0` disables assumption-prefix trail reuse and
+/// `ECO_SAT_RESTART=ema|luby` selects the restart policy. The env hooks
+/// exist so benchmarks and CI can A/B the fast path without recompiling.
+struct SolverOptions {
+  /// Keep the trail across solve() calls and re-use the decision levels of
+  /// the longest common assumption prefix (see file comment).
+  bool trail_reuse = true;
+
+  /// Restart policy for the search loop.
+  RestartPolicy restart = RestartPolicy::kLuby;
+
+  // -- learnt-clause tiering (Chanseok-Oh three-tier scheme) --------------
+  /// Learnts with LBD <= core_lbd_cut are kept forever ("core").
+  uint32_t core_lbd_cut = 2;
+  /// Learnts with core < LBD <= tier2_lbd_cut sit on a touched-timer
+  /// ("tier2"); the rest are aggressively reduced ("local").
+  uint32_t tier2_lbd_cut = 6;
+  /// Scan tier2 every this many conflicts...
+  uint64_t tier2_shrink_interval = 10000;
+  /// ...demoting clauses not touched for this many conflicts to local.
+  uint64_t tier2_unused_demote = 30000;
+  /// Halve the local tier (by activity) every this many conflicts — the
+  /// schedule backstop for workloads whose local tier grows slowly.
+  uint64_t local_reduce_interval = 15000;
+  /// Also halve the local tier whenever it holds this many live clauses.
+  /// Local clauses are the high-LBD tail (the valuable ones live in core /
+  /// tier2), so a hard cap keeps per-conflict propagation cheap: on
+  /// pigeonhole php(11,10) a fixed 2000-clause cap is 1.3–1.9x faster
+  /// end-to-end than letting the tier grow between interval reductions.
+  /// Set local_cap_increment > 0 to grow the cap per size-triggered
+  /// reduction (glucose-style) instead; the cap also self-raises if locked
+  /// clauses ever pin a reduction above it (no thrashing).
+  uint32_t local_cap_base = 2000;
+  uint32_t local_cap_increment = 0;
+
+  // -- EMA restart parameters (RestartPolicy::kEma) -----------------------
+  double ema_lbd_fast_alpha = 1.0 / 32.0;
+  double ema_lbd_slow_alpha = 1.0 / 4096.0;
+  double ema_trail_alpha = 1.0 / 4096.0;
+  /// Restart when fast LBD EMA > restart_margin × slow LBD EMA.
+  double restart_margin = 1.25;
+  /// Block (postpone) the restart when the trail is this much larger than
+  /// its EMA — the search is likely closing in on a model.
+  double blocking_margin = 1.4;
+  /// Minimum conflicts within a restart segment before EMA may fire.
+  uint32_t restart_min_conflicts = 50;
+
+  /// Process-wide defaults (env-seeded on first use, see above).
+  static const SolverOptions& defaults() noexcept;
+  /// Replaces the process-wide defaults (call before creating solvers).
+  static void set_defaults(const SolverOptions& opts) noexcept;
+};
+
 /// Aggregate solver statistics, readable at any time.
 struct SolverStats {
   uint64_t decisions = 0;
@@ -45,18 +128,28 @@ struct SolverStats {
   uint64_t learnts_literals = 0;
   uint64_t db_reductions = 0;
   uint64_t solves = 0;
+  // Incremental fast path (see file comment).
+  uint64_t prefix_reused_levels = 0;   ///< assumption levels kept across solves
+  uint64_t propagations_saved = 0;     ///< trail literals retained, not re-propagated
+  uint64_t restarts_blocked = 0;       ///< EMA restarts postponed by trail blocking
+  // Learnt-clause tier admissions (cumulative, incl. promotions/demotions).
+  uint64_t learnts_core = 0;
+  uint64_t learnts_tier2 = 0;
+  uint64_t learnts_local = 0;
 };
 
 /// CDCL SAT solver.
 class Solver {
  public:
-  Solver();
+  explicit Solver(const SolverOptions& options = SolverOptions::defaults());
   /// Rolls this solver's statistics into the process-wide telemetry totals
   /// (util/telemetry.hpp), so snapshots cover every solver ever created.
   ~Solver();
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
+
+  const SolverOptions& options() const noexcept { return opts_; }
 
   // ---- Problem construction -------------------------------------------
 
@@ -68,6 +161,8 @@ class Solver {
 
   /// Adds a clause. Returns false if the solver became provably UNSAT
   /// (empty clause or top-level conflict). Duplicate/true literals handled.
+  /// Cancels any retained trail first (growing the database invalidates
+  /// assumption-prefix reuse).
   bool add_clause(std::span<const Lit> lits);
   bool add_clause(std::initializer_list<Lit> lits) {
     return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
@@ -136,13 +231,21 @@ class Solver {
  private:
   // -- clause arena -----------------------------------------------------
   // Layout per clause: [header][lit0][lit1]...
-  // header: bits 0..1 flags (learnt), bits 2..31 size. Learnt clauses carry
-  // an extra trailing word with activity (float) and one with LBD.
+  // header: learnt flag, reloced/dead flag, learnt tier, 28-bit size.
+  // Learnt clauses carry three extra trailing words: activity (float),
+  // LBD, and the conflict count at which the clause was last used
+  // ("touched", drives tier2 demotion).
   struct Header {
     uint32_t learnt : 1;
     uint32_t reloced : 1;
-    uint32_t size : 30;
+    uint32_t tier : 2;
+    uint32_t size : 28;
   };
+
+  // Learnt tiers (Header::tier). Originals carry kTierCore (ignored).
+  static constexpr uint32_t kTierCore = 0;   ///< LBD <= core cut: kept forever
+  static constexpr uint32_t kTierTier2 = 1;  ///< mid LBD: touched-timer
+  static constexpr uint32_t kTierLocal = 2;  ///< high LBD: aggressively reduced
 
   class ClauseRefView {
    public:
@@ -157,6 +260,10 @@ class Solver {
       return *reinterpret_cast<float*>(&(*mem_)[ref_ + 1 + size()]);
     }
     uint32_t& lbd() noexcept { return (*mem_)[ref_ + 2 + size()]; }
+    uint32_t& touched() noexcept { return (*mem_)[ref_ + 3 + size()]; }
+    std::span<const Lit> lits() noexcept {
+      return {reinterpret_cast<const Lit*>(&(*mem_)[ref_ + 1]), size()};
+    }
 
    private:
     std::vector<uint32_t>* mem_;
@@ -183,6 +290,20 @@ class Solver {
   struct VarData {
     CRef reason = kCRefUndef;
     int level = 0;
+  };
+
+  /// Exponential moving average for the EMA restart policy.
+  struct Ema {
+    double value = 0;
+    bool primed = false;
+    void update(double x, double alpha) noexcept {
+      if (!primed) {
+        value = x;
+        primed = true;
+      } else {
+        value += alpha * (x - value);
+      }
+    }
   };
 
   // -- VSIDS heap --------------------------------------------------------
@@ -214,7 +335,6 @@ class Solver {
   void attach_clause(CRef ref);
   void detach_clause(CRef ref);
   void remove_clause(CRef ref);
-  bool satisfied(CRef ref) noexcept;
 
   /// The reason clause of \p v with the invariant "implied literal first"
   /// restored. Long-clause propagation maintains it eagerly; binary
@@ -237,7 +357,14 @@ class Solver {
   void cla_bump_activity(ClauseRefView c);
   void cla_decay_activity() { cla_inc_ /= kClaDecay; }
 
-  void reduce_db();
+  /// Records one learnt clause in its tier (by LBD) and attaches it.
+  void admit_learnt(CRef ref, uint32_t lbd);
+  /// LBD-improved-on-use promotion (local -> tier2 -> core).
+  void maybe_promote(CRef ref, ClauseRefView c, uint32_t new_lbd);
+  /// Demotes tier2 clauses untouched for tier2_unused_demote conflicts.
+  void shrink_tier2();
+  /// Sorts the local tier by activity and drops the weaker half.
+  void reduce_local();
   void maybe_garbage_collect();
   LBool search(int64_t conflicts_before_restart);
   bool within_budget() const noexcept;
@@ -250,9 +377,16 @@ class Solver {
   static constexpr double kVarDecay = 0.95;
   static constexpr double kClaDecay = 0.999;
 
+  SolverOptions opts_;
+
   std::vector<uint32_t> arena_;
   std::vector<CRef> clauses_;
-  std::vector<CRef> learnts_;
+  // Learnt tiers. An entry is current iff the clause's Header::tier matches
+  // the list; promotions push into the new list and the stale entry is
+  // dropped lazily at the old list's next scan (shrink/reduce/rescale/GC).
+  std::vector<CRef> learnts_core_;
+  std::vector<CRef> learnts_tier2_;
+  std::vector<CRef> learnts_local_;
 
   std::vector<std::vector<Watcher>> watches_;        // size > 2 clauses, by lit raw
   std::vector<std::vector<BinWatcher>> watches_bin_;  // binary clauses, by lit raw
@@ -267,6 +401,8 @@ class Solver {
   std::vector<int> trail_lim_;
   size_t qhead_ = 0;
 
+  /// Assumptions of the current solve; retained afterwards as the previous
+  /// vector for the next call's common-prefix computation (trail reuse).
   LitVec assumptions_;
   LitVec core_;
   std::vector<uint8_t> in_core_mark_;  // by var
@@ -291,9 +427,18 @@ class Solver {
   uint64_t conflicts_at_solve_start_ = 0;
   uint64_t propagations_at_solve_start_ = 0;
 
-  double max_learnts_ = 0;
-  double learnt_size_adjust_confl_ = 100;
-  int learnt_size_adjust_cnt_ = 100;
+  // Learnt-DB maintenance schedule (conflict counts), plus the live-clause
+  // count and current size cap of the local tier (the lists themselves may
+  // hold stale or duplicate entries, so they cannot be sized directly).
+  uint64_t next_tier2_shrink_ = 0;
+  uint64_t next_local_reduce_ = 0;
+  size_t locals_live_ = 0;
+  size_t local_cap_ = 0;
+
+  // EMA restart state (RestartPolicy::kEma).
+  Ema ema_lbd_fast_;
+  Ema ema_lbd_slow_;
+  Ema ema_trail_;
 
   SolverStats stats_;
 };

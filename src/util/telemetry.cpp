@@ -66,7 +66,9 @@ std::atomic<bool> g_enabled{initial_enabled()};
 // Always-on solver totals (atomic; see header).
 struct AtomicSolverTotals {
   std::atomic<uint64_t> solvers{0}, solves{0}, decisions{0}, propagations{0}, conflicts{0},
-      restarts{0}, learnt_literals{0}, db_reductions{0};
+      restarts{0}, learnt_literals{0}, db_reductions{0}, prefix_reused_levels{0},
+      propagations_saved{0}, restarts_blocked{0}, learnts_core{0}, learnts_tier2{0},
+      learnts_local{0};
 };
 AtomicSolverTotals g_solver;
 
@@ -192,6 +194,12 @@ void SolverTotalsAccumulator::add(const SolverTotals& t) noexcept {
   restarts_.fetch_add(t.restarts, std::memory_order_relaxed);
   learnt_literals_.fetch_add(t.learnt_literals, std::memory_order_relaxed);
   db_reductions_.fetch_add(t.db_reductions, std::memory_order_relaxed);
+  prefix_reused_levels_.fetch_add(t.prefix_reused_levels, std::memory_order_relaxed);
+  propagations_saved_.fetch_add(t.propagations_saved, std::memory_order_relaxed);
+  restarts_blocked_.fetch_add(t.restarts_blocked, std::memory_order_relaxed);
+  learnts_core_.fetch_add(t.learnts_core, std::memory_order_relaxed);
+  learnts_tier2_.fetch_add(t.learnts_tier2, std::memory_order_relaxed);
+  learnts_local_.fetch_add(t.learnts_local, std::memory_order_relaxed);
 }
 
 SolverTotals SolverTotalsAccumulator::totals() const noexcept {
@@ -204,6 +212,12 @@ SolverTotals SolverTotalsAccumulator::totals() const noexcept {
   t.restarts = restarts_.load(std::memory_order_relaxed);
   t.learnt_literals = learnt_literals_.load(std::memory_order_relaxed);
   t.db_reductions = db_reductions_.load(std::memory_order_relaxed);
+  t.prefix_reused_levels = prefix_reused_levels_.load(std::memory_order_relaxed);
+  t.propagations_saved = propagations_saved_.load(std::memory_order_relaxed);
+  t.restarts_blocked = restarts_blocked_.load(std::memory_order_relaxed);
+  t.learnts_core = learnts_core_.load(std::memory_order_relaxed);
+  t.learnts_tier2 = learnts_tier2_.load(std::memory_order_relaxed);
+  t.learnts_local = learnts_local_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -230,6 +244,12 @@ void add_solver_totals(const SolverTotals& t) noexcept {
   g_solver.restarts.fetch_add(t.restarts, std::memory_order_relaxed);
   g_solver.learnt_literals.fetch_add(t.learnt_literals, std::memory_order_relaxed);
   g_solver.db_reductions.fetch_add(t.db_reductions, std::memory_order_relaxed);
+  g_solver.prefix_reused_levels.fetch_add(t.prefix_reused_levels, std::memory_order_relaxed);
+  g_solver.propagations_saved.fetch_add(t.propagations_saved, std::memory_order_relaxed);
+  g_solver.restarts_blocked.fetch_add(t.restarts_blocked, std::memory_order_relaxed);
+  g_solver.learnts_core.fetch_add(t.learnts_core, std::memory_order_relaxed);
+  g_solver.learnts_tier2.fetch_add(t.learnts_tier2, std::memory_order_relaxed);
+  g_solver.learnts_local.fetch_add(t.learnts_local, std::memory_order_relaxed);
 }
 
 SolverTotals solver_totals() noexcept {
@@ -242,6 +262,12 @@ SolverTotals solver_totals() noexcept {
   t.restarts = g_solver.restarts.load(std::memory_order_relaxed);
   t.learnt_literals = g_solver.learnt_literals.load(std::memory_order_relaxed);
   t.db_reductions = g_solver.db_reductions.load(std::memory_order_relaxed);
+  t.prefix_reused_levels = g_solver.prefix_reused_levels.load(std::memory_order_relaxed);
+  t.propagations_saved = g_solver.propagations_saved.load(std::memory_order_relaxed);
+  t.restarts_blocked = g_solver.restarts_blocked.load(std::memory_order_relaxed);
+  t.learnts_core = g_solver.learnts_core.load(std::memory_order_relaxed);
+  t.learnts_tier2 = g_solver.learnts_tier2.load(std::memory_order_relaxed);
+  t.learnts_local = g_solver.learnts_local.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -331,6 +357,12 @@ std::string snapshot_json() {
   w.kv("restarts", s.solver.restarts);
   w.kv("learnt_literals", s.solver.learnt_literals);
   w.kv("db_reductions", s.solver.db_reductions);
+  w.kv("prefix_reused_levels", s.solver.prefix_reused_levels);
+  w.kv("propagations_saved", s.solver.propagations_saved);
+  w.kv("restarts_blocked", s.solver.restarts_blocked);
+  w.kv("learnts_core", s.solver.learnts_core);
+  w.kv("learnts_tier2", s.solver.learnts_tier2);
+  w.kv("learnts_local", s.solver.learnts_local);
   w.end_object();
   w.kv("trace_events", static_cast<uint64_t>(s.trace_events));
   w.kv("dropped_trace_events", static_cast<uint64_t>(s.dropped_trace_events));

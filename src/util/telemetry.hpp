@@ -92,6 +92,14 @@ struct SolverTotals {
   uint64_t restarts = 0;
   uint64_t learnt_literals = 0;
   uint64_t db_reductions = 0;
+  // Incremental fast path (assumption-prefix trail reuse, sat/solver.hpp).
+  uint64_t prefix_reused_levels = 0;
+  uint64_t propagations_saved = 0;
+  uint64_t restarts_blocked = 0;
+  // Learnt-clause tier admissions (core/tier2/local).
+  uint64_t learnts_core = 0;
+  uint64_t learnts_tier2 = 0;
+  uint64_t learnts_local = 0;
 };
 
 /// Called by sat::Solver's destructor; cheap unconditional atomic adds.
@@ -119,7 +127,9 @@ class SolverTotalsAccumulator {
 
  private:
   std::atomic<uint64_t> solvers_{0}, solves_{0}, decisions_{0}, propagations_{0},
-      conflicts_{0}, restarts_{0}, learnt_literals_{0}, db_reductions_{0};
+      conflicts_{0}, restarts_{0}, learnt_literals_{0}, db_reductions_{0},
+      prefix_reused_levels_{0}, propagations_saved_{0}, restarts_blocked_{0},
+      learnts_core_{0}, learnts_tier2_{0}, learnts_local_{0};
 };
 
 /// Attaches \p acc to the calling thread for this scope: every Solver

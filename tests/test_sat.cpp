@@ -329,14 +329,24 @@ TEST(Solver, ManyVariablesStress) {
 }
 
 TEST(Solver, LearntDatabaseReductionKeepsSoundness) {
-  // Run a sequence of hard instances in one solver to exercise reduce_db and
-  // garbage collection, then confirm simple queries still behave.
-  Solver s;
+  // Run a hard instance with an aggressive maintenance schedule so the
+  // three-tier machinery (local reductions, tier2 demotion, GC) all fire,
+  // then confirm queries still behave.
+  SolverOptions opts;
+  opts.local_reduce_interval = 300;
+  opts.tier2_shrink_interval = 200;
+  opts.tier2_unused_demote = 400;
+  Solver s(opts);
   const Cnf cnf = pigeonhole(7);
   ASSERT_TRUE(load_into(s, cnf));
   EXPECT_TRUE(s.solve().is_false());
+  EXPECT_GT(s.stats().db_reductions, 0u);
+  EXPECT_GT(s.stats().learnts_core + s.stats().learnts_tier2 + s.stats().learnts_local, 0u);
+  // An assumption-free UNSAT latches the solver: the formula itself is
+  // contradictory, so further clauses are rejected and solves stay UNSAT.
+  EXPECT_FALSE(s.okay());
   const Var extra = s.new_var();
-  ASSERT_TRUE(s.add_unit(mk_lit(extra)));
+  EXPECT_FALSE(s.add_unit(mk_lit(extra)));
   EXPECT_TRUE(s.solve().is_false());  // still UNSAT overall
 }
 

@@ -391,6 +391,13 @@ TEST_F(TelemetryTest, SnapshotJsonRoundTrips) {
   ASSERT_NE(sat, nullptr);
   EXPECT_NE(sat->find("conflicts"), nullptr);
   EXPECT_NE(sat->find("propagations"), nullptr);
+  // Incremental fast-path counters (schema-additive in v1).
+  EXPECT_NE(sat->find("prefix_reused_levels"), nullptr);
+  EXPECT_NE(sat->find("propagations_saved"), nullptr);
+  EXPECT_NE(sat->find("restarts_blocked"), nullptr);
+  EXPECT_NE(sat->find("learnts_core"), nullptr);
+  EXPECT_NE(sat->find("learnts_tier2"), nullptr);
+  EXPECT_NE(sat->find("learnts_local"), nullptr);
 }
 
 TEST_F(TelemetryTest, TraceJsonRoundTripsAsCatapultFormat) {
