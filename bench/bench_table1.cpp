@@ -138,6 +138,14 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("learnts_tier2", row.stats.sat_learnts_tier2);
   w.kv("learnts_local", row.stats.sat_learnts_local);
   w.end_object();
+  w.key("sim");
+  w.begin_object();
+  w.kv("refuted_support", row.stats.sim_refuted_support);
+  w.kv("filtered_resub", row.stats.sim_filtered_resub);
+  w.kv("irredundant_hits", row.stats.sim_irredundant_hits);
+  w.kv("bank_patterns", row.stats.sim_bank_patterns);
+  w.kv("resim_nodes", row.stats.sim_resim_nodes);
+  w.end_object();
   w.end_object();
 }
 

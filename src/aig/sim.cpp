@@ -1,5 +1,6 @@
 #include "aig/sim.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -14,27 +15,26 @@ std::vector<uint64_t> simulate(const Aig& g, std::span<const uint64_t> pi_words)
   return words;
 }
 
-std::vector<std::vector<uint64_t>> simulate_words(
-    const Aig& g, const std::vector<std::vector<uint64_t>>& pi_words) {
-  assert(pi_words.size() == g.num_pis());
-  const size_t width = pi_words.empty() ? 0 : pi_words[0].size();
-  std::vector<std::vector<uint64_t>> words(g.num_nodes(),
-                                           std::vector<uint64_t>(width, 0));
-  for (uint32_t i = 0; i < g.num_pis(); ++i) {
-    assert(pi_words[i].size() == width);
-    words[g.pi_node(i)] = pi_words[i];
-  }
+SimWords simulate_words(const Aig& g, std::span<const uint64_t> pi_words, size_t words) {
+  assert(pi_words.size() == static_cast<size_t>(g.num_pis()) * words);
+  SimWords sim;
+  sim.words = words;
+  sim.data.assign(static_cast<size_t>(g.num_nodes()) * words, 0);
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    std::copy(pi_words.begin() + static_cast<long>(i * words),
+              pi_words.begin() + static_cast<long>((i + 1) * words),
+              sim.data.begin() + static_cast<long>(static_cast<size_t>(g.pi_node(i)) * words));
   for (Node n = g.num_pis() + 1; n < g.num_nodes(); ++n) {
     const Lit a = g.fanin0(n);
     const Lit b = g.fanin1(n);
-    const auto& wa = words[lit_node(a)];
-    const auto& wb = words[lit_node(b)];
-    auto& wn = words[n];
+    const uint64_t* wa = sim.data.data() + static_cast<size_t>(lit_node(a)) * words;
+    const uint64_t* wb = sim.data.data() + static_cast<size_t>(lit_node(b)) * words;
+    uint64_t* wn = sim.data.data() + static_cast<size_t>(n) * words;
     const uint64_t ma = lit_compl(a) ? ~0ULL : 0ULL;
     const uint64_t mb = lit_compl(b) ? ~0ULL : 0ULL;
-    for (size_t w = 0; w < width; ++w) wn[w] = (wa[w] ^ ma) & (wb[w] ^ mb);
+    for (size_t w = 0; w < words; ++w) wn[w] = (wa[w] ^ ma) & (wb[w] ^ mb);
   }
-  return words;
+  return sim;
 }
 
 std::vector<bool> eval(const Aig& g, const std::vector<bool>& pi_values) {
@@ -49,23 +49,23 @@ std::vector<bool> eval(const Aig& g, const std::vector<bool>& pi_values) {
 }
 
 namespace {
-std::vector<std::vector<uint64_t>> exhaustive_pi_words(const Aig& g) {
+/// Flat [pi * words + w] exhaustive minterm patterns (see simulate_words).
+std::vector<uint64_t> exhaustive_pi_words(const Aig& g, size_t& num_words) {
   if (g.num_pis() > 16)
     throw std::invalid_argument("truth_table: too many PIs (max 16)");
   const uint32_t n = g.num_pis();
   const size_t num_minterms = 1ULL << n;
-  const size_t num_words = std::max<size_t>(1, num_minterms / 64);
-  std::vector<std::vector<uint64_t>> pi_words(n, std::vector<uint64_t>(num_words, 0));
+  num_words = std::max<size_t>(1, num_minterms / 64);
+  std::vector<uint64_t> pi_words(n * num_words, 0);
   for (size_t m = 0; m < num_minterms; ++m)
     for (uint32_t i = 0; i < n; ++i)
-      if ((m >> i) & 1ULL) pi_words[i][m / 64] |= 1ULL << (m % 64);
+      if ((m >> i) & 1ULL) pi_words[i * num_words + m / 64] |= 1ULL << (m % 64);
   return pi_words;
 }
-}  // namespace
 
-std::vector<uint64_t> truth_table(const Aig& g, Lit l) {
-  const auto words = simulate_words(g, exhaustive_pi_words(g));
-  std::vector<uint64_t> tt = words[lit_node(l)];
+std::vector<uint64_t> masked_row(const Aig& g, const SimWords& sim, Lit l) {
+  const auto row = sim.row(lit_node(l));
+  std::vector<uint64_t> tt(row.begin(), row.end());
   if (lit_compl(l))
     for (auto& w : tt) w = ~w;
   // Mask the unused upper bits for < 6 inputs.
@@ -75,28 +75,39 @@ std::vector<uint64_t> truth_table(const Aig& g, Lit l) {
   }
   return tt;
 }
+}  // namespace
+
+std::vector<uint64_t> truth_table(const Aig& g, Lit l) {
+  size_t num_words = 0;
+  const std::vector<uint64_t> pi_words = exhaustive_pi_words(g, num_words);
+  const SimWords sim = simulate_words(g, pi_words, num_words);
+  return masked_row(g, sim, l);
+}
 
 std::vector<std::vector<uint64_t>> po_truth_tables(const Aig& g) {
-  const auto words = simulate_words(g, exhaustive_pi_words(g));
+  size_t num_words = 0;
+  const std::vector<uint64_t> pi_words = exhaustive_pi_words(g, num_words);
+  const SimWords sim = simulate_words(g, pi_words, num_words);
   std::vector<std::vector<uint64_t>> out;
   out.reserve(g.num_pos());
-  for (uint32_t i = 0; i < g.num_pos(); ++i) {
-    const Lit l = g.po_lit(i);
-    std::vector<uint64_t> tt = words[lit_node(l)];
-    if (lit_compl(l))
-      for (auto& w : tt) w = ~w;
-    if (g.num_pis() < 6) {
-      const uint64_t mask = (1ULL << (1u << g.num_pis())) - 1;
-      tt[0] &= mask;
-    }
-    out.push_back(std::move(tt));
-  }
+  for (uint32_t i = 0; i < g.num_pos(); ++i) out.push_back(masked_row(g, sim, g.po_lit(i)));
   return out;
 }
 
 std::vector<uint64_t> random_pi_words(const Aig& g, eco::Rng& rng) {
   std::vector<uint64_t> out(g.num_pis());
   for (auto& w : out) w = rng.next();
+  return out;
+}
+
+std::vector<uint64_t> random_pi_words(const Aig& g, uint64_t seed, size_t words) {
+  // One stream for the whole call: every PI word is the stream's next output,
+  // so there is no per-PI reseeding to correlate. mix() decorrelates the
+  // caller's seed lattice (consecutive round seeds) from the stream's own
+  // golden-ratio state increment.
+  SplitMix64 stream(SplitMix64::mix(seed));
+  std::vector<uint64_t> out(static_cast<size_t>(g.num_pis()) * words);
+  for (auto& w : out) w = stream.next();
   return out;
 }
 

@@ -1,10 +1,11 @@
 /// \file sim.hpp
 /// \brief Bit-parallel simulation of AIGs.
 ///
-/// Simulation serves three roles in the library: functional validation in
+/// Simulation serves four roles in the library: functional validation in
 /// tests (truth tables for small cones), candidate-equivalence detection for
-/// CEGAR_min resubstitution (paper §3.6.3), and counterexample screening in
-/// the equivalence checker.
+/// CEGAR_min resubstitution (paper §3.6.3), counterexample screening in the
+/// equivalence checker, and the counterexample-driven pattern bank
+/// (simbank.hpp) that prunes SAT queries across the engine.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +21,21 @@ namespace eco::aig {
 /// (indexed by node, bit i = value under pattern i).
 std::vector<uint64_t> simulate(const Aig& g, std::span<const uint64_t> pi_words);
 
-/// Multi-word simulation: \p pi_words is [pi][word]; the result is
-/// [node][word].
-std::vector<std::vector<uint64_t>> simulate_words(
-    const Aig& g, const std::vector<std::vector<uint64_t>>& pi_words);
+/// A flat multi-word simulation image: one contiguous buffer holding
+/// `words` 64-pattern words per node, indexed `[node * words + w]`.
+struct SimWords {
+  size_t words = 0;            ///< words per node
+  std::vector<uint64_t> data;  ///< num_nodes * words values
+
+  /// The word row of node \p n.
+  std::span<const uint64_t> row(Node n) const noexcept {
+    return {data.data() + static_cast<size_t>(n) * words, words};
+  }
+};
+
+/// Multi-word simulation. \p pi_words is flat `[pi * words + w]` (size
+/// num_pis * words); the result holds `[node * words + w]`.
+SimWords simulate_words(const Aig& g, std::span<const uint64_t> pi_words, size_t words);
 
 /// Evaluates all POs under a single input pattern.
 std::vector<bool> eval(const Aig& g, const std::vector<bool>& pi_values);
@@ -41,7 +53,14 @@ std::vector<uint64_t> truth_table(const Aig& g, Lit l);
 /// Truth tables of all POs (\pre num_pis <= 16).
 std::vector<std::vector<uint64_t>> po_truth_tables(const Aig& g);
 
-/// Fills one random 64-pattern word per PI.
+/// Fills one random 64-pattern word per PI from \p rng.
 std::vector<uint64_t> random_pi_words(const Aig& g, eco::Rng& rng);
+
+/// Fills \p words random 64-pattern words per PI — flat `[pi * words + w]`
+/// layout — all drawn from ONE SplitMix64 stream derived from \p seed (the
+/// seed is decorrelated through SplitMix64::mix first, so callers may use
+/// consecutive or arithmetically-spaced seeds, e.g. one per CEC round,
+/// without the streams overlapping).
+std::vector<uint64_t> random_pi_words(const Aig& g, uint64_t seed, size_t words = 1);
 
 }  // namespace eco::aig

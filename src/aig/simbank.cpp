@@ -1,0 +1,120 @@
+#include "aig/simbank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "aig/sim.hpp"
+#include "util/telemetry.hpp"
+
+namespace eco::aig {
+
+SimBank::SimBank(const Aig& g, const SimBankOptions& options) : g_(&g) {
+  // Scale the word capacity down so the flat storage respects the memory
+  // budget on large (e.g. quantified-miter) AIGs; always keep one word.
+  const uint64_t nodes = std::max<uint64_t>(1, g.num_nodes());
+  const uint64_t budget_words = options.memory_budget_bytes / (8 * nodes);
+  capacity_words_ =
+      std::max<uint64_t>(1, std::min<uint64_t>(options.capacity_words, budget_words));
+  const size_t seed_words = std::min<size_t>(options.seed_words, capacity_words_);
+
+  known_nodes_ = g.num_nodes();
+  words_.assign(static_cast<size_t>(known_nodes_) * capacity_words_, 0);
+
+  // Random seed patterns: one SplitMix64 stream fills every PI word.
+  const std::vector<uint64_t> pi_words = random_pi_words(g, options.seed, seed_words);
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    for (size_t w = 0; w < seed_words; ++w)
+      words_[static_cast<size_t>(g.pi_node(i)) * capacity_words_ + w] =
+          pi_words[i * seed_words + w];
+  num_patterns_ = static_cast<uint32_t>(seed_words * 64);
+  num_seed_patterns_ = num_patterns_;
+  clean_words_ = 0;  // AND rows simulated lazily on the first query
+}
+
+uint64_t SimBank::valid_mask(size_t w) const noexcept {
+  const size_t full = num_patterns_ / 64;
+  if (w < full) return ~0ULL;
+  const uint32_t rem = num_patterns_ % 64;
+  return (w == full && rem != 0) ? (1ULL << rem) - 1 : 0ULL;
+}
+
+bool SimBank::add_pattern(const std::vector<bool>& pi_values) {
+  assert(pi_values.size() == g_->num_pis());
+  if (full()) return false;
+  const uint32_t pos = num_patterns_;
+  const size_t w = pos / 64;
+  const uint64_t bit = 1ULL << (pos % 64);
+  for (uint32_t i = 0; i < g_->num_pis(); ++i)
+    if (pi_values[i])
+      words_[static_cast<size_t>(g_->pi_node(i)) * capacity_words_ + w] |= bit;
+  ++num_patterns_;
+  clean_words_ = std::min(clean_words_, w);
+  return true;
+}
+
+void SimBank::sync() {
+  const size_t target_words = num_words();
+  // New nodes appended to the AIG since the last sync: allocate their rows
+  // (constant/AND only — adding PIs post-construction is unsupported) and
+  // simulate them over every already-clean word so only the dirty-word pass
+  // below remains.
+  if (g_->num_nodes() > known_nodes_) {
+    assert(g_->num_pis() + 1 <= known_nodes_ && "PIs added after SimBank creation");
+    words_.resize(static_cast<size_t>(g_->num_nodes()) * capacity_words_, 0);
+    for (Node n = known_nodes_; n < g_->num_nodes(); ++n) {
+      const Lit a = g_->fanin0(n);
+      const Lit b = g_->fanin1(n);
+      const uint64_t* wa = words_.data() + static_cast<size_t>(lit_node(a)) * capacity_words_;
+      const uint64_t* wb = words_.data() + static_cast<size_t>(lit_node(b)) * capacity_words_;
+      uint64_t* wn = words_.data() + static_cast<size_t>(n) * capacity_words_;
+      const uint64_t ma = lit_compl(a) ? ~0ULL : 0ULL;
+      const uint64_t mb = lit_compl(b) ? ~0ULL : 0ULL;
+      for (size_t w = 0; w < clean_words_; ++w) wn[w] = (wa[w] ^ ma) & (wb[w] ^ mb);
+    }
+    const uint64_t grown =
+        static_cast<uint64_t>(g_->num_nodes() - known_nodes_) * clean_words_;
+    resim_node_words_ += grown;
+    ECO_TELEMETRY_COUNT("sim.resim_nodes", grown);
+    known_nodes_ = g_->num_nodes();
+  }
+  if (clean_words_ >= target_words) return;
+  // Incremental pass: recompute only the dirty word columns
+  // [clean_words_, target_words) of every AND node, in topological order.
+  for (Node n = g_->num_pis() + 1; n < known_nodes_; ++n) {
+    const Lit a = g_->fanin0(n);
+    const Lit b = g_->fanin1(n);
+    const uint64_t* wa = words_.data() + static_cast<size_t>(lit_node(a)) * capacity_words_;
+    const uint64_t* wb = words_.data() + static_cast<size_t>(lit_node(b)) * capacity_words_;
+    uint64_t* wn = words_.data() + static_cast<size_t>(n) * capacity_words_;
+    const uint64_t ma = lit_compl(a) ? ~0ULL : 0ULL;
+    const uint64_t mb = lit_compl(b) ? ~0ULL : 0ULL;
+    for (size_t w = clean_words_; w < target_words; ++w)
+      wn[w] = (wa[w] ^ ma) & (wb[w] ^ mb);
+  }
+  const uint64_t resimmed = static_cast<uint64_t>(g_->num_ands()) *
+                            static_cast<uint64_t>(target_words - clean_words_);
+  resim_node_words_ += resimmed;
+  ECO_TELEMETRY_COUNT("sim.resim_nodes", resimmed);
+  clean_words_ = target_words;
+}
+
+std::span<const uint64_t> SimBank::row(Node n) {
+  sync();
+  assert(n < known_nodes_);
+  return {words_.data() + static_cast<size_t>(n) * capacity_words_, num_words()};
+}
+
+bool SimBank::value(Lit l, uint32_t index) {
+  assert(index < num_patterns_);
+  const uint64_t w = row(lit_node(l))[index / 64];
+  const bool v = ((w >> (index % 64)) & 1ULL) != 0;
+  return v != lit_compl(l);
+}
+
+std::vector<bool> SimBank::pattern(uint32_t index) {
+  std::vector<bool> out(g_->num_pis());
+  for (uint32_t i = 0; i < g_->num_pis(); ++i) out[i] = value(g_->pi_lit(i), index);
+  return out;
+}
+
+}  // namespace eco::aig

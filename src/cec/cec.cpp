@@ -1,5 +1,6 @@
 #include "cec/cec.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <mutex>
@@ -10,7 +11,6 @@
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/executor.hpp"
-#include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
 namespace eco::cec {
@@ -56,8 +56,10 @@ uint64_t round_seed(uint64_t round) noexcept {
 bool simulate_round(const aig::Aig& miter, aig::Lit out, uint64_t round,
                     std::vector<bool>& out_pattern) {
   ECO_TELEMETRY_COUNT("cec.sim_rounds");
-  Rng rng(round_seed(round));
-  const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, rng);
+  // One SplitMix64 stream per round fills every PI word (see
+  // aig::random_pi_words): no per-PI reseeding, and the seed is mixed so the
+  // golden-ratio-spaced round seeds cannot alias the stream's own increment.
+  const std::vector<uint64_t> pi_words = aig::random_pi_words(miter, round_seed(round));
   const std::vector<uint64_t> words = aig::simulate(miter, pi_words);
   const uint64_t diff = aig::sim_value(words, out);
   if (diff == 0) return false;
@@ -69,10 +71,43 @@ bool simulate_round(const aig::Aig& miter, aig::Lit out, uint64_t round,
   return true;
 }
 
+/// Simulates \p seed_patterns (64 per word) against \p root. Returns true
+/// and fills \p result when some pattern sets the root to 1.
+bool screen_seed_patterns(const aig::Aig& g, aig::Lit root,
+                          std::span<const std::vector<bool>> seeds, CecResult& result) {
+  if (seeds.empty()) return false;
+  ECO_TELEMETRY_COUNT("cec.seed_patterns", seeds.size());
+  const size_t words = (seeds.size() + 63) / 64;
+  std::vector<uint64_t> pi_words(static_cast<size_t>(g.num_pis()) * words, 0);
+  for (size_t p = 0; p < seeds.size(); ++p) {
+    const size_t n = std::min<size_t>(seeds[p].size(), g.num_pis());
+    for (uint32_t i = 0; i < n; ++i)
+      if (seeds[p][i]) pi_words[i * words + p / 64] |= 1ULL << (p % 64);
+  }
+  const aig::SimWords sim = aig::simulate_words(g, pi_words, words);
+  const auto row = sim.row(aig::lit_node(root));
+  const uint64_t cm = aig::lit_compl(root) ? ~0ULL : 0ULL;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t valid = ~0ULL;
+    if (w == words - 1 && seeds.size() % 64 != 0) valid = (1ULL << (seeds.size() % 64)) - 1;
+    const uint64_t hit = (row[w] ^ cm) & valid;
+    if (hit == 0) continue;
+    ECO_TELEMETRY_COUNT("cec.seed_counterexamples");
+    const std::vector<bool>& seed = seeds[w * 64 + __builtin_ctzll(hit)];
+    result.status = Status::kNotEquivalent;
+    result.counterexample.assign(g.num_pis(), false);
+    for (uint32_t i = 0; i < std::min<size_t>(seed.size(), g.num_pis()); ++i)
+      result.counterexample[i] = seed[i];
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget,
-                       const eco::Deadline& deadline) {
+                       const eco::Deadline& deadline,
+                       std::span<const std::vector<bool>> seed_patterns) {
   ECO_TELEMETRY_PHASE("cec");
   ECO_TELEMETRY_COUNT("cec.checks");
   CecResult result;
@@ -85,6 +120,9 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
     result.counterexample.assign(g.num_pis(), false);
     return result;
   }
+  // Directed screening: a seed that excites the root decides the check with
+  // zero solver work; when none fires, the SAT path below is untouched.
+  if (screen_seed_patterns(g, root, seed_patterns, result)) return result;
   sat::Solver solver;
   solver.set_deadline(deadline);
   cnf::Encoder enc(g, solver);
@@ -103,9 +141,15 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
 
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget, uint64_t sim_rounds,
-                            const eco::Deadline& deadline, eco::util::Executor* executor) {
+                            const eco::Deadline& deadline, eco::util::Executor* executor,
+                            std::span<const std::vector<bool>> seed_patterns) {
   const aig::Aig miter = build_miter(a, b);
   const aig::Lit out = miter.po_lit(0);
+
+  {
+    CecResult seeded;
+    if (screen_seed_patterns(miter, out, seed_patterns, seeded)) return seeded;
+  }
 
   // Cheap screening by random simulation. Rounds are independent (each has
   // its own seed), so they sweep across the executor's threads when one is

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -45,15 +46,24 @@ aig::Aig build_miter(const aig::Aig& a, const aig::Aig& b);
 /// rounds sweep across its threads; the reported counterexample is always
 /// the one from the lowest-numbered failing round, identical to the serial
 /// result.
+///
+/// \p seed_patterns are extra directed stimuli (e.g. the engine's SAT
+/// counterexample bank) simulated before the random rounds; any pattern
+/// that excites the miter is returned as the counterexample. A pattern
+/// shorter than the PI count is completed with 0.
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget = -1, uint64_t sim_rounds = 8,
                             const eco::Deadline& deadline = {},
-                            eco::util::Executor* executor = nullptr);
+                            eco::util::Executor* executor = nullptr,
+                            std::span<const std::vector<bool>> seed_patterns = {});
 
 /// Decides whether the single-output function rooted in \p g is constant
 /// false. Returns kEquivalent when it is, kNotEquivalent (with a satisfying
-/// pattern) when it is not.
+/// pattern) when it is not. \p seed_patterns as in check_equivalence: they
+/// are simulated first and can decide kNotEquivalent without the solver;
+/// when none fires, the SAT check proceeds exactly as without seeds.
 CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget = -1,
-                       const eco::Deadline& deadline = {});
+                       const eco::Deadline& deadline = {},
+                       std::span<const std::vector<bool>> seed_patterns = {});
 
 }  // namespace eco::cec

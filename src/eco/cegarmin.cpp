@@ -84,14 +84,12 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
     aig::transfer(patches, combined, roots, patch_map);
   }
 
-  // Random-simulation signatures over `combined`.
+  // Random-simulation signatures over `combined` (flat [pi * words + w]).
   Rng rng(options.rng_seed);
-  std::vector<std::vector<uint64_t>> pi_words(combined.num_pis());
-  for (auto& words : pi_words) {
-    words.resize(static_cast<size_t>(options.sim_words));
-    for (auto& w : words) w = rng.next();
-  }
-  const auto sim = aig::simulate_words(combined, pi_words);
+  const size_t sim_words = static_cast<size_t>(options.sim_words);
+  std::vector<uint64_t> pi_words(static_cast<size_t>(combined.num_pis()) * sim_words);
+  for (auto& w : pi_words) w = rng.next();
+  const aig::SimWords sim = aig::simulate_words(combined, pi_words, sim_words);
 
   // Divisor lookup: normalized signature -> divisor indices (cost-sorted,
   // since problem.divisors is cost-sorted).
@@ -99,7 +97,8 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
   std::vector<Signature> div_sig(problem.divisors.size());
   for (size_t i = 0; i < problem.divisors.size(); ++i) {
     const aig::Lit dl = div_in_combined[i];
-    std::vector<uint64_t> words = sim[aig::lit_node(dl)];
+    const auto row = sim.row(aig::lit_node(dl));
+    std::vector<uint64_t> words(row.begin(), row.end());
     if (aig::lit_compl(dl))
       for (auto& w : words) w = ~w;
     div_sig[i] = normalize(words);
@@ -125,7 +124,8 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
     m.tried = true;
     if (options.deadline.expired()) return m;  // no time to confirm: no match
     const aig::Lit cl = patch_map[patch_node];  // uncomplemented node lit image
-    std::vector<uint64_t> words = sim[aig::lit_node(cl)];
+    const auto row = sim.row(aig::lit_node(cl));
+    std::vector<uint64_t> words(row.begin(), row.end());
     if (aig::lit_compl(cl))
       for (auto& w : words) w = ~w;
     const Signature sig = normalize(words);

@@ -91,9 +91,14 @@ aig::Aig build_patch_module(const aig::Aig& work, const std::vector<aig::Lit>& d
   return module.cleanup();
 }
 
+/// Cap on bank counterexamples carried into the final verification.
+constexpr size_t kMaxCecSeeds = 256;
+
 /// Verifies the patched implementation against the spec over the shared PIs.
+/// \p cec_seeds are bank counterexample prefixes used as directed stimuli.
 cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
-                           int64_t conflict_budget, const Deadline& deadline) {
+                           int64_t conflict_budget, const Deadline& deadline,
+                           std::span<const std::vector<bool>> cec_seeds) {
   aig::Aig check;
   std::vector<aig::Lit> x;
   for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
@@ -122,7 +127,7 @@ cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
   for (size_t i = 0; i < impl_pos.size(); ++i)
     diffs.push_back(check.add_xor(impl_pos[i], spec_pos[i]));
   const aig::Lit out = check.add_or_multi(diffs);
-  return cec::check_const0(check, out, conflict_budget, deadline).status;
+  return cec::check_const0(check, out, conflict_budget, deadline, cec_seeds).status;
 }
 
 std::string cover_to_named_sop(const sop::Cover& cover, const std::vector<size_t>& support,
@@ -181,7 +186,7 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
                   const EngineOptions& options, const Deadline& deadline,
                   std::vector<BuiltPatch>& built, aig::Aig& work,
                   std::vector<aig::Lit>& div_lits, bool& proven_infeasible,
-                  EngineStats& stats) {
+                  EngineStats& stats, std::vector<std::vector<bool>>& cec_seeds) {
   const uint32_t k = problem.num_targets();
   std::vector<aig::Lit> patch_lits;
 
@@ -209,11 +214,38 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
 
     SupportInstance inst(mq, t, problem.divisors, window.divisor_indices);
     inst.solver().set_deadline(deadline);
+
+    // Per-target simulation bank over the quantified miter: refutes support
+    // checks, skips irredundancy queries, and collects every SAT model this
+    // target produces. Accumulated into the run's stats on every exit.
+    std::optional<SimFilter> simf;
+    if (options.simfilter.enabled) {
+      simf.emplace(mq, t, options.simfilter);
+      inst.attach_sim_filter(&*simf);
+    }
+    const auto accumulate_sim = [&]() {
+      if (!simf.has_value()) return;
+      const SimFilterStats s = simf->stats();
+      stats.sim_refuted_support += s.refuted_support;
+      stats.sim_filtered_resub += s.filtered_resub;
+      stats.sim_irredundant_hits += s.irredundant_hits;
+      stats.sim_bank_patterns += s.bank_patterns;
+      stats.sim_resim_nodes += s.resim_nodes;
+      if (cec_seeds.size() < kMaxCecSeeds)
+        for (auto& p : simf->counterexample_prefixes(problem.num_shared_pis(),
+                                                     kMaxCecSeeds - cec_seeds.size()))
+          cec_seeds.push_back(std::move(p));
+    };
+
     SupportOptions sopt;
     sopt.mode = options.algorithm == Algorithm::kBaseline ? SupportMode::kAnalyzeFinal
                                                           : SupportMode::kMinimizeAssumptions;
     sopt.last_gasp = options.last_gasp && options.algorithm != Algorithm::kBaseline;
     sopt.conflict_budget = options.conflict_budget;
+    // Not when sat_prune follows: it reads models off the same solver, and
+    // sim-skipped solves would change the learnt state those models come
+    // from (see SupportOptions::sim_refute_last_gasp).
+    sopt.sim_refute_last_gasp = options.algorithm != Algorithm::kSatPruneCegarMin;
     Timer support_timer;
     SupportResult support = compute_support(inst, problem.divisors, sopt);
     const double support_seconds = support_timer.seconds();
@@ -223,8 +255,12 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
              t, support.feasible, support.chosen.size(),
              static_cast<long long>(support.cost), support_seconds,
              support.sat_calls);
-    if (support.budget_expired) return false;
+    if (support.budget_expired) {
+      accumulate_sim();
+      return false;
+    }
     if (!support.feasible) {
+      accumulate_sim();
       proven_infeasible = true;
       return false;
     }
@@ -256,9 +292,11 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     pf_opt.max_cubes = options.max_cubes;
     pf_opt.conflict_budget = options.conflict_budget;
     pf_opt.deadline = deadline;
+    pf_opt.sim_filter = simf.has_value() ? &*simf : nullptr;
     const PatchFuncResult pf = compute_patch_cover(mq, t, problem.divisors,
                                                    support.chosen, pf_opt);
     target_sat_calls += pf.sat_calls;
+    accumulate_sim();
     if (!pf.ok) return false;
 
     // Keep only the divisors the SOP actually uses.
@@ -314,7 +352,8 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
 bool run_structural_path(const EcoProblem& problem, const Window& window,
                          const qbf::Qbf2Result& qbf_result, const EngineOptions& options,
                          std::vector<BuiltPatch>& built, aig::Aig& work,
-                         std::vector<aig::Lit>& div_lits, std::string& method) {
+                         std::vector<aig::Lit>& div_lits, std::string& method,
+                         EngineStats& stats) {
   const uint32_t k = problem.num_targets();
   const EcoMiter m =
       build_eco_miter(problem.impl, problem.spec, problem.divisors, window.affected_pos);
@@ -355,6 +394,13 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
   work = problem.impl;
   div_lits.clear();
   for (const auto& d : problem.divisors) div_lits.push_back(d.lit);
+
+  // One resubstitution bank over `work`, shared by every target: dependency
+  // models from target t routinely refute candidate sets of target t+1.
+  // `work` only grows (transfer appends AND nodes), which the bank tracks.
+  std::optional<ResubFilter> rfilter;
+  if (options.simfilter.enabled && options.algorithm == Algorithm::kSatPruneCegarMin)
+    rfilter.emplace(work, options.simfilter);
 
   std::vector<aig::Lit> patch_lits(k);
   for (uint32_t t = 0; t < k; ++t) {
@@ -402,6 +448,7 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
                                  : std::min<int64_t>(options.conflict_budget, 50000);
       ropt.deadline = Deadline(options.time_budget > 0 ? std::max(options.time_budget, 20.0)
                                                        : 120.0);
+      ropt.sim = rfilter.has_value() ? &*rfilter : nullptr;
       const ResubResult resub =
           functional_resub(work, pi_lit, problem.divisors, window.divisor_indices, ropt);
       if (resub.ok && resub.cost < best_cost) {
@@ -417,6 +464,12 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
 
     bp.lit = patch_lits[t];
     built.push_back(std::move(bp));
+  }
+  if (rfilter.has_value()) {
+    const SimFilterStats s = rfilter->stats();
+    stats.sim_filtered_resub += s.filtered_resub;
+    stats.sim_bank_patterns += s.bank_patterns;
+    stats.sim_resim_nodes += s.resim_nodes;
   }
   return true;
 }
@@ -513,11 +566,12 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   for (const auto& d : problem.divisors) div_lits.push_back(d.lit);
   bool ok = false;
   bool proven_infeasible = false;
+  std::vector<std::vector<bool>> cec_seeds;
   outcome.method = "sat";
   if (!options.force_structural) {
     ECO_TELEMETRY_PHASE("sat_path");
     ok = run_sat_path(problem, window, options, deadline, built, work, div_lits,
-                      proven_infeasible, outcome.stats);
+                      proven_infeasible, outcome.stats, cec_seeds);
     outcome.stats.sat_path_seconds = phase_timer.seconds();
     log_info("engine: sat path %s in %.2fs", ok ? "succeeded" : "failed",
              outcome.stats.sat_path_seconds);
@@ -534,7 +588,8 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     built.clear();
     work = problem.impl;
     const bool structural_ok = run_structural_path(problem, window, qbf_result, options,
-                                                   built, work, div_lits, outcome.method);
+                                                   built, work, div_lits, outcome.method,
+                                                   outcome.stats);
     outcome.stats.structural_seconds = phase_timer.seconds();
     phase_timer.reset();
     if (!structural_ok) {
@@ -580,7 +635,8 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     ECO_TELEMETRY_PHASE("verify");
     Timer verify_timer;
     const cec::Status s = verify_patched(problem, outcome.patched_impl,
-                                         /*conflict_budget=*/-1, Deadline(verify_budget));
+                                         /*conflict_budget=*/-1, Deadline(verify_budget),
+                                         cec_seeds);
     verify_seconds = verify_timer.seconds();
     return s;
   };
@@ -693,6 +749,15 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.kv("learnts_core", outcome.stats.sat_learnts_core);
   w.kv("learnts_tier2", outcome.stats.sat_learnts_tier2);
   w.kv("learnts_local", outcome.stats.sat_learnts_local);
+  w.end_object();
+
+  w.key("sim");
+  w.begin_object();
+  w.kv("refuted_support", outcome.stats.sim_refuted_support);
+  w.kv("filtered_resub", outcome.stats.sim_filtered_resub);
+  w.kv("irredundant_hits", outcome.stats.sim_irredundant_hits);
+  w.kv("bank_patterns", outcome.stats.sim_bank_patterns);
+  w.kv("resim_nodes", outcome.stats.sim_resim_nodes);
   w.end_object();
 
   w.key("targets");

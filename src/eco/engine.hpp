@@ -18,6 +18,7 @@
 #include "eco/cegarmin.hpp"
 #include "eco/problem.hpp"
 #include "eco/satprune.hpp"
+#include "eco/simfilter.hpp"
 #include "eco/support.hpp"
 #include "net/network.hpp"
 #include "qbf/qbf2.hpp"
@@ -54,6 +55,10 @@ struct EngineOptions {
   qbf::Qbf2Options qbf{};
   SatPruneOptions satprune{};
   CegarMinOptions cegarmin{};
+  /// Counterexample-driven simulation bank (simfilter.hpp). Defaults come
+  /// from the environment (`ECO_SIM_BANK=0` disables); `--sim-bank`
+  /// overrides per run. Disabled -> no filter objects are created at all.
+  SimFilterOptions simfilter = SimFilterOptions::defaults();
   /// Last-gasp support improvement (paper §3.4.1), on for non-baseline.
   bool last_gasp = true;
   /// Optional thread pool (util/executor.hpp). When set with more than one
@@ -110,6 +115,14 @@ struct EngineStats {
   uint64_t sat_learnts_core = 0;
   uint64_t sat_learnts_tier2 = 0;
   uint64_t sat_learnts_local = 0;
+
+  // Simulation-bank filtering (eco/simfilter.hpp), summed over the run's
+  // filters; all zero when the bank is disabled.
+  uint64_t sim_refuted_support = 0;   ///< support checks answered by the bank
+  uint64_t sim_filtered_resub = 0;    ///< resub dependency checks answered
+  uint64_t sim_irredundant_hits = 0;  ///< irredundancy SAT calls skipped
+  uint64_t sim_bank_patterns = 0;     ///< counterexamples recorded into banks
+  uint64_t sim_resim_nodes = 0;       ///< incremental re-simulation node-words
 };
 
 /// Result of a full ECO run.

@@ -3,12 +3,28 @@
 #include <algorithm>
 
 #include "cnf/tseitin.hpp"
+#include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
 namespace eco::core {
+
+namespace {
+
+/// (pi index, solver var) of every miter PI the encoder has reached. Only
+/// encoded PIs may be queried — var() on an unencoded node would allocate a
+/// solver variable and perturb the search.
+std::vector<std::pair<uint32_t, sat::Var>> encoded_pi_vars(const aig::Aig& g,
+                                                           cnf::Encoder& enc) {
+  std::vector<std::pair<uint32_t, sat::Var>> out;
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    if (enc.encoded(g.pi_node(i))) out.emplace_back(i, enc.var(g.pi_node(i)));
+  return out;
+}
+
+}  // namespace
 
 PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
                                     const std::vector<Divisor>& divisors,
@@ -46,6 +62,17 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
       s.clear_budgets();
   };
 
+  // Bank harvesting: every enumerated on-set model is a counterexample the
+  // later phases (irredundancy here, CEC seeding downstream) can reuse.
+  std::vector<std::pair<uint32_t, sat::Var>> on_pis;
+  if (options.sim_filter != nullptr) on_pis = encoded_pi_vars(m.aig, on_enc);
+  const auto harvest = [&](sat::Solver& s,
+                           const std::vector<std::pair<uint32_t, sat::Var>>& pis) {
+    std::vector<bool> pattern(m.aig.num_pis(), false);
+    for (const auto& [pi, v] : pis) pattern[pi] = s.model_value(v);
+    options.sim_filter->add_counterexample(pattern, /*off_set=*/false);
+  };
+
   while (result.cubes_enumerated < options.max_cubes) {
     // Next uncovered on-set point.
     set_budget(on_solver);
@@ -53,6 +80,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     const sat::LBool verdict = on_solver.okay() ? on_solver.solve() : sat::kFalse;
     if (verdict.is_undef()) return result;  // budget: incomplete cover
     if (verdict.is_false()) break;          // on-set exhausted: done
+    if (options.sim_filter != nullptr) harvest(on_solver, on_pis);
 
     // Cube literals in the off-copy, asserting d == model value. Ordered by
     // increasing divisor cost (support inherits the cost order from the
@@ -142,8 +170,18 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
       ir_solver.add_clause(clause);
       outside.push_back(a);
     }
+    std::vector<std::pair<uint32_t, sat::Var>> ir_pis;
+    if (options.sim_filter != nullptr) {
+      ir_pis = encoded_pi_vars(m.aig, ir_enc);
+      options.sim_filter->begin_irredundancy(result.cover, support);
+    }
     std::vector<uint8_t> kept(result.cover.cubes.size(), 1);
     for (size_t i = 0; i < result.cover.cubes.size(); ++i) {
+      // A bank pattern inside cube i and outside every other kept cube is a
+      // model of the query below: the cube is necessary, skip the solve.
+      if (options.sim_filter != nullptr &&
+          options.sim_filter->witnesses_cube_necessity(i, kept))
+        continue;
       // Assumption order: shared "outside cube j" activations first (in cube
       // index order), this cube's literals last. Iterations i and i+1 then
       // agree on the activations out_0..out_{i-1}, so the common prefix grows
@@ -158,6 +196,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
       const sat::LBool verdict = ir_solver.solve(assumps);
       if (verdict.is_false()) kept[i] = 0;  // covered by the others: drop
       // kTrue or kUndef: keep the cube (keeping is always sound).
+      if (verdict.is_true() && options.sim_filter != nullptr) harvest(ir_solver, ir_pis);
     }
     std::vector<sop::Cube> pruned;
     for (size_t i = 0; i < result.cover.cubes.size(); ++i)

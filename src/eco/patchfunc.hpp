@@ -20,6 +20,8 @@
 
 namespace eco::core {
 
+class SimFilter;
+
 struct PatchFuncOptions {
   /// Expand cubes with minimize_assumptions (true) or take the solver's
   /// final-conflict core as the expanded cube (the baseline configuration).
@@ -35,6 +37,10 @@ struct PatchFuncOptions {
   /// Enumeration already yields a near-irredundant cover (each cube was
   /// grown from a then-uncovered point); the pass removes the residue.
   bool make_irredundant = true;
+  /// Optional simulation filter: enumerated on-set models are harvested into
+  /// its bank, and irredundancy queries are skipped when a bank pattern
+  /// already witnesses a cube's necessity (exact, see simfilter.hpp).
+  SimFilter* sim_filter = nullptr;
 };
 
 struct PatchFuncResult {

@@ -3,17 +3,47 @@
 #include <algorithm>
 
 #include "cnf/tseitin.hpp"
+#include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
 
 namespace eco::core {
 
+namespace {
+
+/// (pi index, solver var) of every impl PI the encoder has reached (var()
+/// on an unencoded node would allocate and perturb the search).
+std::vector<std::pair<uint32_t, sat::Var>> encoded_pi_vars(const aig::Aig& g,
+                                                           cnf::Encoder& enc) {
+  std::vector<std::pair<uint32_t, sat::Var>> out;
+  for (uint32_t i = 0; i < g.num_pis(); ++i)
+    if (enc.encoded(g.pi_node(i))) out.emplace_back(i, enc.var(g.pi_node(i)));
+  return out;
+}
+
+void harvest(ResubFilter* sim, uint32_t num_pis, sat::Solver& s,
+             const std::vector<std::pair<uint32_t, sat::Var>>& pis) {
+  std::vector<bool> pattern(num_pis, false);
+  for (const auto& [pi, v] : pis) pattern[pi] = s.model_value(v);
+  sim->add_counterexample(pattern);
+}
+
+}  // namespace
+
 ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
                              const std::vector<Divisor>& divisors,
                              std::span<const size_t> candidates,
                              const ResubOptions& options) {
   ResubResult result;
+
+  // A bank pattern pair agreeing on every candidate but differing on `func`
+  // refutes the dependency exactly — same !ok return, no solver built. (The
+  // SAT path below treats kTrue and kUndef identically, so the answer is
+  // verdict-equivalent even under conflict budgets.)
+  if (options.sim != nullptr &&
+      options.sim->refutes_dependency(func, divisors, candidates))
+    return result;
 
   // --- Support selection on the two-copy dependency instance. ------------
   sat::Solver dep;
@@ -30,9 +60,23 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
     dep.add_ternary(~a, d1, ~d2);
     activations.push_back(a);
   }
+  std::vector<std::pair<uint32_t, sat::Var>> dep_pis1, dep_pis2;
+  if (options.sim != nullptr) {
+    dep_pis1 = encoded_pi_vars(impl, copy1);
+    dep_pis2 = encoded_pi_vars(impl, copy2);
+  }
   if (options.conflict_budget >= 0) dep.set_conflict_budget(options.conflict_budget);
   const sat::LBool verdict = dep.solve(activations);
-  if (!verdict.is_false()) return result;  // not a function of the candidates / budget
+  if (!verdict.is_false()) {
+    if (verdict.is_true() && options.sim != nullptr) {
+      // The model's two copies are exactly such a witness pair: remember
+      // them so the next dependency check over a similar candidate set is
+      // answered by simulation.
+      harvest(options.sim, impl.num_pis(), dep, dep_pis1);
+      harvest(options.sim, impl.num_pis(), dep, dep_pis2);
+    }
+    return result;  // not a function of the candidates / budget
+  }
 
   // Keep the final-conflict core, then minimize (cost-ascending order is
   // inherited from the candidate list). The core keeps the activations in
@@ -69,6 +113,9 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
     d_off.push_back(off_enc.lit(divisors[g].lit));
   }
 
+  std::vector<std::pair<uint32_t, sat::Var>> on_pis;
+  if (options.sim != nullptr) on_pis = encoded_pi_vars(impl, on_enc);
+
   sop::Cover cover;
   cover.num_vars = static_cast<uint32_t>(support.size());
   for (uint64_t round = 0; round < options.max_cubes; ++round) {
@@ -76,6 +123,7 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
     const sat::LBool on = on_solver.okay() ? on_solver.solve() : sat::kFalse;
     if (on.is_undef()) return result;
     if (on.is_false()) break;
+    if (options.sim != nullptr) harvest(options.sim, impl.num_pis(), on_solver, on_pis);
     sat::LitVec cube_lits;
     for (size_t i = 0; i < support.size(); ++i) {
       const bool value = on_solver.model_value(d_on[i]);

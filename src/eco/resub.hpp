@@ -20,10 +20,16 @@
 
 namespace eco::core {
 
+class ResubFilter;
+
 struct ResubOptions {
   int64_t conflict_budget = -1;
   eco::Deadline deadline{};
   uint64_t max_cubes = 50000;
+  /// Optional simulation filter over the same implementation AIG: refutes
+  /// the dependency check without SAT when its bank already witnesses the
+  /// dependency's failure, and harvests dependency/on-set models.
+  ResubFilter* sim = nullptr;
 };
 
 struct ResubResult {

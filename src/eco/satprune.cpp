@@ -144,6 +144,11 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
       break;
     }
 
+    // Deliberately no sim-filter refutation here: this loop consumes the
+    // model (separator below), and a bank witness pair yields a different —
+    // if equally valid — separator clause than the solver's model would,
+    // which would steer the hitting sets (and the final support's content)
+    // away from the filter-off run. The solve still *feeds* the bank.
     ++result.sat_calls;
     const sat::LBool verdict = inst.check_subset(hs, options.conflict_budget);
     if (verdict.is_undef()) break;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cnf/tseitin.hpp"
+#include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -41,6 +42,28 @@ SupportInstance::SupportInstance(const EcoMiter& m, uint32_t target,
     d2_.push_back(d2);
     act_index_of_global_[candidates_[i]] = static_cast<int32_t>(i);
   }
+
+  // For model harvesting into a SimFilter: remember the solver variable of
+  // every miter PI that the encoding above reached, per copy. Only the
+  // already-encoded PIs may be queried — var() on an unencoded node would
+  // allocate fresh solver variables and perturb the search. PIs outside the
+  // encoded cones cannot influence it, so patterns complete them with 0.
+  num_pis_ = m.aig.num_pis();
+  for (uint32_t i = 0; i < num_pis_; ++i) {
+    const aig::Node n = m.aig.pi_node(i);
+    if (copy1.encoded(n)) pi_vars1_.emplace_back(i, copy1.var(n));
+    if (copy2.encoded(n)) pi_vars2_.emplace_back(i, copy2.var(n));
+  }
+}
+
+void SupportInstance::harvest_model() {
+  if (sim_ == nullptr) return;
+  std::vector<bool> pattern(num_pis_, false);
+  for (const auto& [pi, v] : pi_vars1_) pattern[pi] = solver_.model_value(v);
+  sim_->add_counterexample(pattern, /*off_set=*/false);
+  std::fill(pattern.begin(), pattern.end(), false);
+  for (const auto& [pi, v] : pi_vars2_) pattern[pi] = solver_.model_value(v);
+  sim_->add_counterexample(pattern, /*off_set=*/true);
 }
 
 sat::Lit SupportInstance::activation(size_t global_index) const {
@@ -50,7 +73,12 @@ sat::Lit SupportInstance::activation(size_t global_index) const {
 }
 
 sat::LBool SupportInstance::check_subset(std::span<const size_t> subset,
-                                         int64_t conflict_budget) {
+                                         int64_t conflict_budget, bool use_sim_filter) {
+  if (use_sim_filter && sim_ != nullptr && sim_->refutes_subset(subset)) {
+    last_sim_refuted_ = true;
+    return sat::LBool(true);
+  }
+  last_sim_refuted_ = false;
   sat::LitVec assumps;
   assumps.reserve(subset.size());
   for (const size_t g : subset) assumps.push_back(activation(g));
@@ -67,10 +95,12 @@ sat::LBool SupportInstance::check_subset(std::span<const size_t> subset,
     solver_.clear_budgets();
   const sat::LBool verdict = solver_.solve(assumps);
   solver_.clear_budgets();
+  if (verdict.is_true()) harvest_model();
   return verdict;
 }
 
 std::vector<size_t> SupportInstance::separator() const {
+  if (last_sim_refuted_) return sim_->separator(candidates_);
   std::vector<size_t> out;
   for (size_t i = 0; i < candidates_.size(); ++i) {
     const bool v1 = solver_.model_value(d1_[i]);
@@ -87,6 +117,12 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
   sat::Solver& solver = inst.solver();
   const std::vector<size_t>& candidates = inst.candidates();
 
+  // A bank witness for the full candidate set proves infeasibility without
+  // any solver work; the instance is abandoned either way, so skipping the
+  // solve cannot change anything downstream.
+  if (inst.sim_filter() != nullptr && inst.sim_filter()->refutes_subset(candidates))
+    return result;  // divisors insufficient
+
   // Assumptions in increasing cost order (candidates come from the problem's
   // cost-sorted divisor list; keep that order).
   sat::LitVec assumps;
@@ -97,6 +133,7 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
   const sat::LBool verdict = solver.solve(assumps);
   ++result.sat_calls;
   if (verdict.is_true()) {
+    inst.harvest_model();
     solver.clear_budgets();
     return result;  // divisors insufficient
   }
@@ -148,7 +185,8 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
           --budget;
           ++result.sat_calls;
           ECO_TELEMETRY_COUNT("support.last_gasp_queries");
-          if (inst.check_subset(trial, options.conflict_budget).is_false()) {
+          if (inst.check_subset(trial, options.conflict_budget,
+                                options.sim_refute_last_gasp).is_false()) {
             ECO_TELEMETRY_COUNT("support.last_gasp_improvements");
             chosen = std::move(trial);
             break;

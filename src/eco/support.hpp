@@ -21,6 +21,8 @@
 
 namespace eco::core {
 
+class SimFilter;
+
 /// How the support subset is extracted from the UNSAT two-copy instance.
 enum class SupportMode {
   kAnalyzeFinal,          ///< paper Table 1 "w/o minimize_assumptions"
@@ -35,6 +37,11 @@ struct SupportOptions {
   int max_last_gasp_queries = 256;
   /// Conflict budget per SAT query (< 0 unlimited).
   int64_t conflict_budget = -1;
+  /// Let an attached SimFilter answer last-gasp trial checks without the
+  /// solver. Must be false when a model-consuming pass (sat_prune) will run
+  /// on the same instance afterwards: skipping solves changes the solver's
+  /// learnt state and therefore the models that pass would read.
+  bool sim_refute_last_gasp = true;
 };
 
 struct SupportResult {
@@ -56,18 +63,34 @@ class SupportInstance {
   SupportInstance(const EcoMiter& m, uint32_t target, const std::vector<Divisor>& divisors,
                   std::span<const size_t> candidates);
 
+  /// Attaches a simulation filter (may be null to detach). Every kTrue
+  /// solve's model is harvested into the filter's bank; queries are answered
+  /// by the bank only when check_subset is called with use_sim_filter.
+  void attach_sim_filter(SimFilter* filter) noexcept { sim_ = filter; }
+  SimFilter* sim_filter() const noexcept { return sim_; }
+
   /// Checks whether the subset \p subset (indices into the global divisor
   /// list; must be among the candidates) suffices.
   /// Returns kFalse = sufficient (UNSAT), kTrue = insufficient, kUndef = budget.
-  sat::LBool check_subset(std::span<const size_t> subset, int64_t conflict_budget = -1);
+  /// With \p use_sim_filter and an attached filter, an insufficiency witness
+  /// in the simulation bank answers kTrue without touching the solver (the
+  /// witness is a concrete model, so the verdict is exact).
+  sat::LBool check_subset(std::span<const size_t> subset, int64_t conflict_budget = -1,
+                          bool use_sim_filter = false);
 
   /// After an insufficient (kTrue) check: the divisors whose two copies
   /// differ in the found model — at least one of them must join any valid
-  /// support (the separator clause of SAT_prune, paper §3.4.2).
+  /// support (the separator clause of SAT_prune, paper §3.4.2). Reads the
+  /// simulation witness pair instead when the last check was sim-refuted.
   std::vector<size_t> separator() const;
 
   /// Assumption literal of candidate divisor \p global_index.
   sat::Lit activation(size_t global_index) const;
+
+  /// Records the solver's current model (one pattern per copy) into the
+  /// attached filter's bank; no-op without a filter. check_subset calls this
+  /// on every kTrue verdict; it is public for callers that solve directly.
+  void harvest_model();
 
   sat::Solver& solver() noexcept { return solver_; }
   const std::vector<size_t>& candidates() const noexcept { return candidates_; }
@@ -78,6 +101,12 @@ class SupportInstance {
   std::vector<sat::Lit> activation_;  // parallel to candidates_
   std::vector<sat::Lit> d1_, d2_;     // divisor literals in the two copies
   std::vector<int32_t> act_index_of_global_;
+  // Simulation-filter attachment: per-copy (pi index, solver var) pairs of
+  // the miter PIs that ended up encoded, for turning models into patterns.
+  SimFilter* sim_ = nullptr;
+  bool last_sim_refuted_ = false;
+  uint32_t num_pis_ = 0;
+  std::vector<std::pair<uint32_t, sat::Var>> pi_vars1_, pi_vars2_;
 };
 
 /// Computes a patch support for \p target (paper §3.4.1).

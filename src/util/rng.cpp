@@ -3,20 +3,24 @@
 namespace eco {
 
 namespace {
-uint64_t splitmix64(uint64_t& x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
+uint64_t rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64::mix(uint64_t x) noexcept {
   uint64_t z = x;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
 
-uint64_t rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
-}  // namespace
+uint64_t SplitMix64::next() noexcept {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return mix(state_);
+}
 
 void Rng::reseed(uint64_t seed) noexcept {
-  uint64_t s = seed;
-  for (auto& word : state_) word = splitmix64(s);
+  SplitMix64 stream(seed);
+  for (auto& word : state_) word = stream.next();
   // Avoid the all-zero state, which is a fixed point of xoshiro.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }

@@ -12,6 +12,31 @@
 
 namespace eco {
 
+/// The SplitMix64 sequence: a stateful stream of mixed 64-bit words.
+///
+/// This is the stream that seeds Rng; it is exposed on its own for consumers
+/// that need many short, index-derived random sequences (one stream of
+/// simulation pattern words per CEC round, the simulation bank's seed
+/// patterns). Raw SplitMix64 states advance by the golden-ratio increment,
+/// so two streams whose seeds differ by a small multiple of that increment
+/// overlap after a shift; callers deriving stream seeds from consecutive
+/// indices must decorrelate them through mix() first.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next word of the stream.
+  uint64_t next() noexcept;
+
+  /// The SplitMix64 finalizer: a bijective scramble of \p x. Passing an
+  /// arbitrary seed through mix() before constructing a stream removes the
+  /// lattice correlation between streams with nearby seeds.
+  static uint64_t mix(uint64_t x) noexcept;
+
+ private:
+  uint64_t state_;
+};
+
 /// A small, fast, deterministic RNG (xoshiro256**).
 class Rng {
  public:

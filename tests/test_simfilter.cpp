@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "aig/sim.hpp"
+#include "aig/simbank.hpp"
+#include "benchgen/circuits.hpp"
+#include "benchgen/mutate.hpp"
+#include "benchgen/weightgen.hpp"
+#include "cec/cec.hpp"
+#include "eco/engine.hpp"
+#include "eco/miter.hpp"
+#include "eco/simfilter.hpp"
+#include "eco/support.hpp"
+#include "net/verilog.hpp"
+#include "util/rng.hpp"
+
+namespace eco::core {
+namespace {
+
+/// Same reference instance as test_eco_core: y = t | c must become
+/// y = (a & b) | c, with a redundant divisor `ab` = a & b available.
+EcoProblem reference_problem() {
+  const net::Network impl = net::parse_verilog_string(R"(
+    module impl (a, b, c, t, y, z);
+      input a, b, c, t;
+      output y, z;
+      or  g1 (y, t, c);
+      xor g2 (z, a, b);
+      and g3 (ab, a, b);
+    endmodule
+  )");
+  const net::Network spec = net::parse_verilog_string(R"(
+    module spec (a, b, c, y, z);
+      input a, b, c;
+      output y, z;
+      and g1 (w, a, b);
+      or  g2 (y, w, c);
+      xor g3 (z, a, b);
+    endmodule
+  )");
+  net::WeightMap weights;
+  weights.weights = {{"a", 5}, {"b", 5}, {"c", 2}, {"ab", 1}, {"z", 7}, {"y", 9}};
+  return make_problem(impl, spec, weights);
+}
+
+/// Reference check of a bank: every node row over every pattern must agree
+/// with aig::eval of the pattern the bank reports for that column.
+void expect_bank_matches_eval(aig::SimBank& bank) {
+  const aig::Aig& g = bank.aig();
+  for (uint32_t p = 0; p < bank.num_patterns(); ++p) {
+    const std::vector<bool> pattern = bank.pattern(p);
+    ASSERT_EQ(pattern.size(), g.num_pis());
+    // Recompute all node values by direct single-pattern simulation.
+    std::vector<uint64_t> pi_words(g.num_pis());
+    for (uint32_t i = 0; i < g.num_pis(); ++i) pi_words[i] = pattern[i] ? ~0ULL : 0ULL;
+    const std::vector<uint64_t> ref = aig::simulate(g, pi_words);
+    for (aig::Node n = 0; n < g.num_nodes(); ++n) {
+      const bool expect = (ref[n] & 1ULL) != 0;
+      EXPECT_EQ(bank.value(aig::lit_make(n), p), expect)
+          << "node " << n << " pattern " << p;
+    }
+  }
+}
+
+TEST(SimBank, SeedAndAppendedPatternsMatchReferenceSimulation) {
+  const EcoProblem p = reference_problem();
+  const EcoMiter m = build_eco_miter(p.impl, p.spec, p.divisors);
+  aig::SimBankOptions opt;
+  opt.seed_words = 2;
+  opt.capacity_words = 4;
+  aig::SimBank bank(m.aig, opt);
+  EXPECT_EQ(bank.num_patterns(), 2u * 64u);
+  expect_bank_matches_eval(bank);
+
+  // Append directed patterns one by one; values must stay exact (the last
+  // word is partially filled, exercising the valid-mask path).
+  Rng rng(7);
+  for (int k = 0; k < 37; ++k) {
+    std::vector<bool> pat(m.aig.num_pis());
+    for (size_t i = 0; i < pat.size(); ++i) pat[i] = rng.below(2) != 0;
+    ASSERT_TRUE(bank.add_pattern(pat));
+  }
+  EXPECT_EQ(bank.num_patterns(), 2u * 64u + 37u);
+  expect_bank_matches_eval(bank);
+}
+
+TEST(SimBank, ExtendsOverAigGrowth) {
+  const EcoProblem p = reference_problem();
+  aig::Aig g = build_eco_miter(p.impl, p.spec, p.divisors).aig;
+  aig::SimBankOptions opt;
+  opt.seed_words = 1;
+  opt.capacity_words = 2;
+  aig::SimBank bank(g, opt);
+  // Read a row (forces the initial sync), then grow the AIG and append a
+  // pattern; rows of the new nodes must be simulated on the next query.
+  bank.row(0);
+  const aig::Lit x = g.pi_lit(0), y = g.pi_lit(1);
+  const aig::Lit f = g.add_and(aig::lit_not(g.add_and(x, y)), g.add_and(x, aig::lit_not(y)));
+  bank.add_pattern(std::vector<bool>(g.num_pis(), true));
+  expect_bank_matches_eval(bank);
+  // Spot-check the new node: f = ~(x&y) & (x&~y) == x & ~y & ~(x&y) == false
+  // whenever x&y, i.e. f is x&~y&... evaluate directly.
+  for (uint32_t p2 = 0; p2 < bank.num_patterns(); ++p2) {
+    const std::vector<bool> pat = bank.pattern(p2);
+    const bool expect = !(pat[0] && pat[1]) && (pat[0] && !pat[1]);
+    EXPECT_EQ(bank.value(f, p2), expect);
+  }
+}
+
+TEST(SimBank, CapacityCapRespected) {
+  const EcoProblem p = reference_problem();
+  const EcoMiter m = build_eco_miter(p.impl, p.spec, p.divisors);
+  aig::SimBankOptions opt;
+  opt.seed_words = 1;
+  opt.capacity_words = 1;
+  aig::SimBank bank(m.aig, opt);
+  EXPECT_TRUE(bank.full());
+  EXPECT_FALSE(bank.add_pattern(std::vector<bool>(m.aig.num_pis(), false)));
+  EXPECT_EQ(bank.num_patterns(), 64u);
+}
+
+/// Every harvested counterexample must evaluate the miter to the recorded
+/// class: out = 1, and the target PI equal to the recorded on/off claim.
+TEST(SimFilter, HarvestedCounterexamplesEvaluateMiterToRecordedClass) {
+  const EcoProblem p = reference_problem();
+  const EcoMiter m = build_eco_miter(p.impl, p.spec, p.divisors);
+  std::vector<size_t> all(p.divisors.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  SimFilterOptions fopt;
+  fopt.seed_words = 1;
+  SimFilter filter(m, /*target=*/0, fopt);
+  SupportInstance inst(m, 0, p.divisors, all);
+  inst.attach_sim_filter(&filter);
+
+  // Insufficient subsets produce kTrue verdicts whose models are harvested.
+  // {} and {c} cannot express the patch t = a & b.
+  std::vector<size_t> c_only;
+  for (size_t i = 0; i < p.divisors.size(); ++i)
+    if (p.divisors[i].name == "c") c_only.push_back(i);
+  ASSERT_EQ(c_only.size(), 1u);
+  EXPECT_TRUE(inst.check_subset(std::span<const size_t>{}).is_true());
+  EXPECT_TRUE(inst.check_subset(c_only).is_true());
+  ASSERT_GT(filter.num_counterexamples(), 0u);
+
+  // The miter's PO 0 is the mismatch output; its target PI is index
+  // num_x + 0. An on-set point (recorded_off = false) witnesses
+  // M(target=0, x) = 1, an off-set point M(target=1, x) = 1.
+  for (uint32_t i = 0; i < filter.num_counterexamples(); ++i) {
+    const std::vector<bool> pattern = filter.counterexample_pattern(i);
+    ASSERT_EQ(pattern.size(), m.aig.num_pis());
+    EXPECT_EQ(pattern[m.target_pi(0)], filter.recorded_off(i)) << "counterexample " << i;
+    EXPECT_TRUE(aig::eval(m.aig, pattern)[0]) << "counterexample " << i
+                                              << " does not excite the miter";
+  }
+}
+
+/// refutes_subset must be exact: whenever it answers, the solver (without
+/// filtering) must agree the subset is insufficient; and it must never
+/// refute a subset the solver proves sufficient.
+TEST(SimFilter, SubsetRefutationAgreesWithSolver) {
+  const EcoProblem p = reference_problem();
+  const EcoMiter m = build_eco_miter(p.impl, p.spec, p.divisors);
+  std::vector<size_t> all(p.divisors.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  SimFilterOptions fopt;
+  fopt.seed_words = 2;
+  SimFilter filter(m, 0, fopt);
+  // Harvest a few counterexamples to sharpen the bank beyond the seeds.
+  {
+    SupportInstance grow(m, 0, p.divisors, all);
+    grow.attach_sim_filter(&filter);
+    grow.check_subset(std::span<const size_t>{});
+  }
+
+  Rng rng(11);
+  int refuted = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < all.size(); ++i)
+      if (rng.below(2) != 0) subset.push_back(i);
+    const bool sim_says_insufficient = filter.refutes_subset(subset);
+    // Fresh instance: no filter involved in the verdict.
+    SupportInstance check(m, 0, p.divisors, all);
+    const sat::LBool verdict = check.check_subset(subset);
+    ASSERT_FALSE(verdict.is_undef());
+    if (sim_says_insufficient) {
+      ++refuted;
+      EXPECT_TRUE(verdict.is_true()) << "bank refuted a sufficient subset";
+      // The separator must name at least one distinguishing divisor, all
+      // from the candidate list.
+      const std::vector<size_t> sep = filter.separator(all);
+      EXPECT_FALSE(sep.empty());
+      for (const size_t d : sep) EXPECT_LT(d, p.divisors.size());
+    }
+  }
+  // The reference instance is tiny: with 128+ patterns the bank must have
+  // answered at least one insufficient draw (e.g. the empty/near-empty ones).
+  EXPECT_GT(refuted, 0);
+}
+
+TEST(ResubFilter, NeverRefutesATrueDependency) {
+  // func = a ^ b over divisors {a, b} IS a function of its divisors; over
+  // {a & b} it is not (00 vs 01 agree on ab = 0 but differ on the xor).
+  aig::Aig g;
+  const aig::Lit a = g.add_pi("a");
+  const aig::Lit b = g.add_pi("b");
+  const aig::Lit ab = g.add_and(a, b);
+  const aig::Lit x = g.add_and(aig::lit_not(ab), aig::lit_not(g.add_and(aig::lit_not(a), aig::lit_not(b))));
+  g.add_po(x, "x");
+
+  std::vector<Divisor> divisors(3);
+  divisors[0].lit = a;
+  divisors[0].name = "a";
+  divisors[1].lit = b;
+  divisors[1].name = "b";
+  divisors[2].lit = ab;
+  divisors[2].name = "ab";
+
+  SimFilterOptions fopt;
+  fopt.seed_words = 4;  // 256 random draws over 2 PIs: all 4 minterms present
+  ResubFilter filter(g, fopt);
+
+  const std::vector<size_t> good = {0, 1};
+  EXPECT_FALSE(filter.refutes_dependency(x, divisors, good));
+  const std::vector<size_t> bad = {2};
+  EXPECT_TRUE(filter.refutes_dependency(x, divisors, bad));
+}
+
+TEST(CecSeeds, SeedPatternDecidesWithoutSolver) {
+  // g: out = a & ~b. The seed {1, 0} excites it; seeds are screened before
+  // the random rounds, so the counterexample is exactly the seed.
+  aig::Aig g;
+  const aig::Lit a = g.add_pi("a");
+  const aig::Lit b = g.add_pi("b");
+  const aig::Lit out = g.add_and(a, aig::lit_not(b));
+  g.add_po(out, "out");
+
+  const std::vector<std::vector<bool>> seeds = {{false, false}, {true, false}};
+  const cec::CecResult r = cec::check_const0(g, out, /*conflict_budget=*/-1, {}, seeds);
+  ASSERT_EQ(r.status, cec::Status::kNotEquivalent);
+  EXPECT_EQ(r.counterexample, (std::vector<bool>{true, false}));
+
+  // Short seeds are completed with 0: {true} alone also hits a & ~b.
+  const std::vector<std::vector<bool>> short_seed = {{true}};
+  const cec::CecResult r2 = cec::check_const0(g, out, -1, {}, short_seed);
+  ASSERT_EQ(r2.status, cec::Status::kNotEquivalent);
+  EXPECT_EQ(r2.counterexample, (std::vector<bool>{true, false}));
+
+  // Seeds that do not fire leave the verdict to the SAT path, which must
+  // still find the function satisfiable.
+  const std::vector<std::vector<bool>> misses = {{false, true}, {true, true}};
+  const cec::CecResult r3 = cec::check_const0(g, out, -1, {}, misses);
+  ASSERT_EQ(r3.status, cec::Status::kNotEquivalent);
+  EXPECT_TRUE(aig::eval(g, r3.counterexample)[0]);
+
+  // And on a constant-false root, seeds cannot produce a false positive.
+  const aig::Lit never = g.add_and(a, aig::lit_not(a));
+  const cec::CecResult r4 = cec::check_const0(g, never, -1, {}, seeds);
+  EXPECT_EQ(r4.status, cec::Status::kEquivalent);
+}
+
+EngineOptions fast_options(Algorithm algorithm, bool sim_bank) {
+  EngineOptions options;
+  options.algorithm = algorithm;
+  options.conflict_budget = 200000;
+  options.max_expansion_nodes = 500000;
+  options.time_budget = 20;
+  options.simfilter.enabled = sim_bank;
+  return options;
+}
+
+/// Differential property over generated benchmark mutations: the simulation
+/// bank must be invisible in every result field — identical outcome, cost,
+/// gate count, and method with the bank on and off — while strictly avoiding
+/// solver work whenever its counters fire.
+class SimFilterDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimFilterDifferentialTest, BankOnOffResultsAreIdentical) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761ULL + 17);
+  uint64_t bank_patterns = 0;
+  uint64_t filter_hits = 0;
+  int instances = 0;
+  for (int iter = 0; iter < 4; ++iter) {
+    const int num_targets = 1 + static_cast<int>(rng.below(3));
+    const net::Network base = benchgen::make_random_logic(
+        6 + static_cast<int>(rng.below(6)), 4 + static_cast<int>(rng.below(4)),
+        40 + static_cast<int>(rng.below(80)), rng);
+    benchgen::EcoInstance instance;
+    try {
+      instance = benchgen::make_eco_instance(base, num_targets, rng);
+    } catch (const std::runtime_error&) {
+      continue;  // not enough observable gates in this draw
+    }
+    const net::WeightMap weights = benchgen::make_weights(
+        instance.impl, static_cast<benchgen::WeightType>(rng.below(8)), rng);
+    const EcoProblem problem = make_problem(instance.impl, instance.spec, weights);
+    ++instances;
+
+    const Algorithm algorithm = static_cast<Algorithm>((GetParam() + iter) % 3);
+    const EcoOutcome off = run_eco(problem, fast_options(algorithm, false));
+    const EcoOutcome on = run_eco(problem, fast_options(algorithm, true));
+
+    EXPECT_EQ(on.status, off.status) << "seed " << GetParam() << " iter " << iter;
+    EXPECT_EQ(on.verified, off.verified) << "seed " << GetParam() << " iter " << iter;
+    EXPECT_EQ(on.method, off.method) << "seed " << GetParam() << " iter " << iter;
+    EXPECT_EQ(on.total_cost, off.total_cost) << "seed " << GetParam() << " iter " << iter;
+    EXPECT_EQ(on.patch_gates, off.patch_gates) << "seed " << GetParam() << " iter " << iter;
+
+    // The bank must be truly off when disabled...
+    EXPECT_EQ(off.stats.sim_bank_patterns, 0u);
+    EXPECT_EQ(off.stats.sim_refuted_support + off.stats.sim_filtered_resub +
+                  off.stats.sim_irredundant_hits,
+              0u);
+    bank_patterns += on.stats.sim_bank_patterns;
+    filter_hits += on.stats.sim_refuted_support + on.stats.sim_filtered_resub +
+                   on.stats.sim_irredundant_hits;
+    // ...and every answered query is a solve the off run had to make.
+    if (on.stats.sim_refuted_support + on.stats.sim_irredundant_hits > 0) {
+      EXPECT_LT(on.stats.sat_solves, off.stats.sat_solves)
+          << "seed " << GetParam() << " iter " << iter;
+    }
+  }
+  // Each parameter value sees several generated instances; the engine's SAT
+  // path always records at least its enumeration models into the bank.
+  if (instances > 0) {
+    EXPECT_GT(bank_patterns + filter_hits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFilterDifferentialTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eco::core

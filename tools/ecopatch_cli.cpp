@@ -10,6 +10,8 @@
 //         --force-structural
 //         --stats-json FILE                   outcome + telemetry snapshot JSON
 //         --trace FILE                        Chrome trace_event JSON
+//         --sim-bank 0|1                      counterexample simulation bank
+//                                             (default: ECO_SIM_BANK, else on)
 //         --jobs N                            thread pool for the run
 //                                             (0 = all hardware threads;
 //                                             default: ECO_JOBS, else 1)
@@ -55,6 +57,7 @@ int usage() {
                "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
                "                 [--stats-json FILE] [--trace FILE] [--jobs N]\n"
+               "                 [--sim-bank 0|1]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
                "  ecopatch cec <a> <b> [--jobs N]\n"
@@ -126,6 +129,10 @@ int cmd_solve(int argc, char** argv) {
       patched_path = argv[++i];
     } else if (arg == "--force-structural") {
       options.force_structural = true;
+    } else if (arg == "--sim-bank" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v != "0" && v != "1") return usage();
+      options.simfilter.enabled = v == "1";
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
