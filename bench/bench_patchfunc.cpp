@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     eco::Timer t_enum;
     eco::core::PatchFuncOptions pf_opt;
     pf_opt.conflict_budget = 200000;
-    pf_opt.deadline = eco::Deadline(30.0);
+    pf_opt.cancel = eco::CancelToken(30.0);
     const eco::core::PatchFuncResult pf = eco::core::compute_patch_cover(
         miter, 0, problem.divisors, chosen, pf_opt);
     if (!pf.ok) {

@@ -9,7 +9,11 @@
 // The final row reports geometric means of the per-unit ratios vs. config A.
 //
 // Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--jobs N]
-//                     [--json FILE]
+//                     [--json FILE] [--ladder 0|1]
+//
+// The strategy ladder is OFF by default here (unlike the engine default):
+// Table 1 compares the three configurations as-is, so escalation to other
+// strategies would blur the comparison and break run-to-run bit-identity.
 //
 // The 60 (unit, configuration) runs are independent; `--jobs N` (or the
 // ECO_JOBS environment variable; 0 = all hardware threads) sweeps them over
@@ -56,6 +60,7 @@ struct RunRow {
   double seconds = 0;
   double cpu_seconds = 0;
   std::string method;
+  std::string fail_reason;
   eco::core::EngineStats stats;
 };
 
@@ -66,10 +71,11 @@ double thread_cpu_seconds() {
 }
 
 RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm algorithm,
-                  double budget) {
+                  double budget, bool ladder) {
   eco::core::EngineOptions options;
   options.algorithm = algorithm;
   options.time_budget = budget;
+  options.ladder = ladder;
   options.conflict_budget = 300000;
   // Moderate expansion cap: large multi-target units fall back to the
   // structural path, as the hard units do in the paper.
@@ -86,6 +92,7 @@ RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm alg
   row.gates = outcome.patch_gates;
   row.seconds = outcome.seconds;
   row.method = outcome.method;
+  row.fail_reason = eco::core::fail_reason_name(outcome.fail_reason);
   row.stats = outcome.stats;
   if (outcome.verification == eco::core::EcoOutcome::Verification::kInconclusive)
     row.method += " (verify?)";
@@ -107,6 +114,8 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("ok", row.ok);
   w.kv("verified", row.verified);
   w.kv("method", row.method);
+  w.kv("fail_reason", row.fail_reason);
+  w.kv("ladder_attempts", static_cast<uint64_t>(row.stats.ladder.size()));
   w.kv("cost", row.cost);
   w.kv("gates", row.gates);
   w.kv("seconds", row.seconds);
@@ -158,12 +167,15 @@ double ratio_or_one(double num, double den) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--jobs N] [--json FILE]\n"
+               "          [--ladder 0|1]\n"
                "  --seed N          benchmark-suite generator seed (default 20170912)\n"
                "  --unit K          run only unit K (0..%d)\n"
                "  --budget SECONDS  per-run engine time budget > 0 (default 15)\n"
                "  --jobs N          parallel runs; 0 = all hardware threads\n"
                "                    (default: ECO_JOBS, else 1)\n"
-               "  --json FILE       write machine-readable records to FILE\n",
+               "  --json FILE       write machine-readable records to FILE\n"
+               "  --ladder 0|1      strategy-ladder fallback (default 0: compare\n"
+               "                    the configurations as-is)\n",
                argv0, eco::benchgen::kNumUnits - 1);
   return 2;
 }
@@ -206,6 +218,7 @@ int main(int argc, char** argv) {
   int only_unit = -1;
   double budget = 15.0;
   int jobs = eco::util::default_jobs();
+  bool ladder = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -236,6 +249,13 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       if (jobs == 0) jobs = eco::util::hardware_jobs();
+      ++i;
+    } else if (!std::strcmp(arg, "--ladder")) {
+      if (operand == nullptr || (std::strcmp(operand, "0") && std::strcmp(operand, "1"))) {
+        std::fprintf(stderr, "%s: --ladder needs 0 or 1\n", argv[0]);
+        return usage(argv[0]);
+      }
+      ladder = operand[0] == '1';
       ++i;
     } else if (!std::strcmp(arg, "--json")) {
       if (operand == nullptr || operand[0] == '\0') {
@@ -278,7 +298,7 @@ int main(int argc, char** argv) {
     const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(task.unit, seed);
     const eco::core::EcoProblem problem =
         eco::core::make_problem(unit.impl, unit.spec, unit.weights);
-    results[t] = run_config(problem, kAlgos[task.cfg], budget);
+    results[t] = run_config(problem, kAlgos[task.cfg], budget, ladder);
   });
   const double sweep_wall = sweep_timer.seconds();
 
@@ -287,6 +307,7 @@ int main(int argc, char** argv) {
   json.kv("schema", "ecopatch-bench-table1-v1");
   json.kv("seed", seed);
   json.kv("budget_seconds", budget);
+  json.kv("ladder", ladder);
   json.kv("jobs", executor.jobs());
   json.kv("sweep_wall_seconds", sweep_wall);
   json.key("runs");

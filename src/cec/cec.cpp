@@ -107,7 +107,8 @@ bool screen_seed_patterns(const aig::Aig& g, aig::Lit root,
 
 CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget,
                        const eco::Deadline& deadline,
-                       std::span<const std::vector<bool>> seed_patterns) {
+                       std::span<const std::vector<bool>> seed_patterns,
+                       const eco::CancelToken& cancel) {
   ECO_TELEMETRY_PHASE("cec");
   ECO_TELEMETRY_COUNT("cec.checks");
   CecResult result;
@@ -125,6 +126,7 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
   if (screen_seed_patterns(g, root, seed_patterns, result)) return result;
   sat::Solver solver;
   solver.set_deadline(deadline);
+  solver.set_cancel(cancel);
   cnf::Encoder enc(g, solver);
   const sat::Lit out = enc.lit(root);
   solver.add_unit(out);
@@ -142,7 +144,8 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget, uint64_t sim_rounds,
                             const eco::Deadline& deadline, eco::util::Executor* executor,
-                            std::span<const std::vector<bool>> seed_patterns) {
+                            std::span<const std::vector<bool>> seed_patterns,
+                            const eco::CancelToken& cancel) {
   const aig::Aig miter = build_miter(a, b);
   const aig::Lit out = miter.po_lit(0);
 
@@ -191,7 +194,7 @@ CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
       }
     }
   }
-  return check_const0(miter, out, conflict_budget, deadline);
+  return check_const0(miter, out, conflict_budget, deadline, {}, cancel);
 }
 
 }  // namespace eco::cec

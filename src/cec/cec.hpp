@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace eco::util {
@@ -51,11 +52,15 @@ aig::Aig build_miter(const aig::Aig& a, const aig::Aig& b);
 /// counterexample bank) simulated before the random rounds; any pattern
 /// that excites the miter is returned as the counterexample. A pattern
 /// shorter than the PI count is completed with 0.
+///
+/// \p cancel is a cooperative cancellation token threaded into the SAT
+/// check; cancellation yields kUnknown. An invalid token is ignored.
 CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
                             int64_t conflict_budget = -1, uint64_t sim_rounds = 8,
                             const eco::Deadline& deadline = {},
                             eco::util::Executor* executor = nullptr,
-                            std::span<const std::vector<bool>> seed_patterns = {});
+                            std::span<const std::vector<bool>> seed_patterns = {},
+                            const eco::CancelToken& cancel = {});
 
 /// Decides whether the single-output function rooted in \p g is constant
 /// false. Returns kEquivalent when it is, kNotEquivalent (with a satisfying
@@ -64,6 +69,7 @@ CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
 /// when none fires, the SAT check proceeds exactly as without seeds.
 CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget = -1,
                        const eco::Deadline& deadline = {},
-                       std::span<const std::vector<bool>> seed_patterns = {});
+                       std::span<const std::vector<bool>> seed_patterns = {},
+                       const eco::CancelToken& cancel = {});
 
 }  // namespace eco::cec

@@ -1,10 +1,15 @@
 #include "cnf/tseitin.hpp"
 
+#include <new>
 #include <vector>
+
+#include "util/faultpoint.hpp"
 
 namespace eco::cnf {
 
 sat::Var Encoder::var(aig::Node n) {
+  // Fault site: clause loading runs out of memory mid-cone.
+  if (ECO_FAULT_POINT(fault::Site::kCnfLoad)) throw std::bad_alloc();
   if (vars_.size() < g_->num_nodes()) vars_.resize(g_->num_nodes(), sat::kVarUndef);
   if (vars_[n] != sat::kVarUndef) return vars_[n];
 

@@ -107,7 +107,7 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
 
   // One incremental solver over `combined` answers all equivalence queries.
   sat::Solver solver;
-  solver.set_deadline(options.deadline);
+  solver.set_cancel(options.cancel);
   cnf::Encoder enc(combined, solver);
   // Equivalence cache shared between targets: patch node -> match or miss.
   struct Match {
@@ -122,7 +122,7 @@ std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& 
     Match& m = cache[patch_node];
     if (m.tried) return m;
     m.tried = true;
-    if (options.deadline.expired()) return m;  // no time to confirm: no match
+    if (options.cancel.cancelled()) return m;  // no time to confirm: no match
     const aig::Lit cl = patch_map[patch_node];  // uncomplemented node lit image
     const auto row = sim.row(aig::lit_node(cl));
     std::vector<uint64_t> words(row.begin(), row.end());

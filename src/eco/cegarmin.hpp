@@ -17,6 +17,7 @@
 
 #include "aig/aig.hpp"
 #include "eco/problem.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace eco::core {
@@ -26,10 +27,11 @@ struct CegarMinOptions {
   int max_checks_per_node = 4;      ///< SAT confirmations tried per node
   int64_t conflict_budget = 10000;  ///< per equivalence query
   uint64_t rng_seed = 0xEC0ULL;
-  /// Wall-clock bound for the whole analysis; once expired no further SAT
-  /// equivalences are confirmed (simulation-only matches are discarded, so
-  /// the result stays sound, just less effective).
-  eco::Deadline deadline{};
+  /// Bound for the whole analysis (deadline + external stop); once
+  /// cancelled no further SAT equivalences are confirmed (simulation-only
+  /// matches are discarded, so the result stays sound, just less
+  /// effective). An invalid token means unlimited.
+  eco::CancelToken cancel{};
 };
 
 /// Outcome for one target's patch cone.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <new>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -15,7 +16,9 @@
 #include "eco/structural.hpp"
 #include "eco/window.hpp"
 #include "sop/synth.hpp"
+#include "util/cancel.hpp"
 #include "util/executor.hpp"
+#include "util/faultpoint.hpp"
 #include "util/jsonw.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -98,7 +101,8 @@ constexpr size_t kMaxCecSeeds = 256;
 /// \p cec_seeds are bank counterexample prefixes used as directed stimuli.
 cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
                            int64_t conflict_budget, const Deadline& deadline,
-                           std::span<const std::vector<bool>> cec_seeds) {
+                           std::span<const std::vector<bool>> cec_seeds,
+                           const CancelToken& cancel) {
   aig::Aig check;
   std::vector<aig::Lit> x;
   for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
@@ -127,7 +131,7 @@ cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
   for (size_t i = 0; i < impl_pos.size(); ++i)
     diffs.push_back(check.add_xor(impl_pos[i], spec_pos[i]));
   const aig::Lit out = check.add_or_multi(diffs);
-  return cec::check_const0(check, out, conflict_budget, deadline, cec_seeds).status;
+  return cec::check_const0(check, out, conflict_budget, deadline, cec_seeds, cancel).status;
 }
 
 std::string cover_to_named_sop(const sop::Cover& cover, const std::vector<size_t>& support,
@@ -183,7 +187,7 @@ void fill_target_info(EcoOutcome& outcome, const std::vector<BuiltPatch>& built,
 /// The SAT-based per-target loop (paper §3.1, §3.4, §3.5). Returns true on
 /// success; false means "fall back to the structural path".
 bool run_sat_path(const EcoProblem& problem, const Window& window,
-                  const EngineOptions& options, const Deadline& deadline,
+                  const EngineOptions& options, const CancelToken& cancel,
                   std::vector<BuiltPatch>& built, aig::Aig& work,
                   std::vector<aig::Lit>& div_lits, bool& proven_infeasible,
                   EngineStats& stats, std::vector<std::vector<bool>>& cec_seeds) {
@@ -191,7 +195,7 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
   std::vector<aig::Lit> patch_lits;
 
   for (uint32_t t = 0; t < k; ++t) {
-    if (deadline.expired()) return false;
+    if (cancel.cancelled()) return false;
     ECO_TELEMETRY_PHASE("target");
     ECO_TELEMETRY_COUNT("engine.targets_attempted");
     ++stats.targets_attempted;
@@ -205,15 +209,21 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     EcoMiter mq;
     try {
       ECO_TELEMETRY_PHASE("quantify");
+      // Fault site: the expansion's allocation guard trips.
+      if (ECO_FAULT_POINT(fault::Site::kAllocGuard)) throw std::bad_alloc();
       mq = quantify_targets(m, remaining, options.max_expansion_nodes);
     } catch (const std::runtime_error&) {
       log_info("engine: quantification expansion too large; structural fallback");
       ECO_TELEMETRY_COUNT("engine.quantify_overflows");
       return false;
     }
+    // Cooperative memory accounting: the quantified miter dominates the SAT
+    // path's footprint; charge its node count (~16 bytes each) against the
+    // token so a memory budget can stop the run before the allocator does.
+    cancel.charge_memory(static_cast<uint64_t>(mq.aig.num_nodes()) * 16);
 
     SupportInstance inst(mq, t, problem.divisors, window.divisor_indices);
-    inst.solver().set_deadline(deadline);
+    inst.solver().set_cancel(cancel);
 
     // Per-target simulation bank over the quantified miter: refutes support
     // checks, skips irredundancy queries, and collects every SAT model this
@@ -268,8 +278,9 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     if (options.algorithm == Algorithm::kSatPruneCegarMin) {
       SatPruneOptions po = options.satprune;
       if (po.conflict_budget < 0) po.conflict_budget = options.conflict_budget;
-      if (po.time_budget <= 0 && deadline.remaining() < 1e17)
-        po.time_budget = std::max(0.1, deadline.remaining() * 0.5);
+      if (po.time_budget <= 0 && cancel.remaining() < 1e17)
+        po.time_budget = std::max(0.1, cancel.remaining() * 0.5);
+      po.cancel = cancel;
       const SatPruneResult pruned = sat_prune(inst, problem.divisors, po, &support.chosen);
       stats.satprune_sat_calls += pruned.sat_calls;
       stats.satprune_iterations += pruned.iterations;
@@ -291,7 +302,7 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     pf_opt.use_minimize = options.algorithm != Algorithm::kBaseline;
     pf_opt.max_cubes = options.max_cubes;
     pf_opt.conflict_budget = options.conflict_budget;
-    pf_opt.deadline = deadline;
+    pf_opt.cancel = cancel;
     pf_opt.sim_filter = simf.has_value() ? &*simf : nullptr;
     const PatchFuncResult pf = compute_patch_cover(mq, t, problem.divisors,
                                                    support.chosen, pf_opt);
@@ -351,9 +362,9 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
 /// Structural path (paper §3.6): PI-based patches, optionally CEGAR_min.
 bool run_structural_path(const EcoProblem& problem, const Window& window,
                          const qbf::Qbf2Result& qbf_result, const EngineOptions& options,
-                         std::vector<BuiltPatch>& built, aig::Aig& work,
-                         std::vector<aig::Lit>& div_lits, std::string& method,
-                         EngineStats& stats) {
+                         const CancelToken& cancel, std::vector<BuiltPatch>& built,
+                         aig::Aig& work, std::vector<aig::Lit>& div_lits,
+                         std::string& method, EngineStats& stats) {
   const uint32_t k = problem.num_targets();
   const EcoMiter m =
       build_eco_miter(problem.impl, problem.spec, problem.divisors, window.affected_pos);
@@ -373,13 +384,16 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
   if (!patches.ok) return false;
   method = "structural";
 
+  // The structural path often runs after the main deadline: grant a bounded
+  // grace window instead of unbounded work. grace() keeps the external stop
+  // flag live while detaching from the (likely expired) main deadline.
+  const double grace_seconds =
+      options.time_budget > 0 ? std::max(options.time_budget, 20.0) : 120.0;
+
   std::vector<TargetRewrite> rewrites(k);
   if (options.algorithm == Algorithm::kSatPruneCegarMin) {
     CegarMinOptions copt = options.cegarmin;
-    // The structural path often runs after the main deadline: grant a
-    // bounded grace window instead of unbounded work.
-    copt.deadline = Deadline(options.time_budget > 0 ? std::max(options.time_budget, 20.0)
-                                                     : 120.0);
+    copt.cancel = cancel.grace(grace_seconds);
     rewrites = cegar_min(problem, patches.patch, copt);
     method = "structural+cegar_min";
   }
@@ -446,8 +460,7 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
       ropt.conflict_budget = options.conflict_budget < 0
                                  ? 50000
                                  : std::min<int64_t>(options.conflict_budget, 50000);
-      ropt.deadline = Deadline(options.time_budget > 0 ? std::max(options.time_budget, 20.0)
-                                                       : 120.0);
+      ropt.cancel = cancel.grace(grace_seconds);
       ropt.sim = rfilter.has_value() ? &*rfilter : nullptr;
       const ResubResult resub =
           functional_resub(work, pi_lit, problem.divisors, window.divisor_indices, ropt);
@@ -474,11 +487,21 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
   return true;
 }
 
-}  // namespace
+const char* status_name(EcoOutcome::Status s) noexcept {
+  switch (s) {
+    case EcoOutcome::Status::kPatched: return "patched";
+    case EcoOutcome::Status::kInfeasible: return "infeasible";
+    case EcoOutcome::Status::kUnknown: return "unknown";
+    case EcoOutcome::Status::kError: return "error";
+  }
+  return "unknown";
+}
 
-EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
+/// One full pipeline pass under \p cancel. May throw — the run_eco driver
+/// below owns the catch boundary, error taxonomy, and strategy ladder.
+EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& options,
+                           const CancelToken& cancel) {
   Timer timer;
-  Deadline deadline(options.time_budget);
   EcoOutcome outcome;
   const uint32_t k = problem.num_targets();
   ECO_TELEMETRY_PHASE("engine");
@@ -541,6 +564,7 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
         options.conflict_budget < 0 ? 20000 : std::min<int64_t>(options.conflict_budget, 20000);
   if (qopt.time_budget <= 0)
     qopt.time_budget = options.time_budget > 0 ? options.time_budget * 0.25 : 30.0;
+  qopt.cancel = cancel;
   qbf::Qbf2Result qbf_result;
   {
     ECO_TELEMETRY_PHASE("qbf_feasibility");
@@ -570,7 +594,7 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   outcome.method = "sat";
   if (!options.force_structural) {
     ECO_TELEMETRY_PHASE("sat_path");
-    ok = run_sat_path(problem, window, options, deadline, built, work, div_lits,
+    ok = run_sat_path(problem, window, options, cancel, built, work, div_lits,
                       proven_infeasible, outcome.stats, cec_seeds);
     outcome.stats.sat_path_seconds = phase_timer.seconds();
     log_info("engine: sat path %s in %.2fs", ok ? "succeeded" : "failed",
@@ -588,8 +612,8 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     built.clear();
     work = problem.impl;
     const bool structural_ok = run_structural_path(problem, window, qbf_result, options,
-                                                   built, work, div_lits, outcome.method,
-                                                   outcome.stats);
+                                                   cancel, built, work, div_lits,
+                                                   outcome.method, outcome.stats);
     outcome.stats.structural_seconds = phase_timer.seconds();
     phase_timer.reset();
     if (!structural_ok) {
@@ -634,9 +658,16 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     if (capture_totals) capture.emplace(sat_acc);
     ECO_TELEMETRY_PHASE("verify");
     Timer verify_timer;
+    // Fault site: the verification prover gives up (times out).
+    if (ECO_FAULT_POINT(fault::Site::kVerifyTimeout)) {
+      verify_seconds = verify_timer.seconds();
+      return cec::Status::kUnknown;
+    }
+    // Verification runs under a grace token: its own window, detached from
+    // the (often already expired) main deadline, but still abortable.
     const cec::Status s = verify_patched(problem, outcome.patched_impl,
                                          /*conflict_budget=*/-1, Deadline(verify_budget),
-                                         cec_seeds);
+                                         cec_seeds, cancel.grace(verify_budget));
     verify_seconds = verify_timer.seconds();
     return s;
   };
@@ -674,6 +705,9 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     case cec::Status::kNotEquivalent:
       outcome.verification = EcoOutcome::Verification::kRefuted;
       outcome.status = EcoOutcome::Status::kUnknown;
+      // A refuted patch is an engine bug, not a resource problem.
+      outcome.fail_reason = FailReason::kInternal;
+      outcome.fail_detail = "verification refuted the computed patch";
       break;
   }
   log_info("engine: verification finished in %.2fs (%s)", outcome.stats.verify_seconds,
@@ -683,20 +717,198 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   return outcome;
 }
 
+/// An EcoOutcome carrying only an error classification.
+EcoOutcome error_outcome(FailReason reason, std::string detail) {
+  EcoOutcome out;
+  out.status = EcoOutcome::Status::kError;
+  out.fail_reason = reason;
+  out.fail_detail = std::move(detail);
+  return out;
+}
+
+/// One strategy-ladder rung: a name plus the option tweaks it applies on
+/// top of the caller's options (docs/ROBUSTNESS.md, "The strategy ladder").
+struct LadderRung {
+  const char* name;
+  void (*tweak)(EngineOptions&);
+};
+
+constexpr LadderRung kLadderRungs[] = {
+    // Cheapest first: the structural/resubstitution path skips the
+    // quantification that most commonly blew the primary attempt up.
+    {"resub",
+     [](EngineOptions& o) {
+       o.force_structural = true;
+       o.algorithm = Algorithm::kSatPruneCegarMin;
+     }},
+    // Retry the SAT path with a bigger conflict budget.
+    {"sat_patchfunc",
+     [](EngineOptions& o) {
+       o.force_structural = false;
+       o.algorithm = Algorithm::kMinimize;
+       if (o.conflict_budget > 0) o.conflict_budget *= 4;
+     }},
+    // Allow a much larger quantification expansion before falling back.
+    {"wider_window",
+     [](EngineOptions& o) {
+       o.force_structural = false;
+       o.max_expansion_nodes *= 4;
+       if (o.conflict_budget > 0) o.conflict_budget *= 4;
+     }},
+    // Last resort: drop cost minimization, accept any correct patch.
+    {"relaxed_cost",
+     [](EngineOptions& o) {
+       o.force_structural = false;
+       o.algorithm = Algorithm::kBaseline;
+       o.last_gasp = false;
+       o.max_cubes *= 2;
+     }},
+};
+
+/// Definitive results beat inconclusive ones beat errors; ties keep the
+/// earlier (cheaper) attempt.
+int outcome_rank(const EcoOutcome& o) noexcept {
+  switch (o.status) {
+    case EcoOutcome::Status::kPatched:
+    case EcoOutcome::Status::kInfeasible: return 2;
+    case EcoOutcome::Status::kUnknown: return 1;
+    case EcoOutcome::Status::kError: return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* fail_reason_name(FailReason r) noexcept {
+  switch (r) {
+    case FailReason::kNone: return "none";
+    case FailReason::kParse: return "parse";
+    case FailReason::kInconsistentInput: return "inconsistent_input";
+    case FailReason::kBudget: return "budget";
+    case FailReason::kMemory: return "memory";
+    case FailReason::kCancelled: return "cancelled";
+    case FailReason::kInternal: return "internal";
+  }
+  return "none";
+}
+
+EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
+  Timer total_timer;
+
+  // The run token: the caller's token capped to time_budget, a fresh
+  // deadline token, or the unlimited token when neither limit is set.
+  CancelToken run_token = options.cancel;
+  if (options.cancel.valid()) {
+    if (options.time_budget > 0) run_token = options.cancel.child(options.time_budget);
+  } else if (options.time_budget > 0) {
+    run_token = CancelToken(options.time_budget);
+  }
+
+  // Crash-proof boundary: every exception an attempt raises becomes a
+  // kError outcome; an unexplained kUnknown is classified from the token.
+  std::vector<LadderAttempt> ladder_log;
+  const auto attempt_guarded = [&](const EngineOptions& opts, const CancelToken& token,
+                                   const char* rung) {
+    Timer attempt_timer;
+    EcoOutcome out;
+    try {
+      out = run_eco_attempt(problem, opts, token);
+    } catch (const net::ParseError& e) {
+      out = error_outcome(FailReason::kParse, e.what());
+    } catch (const net::InputError& e) {
+      out = error_outcome(FailReason::kInconsistentInput, e.what());
+    } catch (const std::bad_alloc&) {
+      out = error_outcome(FailReason::kMemory, "allocation failed");
+    } catch (const std::exception& e) {
+      out = error_outcome(FailReason::kInternal, e.what());
+    } catch (...) {
+      out = error_outcome(FailReason::kInternal, "unknown exception");
+    }
+    if (out.status == EcoOutcome::Status::kUnknown &&
+        out.fail_reason == FailReason::kNone) {
+      switch (token.reason()) {
+        case CancelReason::kStopped: out.fail_reason = FailReason::kCancelled; break;
+        case CancelReason::kMemory: out.fail_reason = FailReason::kMemory; break;
+        // Deadline expiry, or a conflict/iteration budget inside a phase.
+        default: out.fail_reason = FailReason::kBudget; break;
+      }
+    }
+    LadderAttempt rec;
+    rec.rung = rung;
+    rec.result = status_name(out.status);
+    rec.fail_reason = fail_reason_name(out.fail_reason);
+    rec.seconds = attempt_timer.seconds();
+    ladder_log.push_back(std::move(rec));
+    ECO_TELEMETRY_COUNT("ladder.attempts");
+    return out;
+  };
+
+  // Escalation policy: retry on budget expiry or internal failure (a
+  // different strategy may succeed where this one broke), never on an
+  // external stop, bad input, or a tripped memory account (the account is
+  // shared — a retry would cancel instantly).
+  const auto should_escalate = [&](const EcoOutcome& out) {
+    if (run_token.stop_requested()) return false;
+    if (out.status == EcoOutcome::Status::kUnknown)
+      return out.fail_reason == FailReason::kBudget ||
+             out.fail_reason == FailReason::kInternal;
+    if (out.status == EcoOutcome::Status::kError)
+      return out.fail_reason == FailReason::kInternal;
+    return false;
+  };
+
+  EcoOutcome best = attempt_guarded(options, run_token, "primary");
+  if (options.ladder && should_escalate(best)) {
+    // Per-rung budget slices with exponential backoff, never exceeding the
+    // run's remaining wall clock.
+    constexpr double kBaseSlice = 15.0;
+    double slice = kBaseSlice;
+    for (const LadderRung& rung : kLadderRungs) {
+      if (!should_escalate(best)) break;
+      double rung_budget = slice;
+      slice *= 2;
+      const double rem = run_token.valid() ? run_token.remaining() : 0;
+      if (run_token.valid() && rem < 1e17) {
+        if (rem < 1.0) break;  // out of wall clock: not worth another attempt
+        rung_budget = std::min(rung_budget, rem);
+      }
+      EngineOptions ropts = options;
+      ropts.time_budget = rung_budget;
+      rung.tweak(ropts);
+      const CancelToken token =
+          run_token.valid() ? run_token.child(rung_budget) : CancelToken(rung_budget);
+      ECO_TELEMETRY_COUNT("ladder.escalations");
+      log_info("engine: ladder escalates to rung '%s' (%.0fs slice)", rung.name,
+               rung_budget);
+      EcoOutcome attempt = attempt_guarded(ropts, token, rung.name);
+      if (outcome_rank(attempt) > outcome_rank(best)) best = std::move(attempt);
+    }
+  }
+  best.stats.ladder = std::move(ladder_log);
+  best.seconds = total_timer.seconds();
+  return best;
+}
+
 EcoOutcome run_eco(const net::Network& impl, const net::Network& spec,
                    const net::WeightMap& weights, const EngineOptions& options) {
-  return run_eco(make_problem(impl, spec, weights), options);
+  // The same crash-proof contract covers problem construction: malformed or
+  // inconsistent networks become kError outcomes, not exceptions.
+  EcoProblem problem;
+  try {
+    problem = make_problem(impl, spec, weights);
+  } catch (const net::ParseError& e) {
+    return error_outcome(FailReason::kParse, e.what());
+  } catch (const net::InputError& e) {
+    return error_outcome(FailReason::kInconsistentInput, e.what());
+  } catch (const std::bad_alloc&) {
+    return error_outcome(FailReason::kMemory, "allocation failed");
+  } catch (const std::exception& e) {
+    return error_outcome(FailReason::kInternal, e.what());
+  }
+  return run_eco(problem, options);
 }
 
 std::string outcome_to_json(const EcoOutcome& outcome) {
-  const auto status_name = [](EcoOutcome::Status s) {
-    switch (s) {
-      case EcoOutcome::Status::kPatched: return "patched";
-      case EcoOutcome::Status::kInfeasible: return "infeasible";
-      case EcoOutcome::Status::kUnknown: return "unknown";
-    }
-    return "unknown";
-  };
   const auto verification_name = [](EcoOutcome::Verification v) {
     switch (v) {
       case EcoOutcome::Verification::kVerified: return "verified";
@@ -710,6 +922,8 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.begin_object();
   w.kv("schema", "ecopatch-outcome-v1");
   w.kv("status", status_name(outcome.status));
+  w.kv("fail_reason", fail_reason_name(outcome.fail_reason));
+  if (!outcome.fail_detail.empty()) w.kv("fail_detail", outcome.fail_detail);
   w.kv("verification", verification_name(outcome.verification));
   w.kv("method", outcome.method);
   w.kv("total_cost", outcome.total_cost);
@@ -759,6 +973,18 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.kv("bank_patterns", outcome.stats.sim_bank_patterns);
   w.kv("resim_nodes", outcome.stats.sim_resim_nodes);
   w.end_object();
+
+  w.key("ladder");
+  w.begin_array();
+  for (const auto& a : outcome.stats.ladder) {
+    w.begin_object();
+    w.kv("rung", a.rung);
+    w.kv("result", a.result);
+    w.kv("fail_reason", a.fail_reason);
+    w.kv("seconds", a.seconds);
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("targets");
   w.begin_array();

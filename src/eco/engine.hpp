@@ -22,6 +22,7 @@
 #include "eco/support.hpp"
 #include "net/network.hpp"
 #include "qbf/qbf2.hpp"
+#include "util/cancel.hpp"
 
 namespace eco::util {
 class Executor;
@@ -35,6 +36,22 @@ enum class Algorithm {
   kMinimize,           ///< "w/ minimize_assumptions" (contest-winning config)
   kSatPruneCegarMin,   ///< "SAT_prune + CEGAR_min"
 };
+
+/// Why a run failed or stopped early (EcoOutcome::fail_reason). The error
+/// taxonomy of docs/ROBUSTNESS.md: every exception or budget event inside
+/// run_eco maps to exactly one of these; none escapes as a C++ exception.
+enum class FailReason {
+  kNone,               ///< clean kPatched / kInfeasible result
+  kParse,              ///< an input file failed to parse (net::ParseError)
+  kInconsistentInput,  ///< inputs parse but are not a valid problem
+  kBudget,             ///< a time/conflict/iteration budget expired
+  kMemory,             ///< memory budget exceeded or allocation failure
+  kCancelled,          ///< external stop (signal, executor shutdown)
+  kInternal,           ///< unexpected internal error — a bug; see fail_detail
+};
+
+/// Stable lower_snake_case name ("parse", "budget", ...) used in JSON.
+const char* fail_reason_name(FailReason r) noexcept;
 
 struct EngineOptions {
   Algorithm algorithm = Algorithm::kMinimize;
@@ -67,6 +84,21 @@ struct EngineOptions {
   /// SAT stat attribution stays exact either way (the worker thread is
   /// captured into this run's solver-totals accumulator).
   util::Executor* executor = nullptr;
+  /// Cooperative cancellation observed by every phase: solver search loops,
+  /// QBF iterations, the per-target loop, and verification all poll this
+  /// token. Combined with time_budget (whichever cancels first wins);
+  /// request_stop() — from a CLI signal handler or Executor::shutdown_token
+  /// — aborts the run with FailReason::kCancelled. An invalid token means
+  /// only time_budget governs.
+  CancelToken cancel{};
+  /// Strategy ladder (docs/ROBUSTNESS.md): when the primary attempt ends
+  /// kUnknown (budget expiry, quantify overflow, internal error) with
+  /// budget left, the driver escalates through fallback rungs — structural
+  /// resub, bigger SAT budget, wider window, relaxed cost — each under its
+  /// own budget slice with exponential backoff. Attempts are recorded in
+  /// EngineStats::ladder. Off = single attempt, bit-identical to the
+  /// pre-ladder engine.
+  bool ladder = true;
 };
 
 /// Per-target report.
@@ -78,6 +110,15 @@ struct TargetPatchInfo {
   std::string sop;                   ///< printable SOP (SAT path only)
   double support_seconds = 0;        ///< support computation time (SAT path)
   int support_sat_calls = 0;         ///< SAT queries for this target's support
+};
+
+/// One strategy-ladder attempt (EngineStats::ladder): which rung ran, how
+/// it ended, and how long it took. The first entry is always "primary".
+struct LadderAttempt {
+  std::string rung;         ///< "primary", "resub", "sat_patchfunc", ...
+  std::string result;       ///< outcome status name ("patched", "unknown", ...)
+  std::string fail_reason;  ///< FailReason name ("none" when it succeeded)
+  double seconds = 0;
 };
 
 /// Structured engine statistics, filled on every run (independent of the
@@ -123,6 +164,10 @@ struct EngineStats {
   uint64_t sim_irredundant_hits = 0;  ///< irredundancy SAT calls skipped
   uint64_t sim_bank_patterns = 0;     ///< counterexamples recorded into banks
   uint64_t sim_resim_nodes = 0;       ///< incremental re-simulation node-words
+
+  /// Strategy-ladder log: one entry per attempt ("primary" first, then any
+  /// escalation rungs). A single entry means no escalation happened.
+  std::vector<LadderAttempt> ladder;
 };
 
 /// Result of a full ECO run.
@@ -131,6 +176,7 @@ struct EcoOutcome {
     kPatched,     ///< patch computed and verified
     kInfeasible,  ///< the target set cannot rectify the implementation
     kUnknown,     ///< budgets exhausted before an answer
+    kError,       ///< the run failed — see fail_reason / fail_detail
   };
   /// Outcome of the final equivalence check.
   enum class Verification {
@@ -140,6 +186,13 @@ struct EcoOutcome {
     kRefuted,       ///< the check found a mismatch — the patch is wrong
   };
   Status status = Status::kUnknown;
+  /// Why the run failed or stopped early; kNone on clean results. Filled
+  /// for kError always, and for kUnknown when a budget / stop / refuted
+  /// verification ended the run.
+  FailReason fail_reason = FailReason::kNone;
+  /// One-line diagnostic for kError (the mapped exception message) or for
+  /// notable early exits; empty otherwise.
+  std::string fail_detail;
   bool verified = false;  ///< verification == kVerified
   Verification verification = Verification::kInconclusive;
   std::string method;  ///< "sat", "structural", "structural+cegar_min"
@@ -159,6 +212,13 @@ struct EcoOutcome {
 };
 
 /// Runs the complete flow on \p problem.
+///
+/// Crash-proof contract: never throws. Every exception raised inside —
+/// parser errors, allocation failures, internal logic errors — is mapped to
+/// an EcoOutcome with Status::kError and the matching FailReason; budget
+/// expiry and external stops surface as kUnknown with fail_reason
+/// kBudget/kCancelled. With EngineOptions::ladder the driver retries
+/// fallback strategies before giving up (see docs/ROBUSTNESS.md).
 EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options = {});
 
 /// Convenience: parse-netlists front end (contest-style files already merged

@@ -38,8 +38,8 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
 
   // On-set solver: M(0, x). Off-set solver: M(1, x).
   sat::Solver on_solver, off_solver;
-  on_solver.set_deadline(options.deadline);
-  off_solver.set_deadline(options.deadline);
+  on_solver.set_cancel(options.cancel);
+  off_solver.set_cancel(options.cancel);
   cnf::Encoder on_enc(m.aig, on_solver), off_enc(m.aig, off_solver);
   on_solver.add_unit(on_enc.lit(m.out));
   on_solver.add_unit(~on_enc.lit(target_lit));
@@ -152,7 +152,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     // on-set copy plus, per cube j, an activation variable out_j with
     // out_j -> (some literal of cube j is false).
     sat::Solver ir_solver;
-    ir_solver.set_deadline(options.deadline);
+    ir_solver.set_cancel(options.cancel);
     cnf::Encoder ir_enc(m.aig, ir_solver);
     ir_solver.add_unit(ir_enc.lit(m.out));
     ir_solver.add_unit(~ir_enc.lit(target_lit));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "eco/miter.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 #include "sop/cover.hpp"
 
@@ -30,8 +31,9 @@ struct PatchFuncOptions {
   uint64_t max_cubes = 200000;
   /// Conflict budget per SAT query (< 0 unlimited).
   int64_t conflict_budget = -1;
-  /// Wall-clock deadline enforced inside every SAT query.
-  eco::Deadline deadline{};
+  /// Cancellation token (deadline + external stop) enforced inside every
+  /// SAT query. An invalid token means unlimited.
+  eco::CancelToken cancel{};
   /// Run the exact SAT-based irredundancy pass after enumeration: a cube is
   /// dropped when every on-set point it covers is covered by another cube.
   /// Enumeration already yields a near-irredundant cover (each cube was

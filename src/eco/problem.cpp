@@ -13,12 +13,12 @@ EcoProblem make_problem(const net::Network& impl, const net::Network& spec,
                         const net::WeightMap& weights) {
   // Output interfaces must match by name (order taken from the spec).
   if (impl.outputs.size() != spec.outputs.size())
-    throw std::runtime_error("make_problem: output counts differ");
+    throw net::InputError("make_problem: output counts differ");
   {
     const std::unordered_set<std::string> impl_outs(impl.outputs.begin(), impl.outputs.end());
     for (const auto& o : spec.outputs)
       if (!impl_outs.count(o))
-        throw std::runtime_error("make_problem: spec output '" + o +
+        throw net::InputError("make_problem: spec output '" + o +
                                  "' missing from implementation");
   }
 
@@ -32,11 +32,11 @@ EcoProblem make_problem(const net::Network& impl, const net::Network& spec,
     const std::unordered_set<std::string> impl_ins(impl.inputs.begin(), impl.inputs.end());
     for (const auto& in : spec.inputs)
       if (!impl_ins.count(in))
-        throw std::runtime_error("make_problem: spec input '" + in +
+        throw net::InputError("make_problem: spec input '" + in +
                                  "' missing from implementation");
   }
   if (targets.empty())
-    throw std::runtime_error("make_problem: no target inputs found in implementation");
+    throw net::InputError("make_problem: no target inputs found in implementation");
 
   // Re-order implementation inputs: shared first (spec order), targets last.
   net::Network impl_ordered = impl;

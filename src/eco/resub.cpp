@@ -47,7 +47,7 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
 
   // --- Support selection on the two-copy dependency instance. ------------
   sat::Solver dep;
-  dep.set_deadline(options.deadline);
+  dep.set_cancel(options.cancel);
   cnf::Encoder copy1(impl, dep), copy2(impl, dep);
   dep.add_unit(copy1.lit(func));    // p(x1) = 1
   dep.add_unit(~copy2.lit(func));   // p(x2) = 0
@@ -102,8 +102,8 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
 
   // --- Cube enumeration of p over the chosen support. --------------------
   sat::Solver on_solver, off_solver;
-  on_solver.set_deadline(options.deadline);
-  off_solver.set_deadline(options.deadline);
+  on_solver.set_cancel(options.cancel);
+  off_solver.set_cancel(options.cancel);
   cnf::Encoder on_enc(impl, on_solver), off_enc(impl, off_solver);
   on_solver.add_unit(on_enc.lit(func));
   off_solver.add_unit(~off_enc.lit(func));

@@ -16,6 +16,7 @@
 
 #include "eco/problem.hpp"
 #include "sop/cover.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace eco::core {
@@ -24,7 +25,9 @@ class ResubFilter;
 
 struct ResubOptions {
   int64_t conflict_budget = -1;
-  eco::Deadline deadline{};
+  /// Cancellation token (deadline + external stop) enforced inside every
+  /// SAT query. An invalid token means unlimited.
+  eco::CancelToken cancel{};
   uint64_t max_cubes = 50000;
   /// Optional simulation filter over the same implementation AIG: refutes
   /// the dependency check without SAT when its bank already witnesses the

@@ -20,9 +20,9 @@ class HittingSetSolver {
  public:
   HittingSetSolver(const std::vector<std::vector<size_t>>& clauses,
                    const std::vector<Divisor>& divisors, int64_t node_budget,
-                   const Deadline& deadline)
+                   const Deadline& deadline, const CancelToken& cancel)
       : clauses_(clauses), divisors_(divisors), nodes_left_(node_budget),
-        deadline_(deadline) {}
+        deadline_(deadline), cancel_(cancel) {}
 
   /// Returns true on success (exact optimum); false when the node budget
   /// ran out (best found so far is still reported).
@@ -44,7 +44,7 @@ class HittingSetSolver {
       exhausted_ = false;
       return;
     }
-    if ((nodes_left_ & 0xFFF) == 0 && deadline_.expired()) {
+    if ((nodes_left_ & 0xFFF) == 0 && (deadline_.expired() || cancel_.cancelled())) {
       nodes_left_ = 0;
       exhausted_ = false;
       return;
@@ -88,6 +88,7 @@ class HittingSetSolver {
   const std::vector<Divisor>& divisors_;
   int64_t nodes_left_;
   Deadline deadline_;
+  CancelToken cancel_;
   int64_t best_cost_ = 0;
   std::vector<size_t> best_;
   bool have_best_ = false;
@@ -130,12 +131,13 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     ECO_TELEMETRY_COUNT("satprune.iterations");
-    if (deadline.expired()) break;
+    if (deadline.expired() || options.cancel.cancelled()) break;
 
     // Minimum-cost hitting set of the separators found so far = lower bound.
     std::vector<size_t> hs;
     int64_t hs_cost = 0;
-    HittingSetSolver hss(separator_clauses, divisors, options.max_bb_nodes, deadline);
+    HittingSetSolver hss(separator_clauses, divisors, options.max_bb_nodes, deadline,
+                         options.cancel);
     const bool exact = hss.solve(hs, hs_cost, incumbent_cost);
     if (!exact) break;  // budget: incumbent stays, optimality unproven
     if (hs_cost >= incumbent_cost && have_incumbent) {

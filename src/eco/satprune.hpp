@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "eco/support.hpp"
+#include "util/cancel.hpp"
 
 namespace eco::core {
 
@@ -36,6 +37,9 @@ struct SatPruneOptions {
   int64_t conflict_budget = -1;
   /// Overall wall-clock budget in seconds (<= 0 unlimited).
   double time_budget = 0;
+  /// Cooperative cancellation, checked each IHS iteration and inside the
+  /// branch-and-bound search. An invalid token is ignored.
+  CancelToken cancel{};
 };
 
 struct SatPruneResult {

@@ -1,17 +1,23 @@
 #include "eco/window.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "aig/ops.hpp"
 #include "aig/window.hpp"
 #include "cec/cec.hpp"
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
+#include "util/faultpoint.hpp"
 #include "util/log.hpp"
 
 namespace eco::core {
 
 Window compute_window(const EcoProblem& problem, int64_t conflict_budget) {
+  // Fault site: window extraction blows up (e.g. a pathological TFI/TFO
+  // traversal) before any window exists.
+  if (ECO_FAULT_POINT(fault::Site::kWindowExtract))
+    throw std::runtime_error("window: injected fault (window.extract)");
   Window w;
   const aig::Aig& impl = problem.impl;
   const aig::Aig& spec = problem.spec;

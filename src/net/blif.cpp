@@ -10,13 +10,14 @@
 
 #include "sop/cover.hpp"
 #include "sop/synth.hpp"
+#include "util/faultpoint.hpp"
 
 namespace eco::net {
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("blif:" + std::to_string(line) + ": " + msg);
+  throw ParseError("blif:" + std::to_string(line) + ": " + msg);
 }
 
 struct NamesDef {
@@ -58,6 +59,8 @@ std::vector<std::pair<int, std::vector<std::string>>> logical_lines(std::istream
 }  // namespace
 
 aig::Aig parse_blif(std::istream& in) {
+  if (ECO_FAULT_POINT(fault::Site::kNetParse))
+    throw ParseError("blif:0: injected fault (net.parse)");
   const auto lines = logical_lines(in);
 
   std::vector<std::string> inputs, outputs;
@@ -163,7 +166,7 @@ aig::Aig parse_blif_string(const std::string& text) {
 
 aig::Aig parse_blif_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("blif: cannot open file: " + path);
+  if (!in) throw ParseError("blif: cannot open file: " + path);
   return parse_blif(in);
 }
 

@@ -57,7 +57,7 @@ ElaboratedAig elaborate(const Network& net) {
           if (out.signal_lits.count(in)) continue;
           const size_t dep = driver.at(in);
           if (state[dep] == State::kOnStack)
-            throw std::runtime_error("elaborate: combinational cycle through '" + in + "'");
+            throw InputError("elaborate: combinational cycle through '" + in + "'");
           stack.push_back(dep);
           ready = false;
         }

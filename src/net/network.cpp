@@ -35,28 +35,28 @@ void Network::validate() const {
   std::unordered_set<std::string> driven;
   for (const auto& s : inputs)
     if (!driven.insert(s).second)
-      throw std::runtime_error("network '" + name + "': duplicate input '" + s + "'");
+      throw InputError("network '" + name + "': duplicate input '" + s + "'");
   for (const auto& g : gates) {
     if (!driven.insert(g.output).second)
-      throw std::runtime_error("network '" + name + "': signal '" + g.output +
+      throw InputError("network '" + name + "': signal '" + g.output +
                                "' has multiple drivers");
     const size_t n = g.inputs.size();
     switch (g.type) {
       case GateType::kBuf:
       case GateType::kNot:
         if (n != 1)
-          throw std::runtime_error("network '" + name + "': gate '" + g.output +
+          throw InputError("network '" + name + "': gate '" + g.output +
                                    "' needs exactly 1 input");
         break;
       case GateType::kConst0:
       case GateType::kConst1:
         if (n != 0)
-          throw std::runtime_error("network '" + name + "': constant gate '" + g.output +
+          throw InputError("network '" + name + "': constant gate '" + g.output +
                                    "' takes no inputs");
         break;
       default:
         if (n < 1)
-          throw std::runtime_error("network '" + name + "': gate '" + g.output +
+          throw InputError("network '" + name + "': gate '" + g.output +
                                    "' needs at least 1 input");
         break;
     }
@@ -64,14 +64,14 @@ void Network::validate() const {
   std::unordered_set<std::string> outs;
   for (const auto& s : outputs) {
     if (!outs.insert(s).second)
-      throw std::runtime_error("network '" + name + "': duplicate output '" + s + "'");
+      throw InputError("network '" + name + "': duplicate output '" + s + "'");
     if (!driven.count(s))
-      throw std::runtime_error("network '" + name + "': output '" + s + "' is never driven");
+      throw InputError("network '" + name + "': output '" + s + "' is never driven");
   }
   for (const auto& g : gates)
     for (const auto& in : g.inputs)
       if (!driven.count(in))
-        throw std::runtime_error("network '" + name + "': signal '" + in +
+        throw InputError("network '" + name + "': signal '" + in +
                                  "' is used but never driven");
 }
 

@@ -10,12 +10,31 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace eco::net {
+
+/// Lexical/syntactic failure in an input file (Verilog, BLIF, weights,
+/// AIGER). The message is a single line of the form
+/// `<format>:<line>: <what>`; front ends print it verbatim and exit
+/// nonzero, the engine maps it to FailReason::kParse.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Semantically inconsistent input: files that parse but do not form a
+/// valid problem (duplicate drivers, undriven outputs, mismatched
+/// impl/spec interfaces, combinational cycles). Maps to
+/// FailReason::kInconsistentInput.
+class InputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Primitive gate types of the structural-Verilog subset.
 enum class GateType {
@@ -52,8 +71,8 @@ struct Network {
   /// All signal names: inputs, gate outputs (deduplicated, insertion order).
   std::vector<std::string> all_signals() const;
 
-  /// Validates structural sanity; throws std::runtime_error describing the
-  /// first problem found:
+  /// Validates structural sanity; throws InputError describing the first
+  /// problem found:
   ///  - duplicated input/output/driver names,
   ///  - gates with the wrong arity for their type,
   ///  - signals used but never driven and not inputs,

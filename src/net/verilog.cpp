@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/faultpoint.hpp"
+
 namespace eco::net {
 
 namespace {
@@ -30,7 +32,7 @@ class Lexer {
   }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("verilog:" + std::to_string(tok_.line) + ": " + msg);
+    throw ParseError("verilog:" + std::to_string(tok_.line) + ": " + msg);
   }
 
  private:
@@ -68,7 +70,7 @@ class Lexer {
       else if (lit == "1'b1" || lit == "1'h1" || lit == "1")
         tok_ = Token{Token::Kind::kConst1, lit, line_};
       else
-        throw std::runtime_error("verilog:" + std::to_string(line_) +
+        throw ParseError("verilog:" + std::to_string(line_) +
                                  ": unsupported literal '" + lit + "'");
       return;
     }
@@ -97,7 +99,7 @@ class Lexer {
         for (;;) {
           const int cur = in_.get();
           if (cur == EOF)
-            throw std::runtime_error("verilog:" + std::to_string(line_) +
+            throw ParseError("verilog:" + std::to_string(line_) +
                                      ": unterminated block comment");
           if (cur == '\n') ++line_;
           if (prev == '*' && cur == '/') break;
@@ -316,7 +318,11 @@ class Parser {
 
 }  // namespace
 
-Network parse_verilog(std::istream& in) { return Parser(in).parse(); }
+Network parse_verilog(std::istream& in) {
+  if (ECO_FAULT_POINT(fault::Site::kNetParse))
+    throw ParseError("verilog:0: injected fault (net.parse)");
+  return Parser(in).parse();
+}
 
 Network parse_verilog_string(const std::string& text) {
   std::istringstream in(text);
@@ -325,7 +331,7 @@ Network parse_verilog_string(const std::string& text) {
 
 Network parse_verilog_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open verilog file: " + path);
+  if (!in) throw ParseError("verilog: cannot open file: " + path);
   return parse_verilog(in);
 }
 

@@ -8,9 +8,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/faultpoint.hpp"
+
 namespace eco::net {
 
 WeightMap parse_weights(std::istream& in) {
+  if (ECO_FAULT_POINT(fault::Site::kNetParse))
+    throw ParseError("weights:0: injected fault (net.parse)");
   WeightMap wm;
   std::string line;
   int line_no = 0;
@@ -22,12 +26,12 @@ WeightMap parse_weights(std::istream& in) {
     std::string signal;
     int64_t weight = 0;
     if (!(ls >> signal >> weight))
-      throw std::runtime_error("weights:" + std::to_string(line_no) + ": malformed line");
+      throw ParseError("weights:" + std::to_string(line_no) + ": malformed line");
     std::string rest;
     if (ls >> rest)
-      throw std::runtime_error("weights:" + std::to_string(line_no) + ": trailing tokens");
+      throw ParseError("weights:" + std::to_string(line_no) + ": trailing tokens");
     if (!wm.weights.emplace(signal, weight).second)
-      throw std::runtime_error("weights:" + std::to_string(line_no) + ": duplicate signal '" +
+      throw ParseError("weights:" + std::to_string(line_no) + ": duplicate signal '" +
                                signal + "'");
   }
   return wm;
@@ -40,7 +44,7 @@ WeightMap parse_weights_string(const std::string& text) {
 
 WeightMap parse_weights_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open weight file: " + path);
+  if (!in) throw ParseError("weights: cannot open file: " + path);
   return parse_weights(in);
 }
 

@@ -5,6 +5,7 @@
 #include "aig/ops.hpp"
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
+#include "util/faultpoint.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -15,6 +16,11 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
                                const Qbf2Options& options) {
   ECO_TELEMETRY_PHASE("qbf");
   Qbf2Result result;
+  // Fault site: the CEGAR loop hits its iteration cap before converging.
+  if (ECO_FAULT_POINT(fault::Site::kQbfIterCap)) {
+    result.iterations = options.max_iterations;
+    return result;
+  }
   Deadline deadline(options.time_budget);
   const uint32_t num_n = g.num_pis() - num_x;
 
@@ -26,6 +32,7 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
   for (uint32_t i = 0; i < num_x; ++i) acc_x.push_back(acc.add_pi(g.pi_name(i)));
   sat::Solver a_solver;
   a_solver.set_deadline(deadline);
+  a_solver.set_cancel(options.cancel);
   cnf::Encoder a_enc(acc, a_solver);
   // Make sure every x variable exists in the A-solver so models cover them.
   for (uint32_t i = 0; i < num_x; ++i) a_enc.lit(acc_x[i]);
@@ -34,6 +41,7 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
   // assumptions fixing x*.
   sat::Solver b_solver;
   b_solver.set_deadline(deadline);
+  b_solver.set_cancel(options.cancel);
   cnf::Encoder b_enc(g, b_solver);
   const sat::Lit b_root = b_enc.lit(root);
   b_solver.add_unit(~b_root);
@@ -49,7 +57,7 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     ECO_TELEMETRY_COUNT("qbf.iterations");
-    if (deadline.expired()) return result;
+    if (deadline.expired() || options.cancel.cancelled()) return result;
 
     // Propose x*.
     budgeted(a_solver);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "util/cancel.hpp"
 
 namespace eco::qbf {
 
@@ -36,6 +37,10 @@ struct Qbf2Options {
   int max_iterations = 10000;
   int64_t conflict_budget = -1;  ///< per SAT query (< 0 unlimited)
   double time_budget = 0;        ///< seconds (<= 0 unlimited)
+  /// Cooperative cancellation: checked each CEGAR iteration and threaded
+  /// into both solvers. Cancellation yields kUnknown. An invalid token is
+  /// ignored (time_budget alone governs).
+  CancelToken cancel{};
 };
 
 struct Qbf2Result {

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "util/faultpoint.hpp"
 #include "util/telemetry.hpp"
 
 namespace eco::sat {
@@ -698,9 +699,10 @@ bool Solver::within_budget() const noexcept {
   if (deadline_check_countdown_ == 0) {
     deadline_check_countdown_ = 64;
     if (deadline_.expired()) deadline_expired_ = true;
+    if (cancel_.valid() && cancel_.cancelled()) cancel_hit_ = true;
   }
   --deadline_check_countdown_;
-  if (deadline_expired_) return false;
+  if (deadline_expired_ || cancel_hit_) return false;
   if (conflict_budget_ >= 0 &&
       stats_.conflicts - conflicts_at_solve_start_ >= static_cast<uint64_t>(conflict_budget_))
     return false;
@@ -832,6 +834,8 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   core_.clear();
   std::fill(in_core_mark_.begin(), in_core_mark_.end(), 0);
   if (!ok_) return kFalse;
+  // Fault site: pretend the budget was exhausted before any search ran.
+  if (ECO_FAULT_POINT(fault::Site::kSatBudget)) return kUndef;
 
   // Assumption-prefix trail reuse: decision level i (1-based) was opened for
   // assumption i-1 (as a real decision or a dummy level), so the trail below

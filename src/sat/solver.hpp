@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "sat/types.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace eco::sat {
@@ -211,6 +212,18 @@ class Solver {
   void set_deadline(const Deadline& deadline) noexcept {
     deadline_ = deadline;
     deadline_expired_ = false;
+    deadline_check_countdown_ = 0;
+  }
+
+  /// Attaches a cooperative cancellation token checked during search (same
+  /// throttled cadence as the deadline); solve() returns kUndef once it
+  /// cancels. A default-constructed (invalid) token clears it. Unlike the
+  /// deadline this also reacts to external stop requests and memory-budget
+  /// exhaustion, so a CLI signal handler or executor shutdown can abort a
+  /// long solve mid-search.
+  void set_cancel(const CancelToken& token) noexcept {
+    cancel_ = token;
+    cancel_hit_ = false;
     deadline_check_countdown_ = 0;
   }
 
@@ -422,7 +435,9 @@ class Solver {
   int64_t conflict_budget_ = -1;
   int64_t propagation_budget_ = -1;
   Deadline deadline_{};
+  CancelToken cancel_{};
   mutable bool deadline_expired_ = false;
+  mutable bool cancel_hit_ = false;
   mutable uint32_t deadline_check_countdown_ = 0;
   uint64_t conflicts_at_solve_start_ = 0;
   uint64_t propagations_at_solve_start_ = 0;

@@ -1,0 +1,116 @@
+#include "util/cancel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eco {
+
+const char* cancel_reason_name(CancelReason r) noexcept {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kStopped: return "stopped";
+    case CancelReason::kMemory: return "memory";
+    case CancelReason::kDeadline: return "deadline";
+  }
+  return "none";
+}
+
+CancelToken::CancelToken(double budget_seconds, uint64_t memory_budget_bytes)
+    : state_(std::make_shared<State>()) {
+  state_->deadline = Deadline(budget_seconds);
+  state_->memory_budget = memory_budget_bytes;
+}
+
+CancelToken::State* CancelToken::root() const noexcept {
+  State* s = state_.get();
+  while (s != nullptr && s->parent != nullptr) s = s->parent.get();
+  return s;
+}
+
+CancelReason CancelToken::reason() const noexcept {
+  if (state_ == nullptr) return CancelReason::kNone;
+  // Stop wins over everything: it is the explicit external abort.
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get())
+    if (s->stop.load(std::memory_order_relaxed)) return CancelReason::kStopped;
+  const State* r = root();
+  if (r->memory_budget != 0 &&
+      r->memory_used.load(std::memory_order_relaxed) > r->memory_budget)
+    return CancelReason::kMemory;
+  // Deadlines tighten down the chain: a child's own deadline is already the
+  // min of its slice and the parent's remaining time at derivation, but the
+  // parent may be consumed by sibling work, so check the whole chain — up
+  // to a grace-window boundary, past which ancestor deadlines do not apply.
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->deadline.expired()) return CancelReason::kDeadline;
+    if (s->detach_deadline) break;
+  }
+  return CancelReason::kNone;
+}
+
+void CancelToken::request_stop() noexcept {
+  if (state_ != nullptr) state_->stop.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::stop_requested() const noexcept {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get())
+    if (s->stop.load(std::memory_order_relaxed)) return true;
+  return false;
+}
+
+double CancelToken::remaining() const noexcept {
+  double rem = std::numeric_limits<double>::infinity();
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    rem = std::min(rem, s->deadline.remaining());
+    if (s->detach_deadline) break;
+  }
+  return rem < 0 ? 0 : rem;
+}
+
+Deadline CancelToken::deadline() const noexcept {
+  return state_ == nullptr ? Deadline{} : state_->deadline;
+}
+
+void CancelToken::charge_memory(uint64_t bytes) const noexcept {
+  State* r = root();
+  if (r != nullptr) r->memory_used.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void CancelToken::release_memory(uint64_t bytes) const noexcept {
+  State* r = root();
+  if (r != nullptr) r->memory_used.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+uint64_t CancelToken::memory_used() const noexcept {
+  const State* r = root();
+  return r == nullptr ? 0 : r->memory_used.load(std::memory_order_relaxed);
+}
+
+uint64_t CancelToken::memory_budget() const noexcept {
+  const State* r = root();
+  return r == nullptr ? 0 : r->memory_budget;
+}
+
+CancelToken CancelToken::grace(double seconds) const {
+  auto state = std::make_shared<State>();
+  state->deadline = Deadline(seconds);
+  state->detach_deadline = true;
+  state->parent = state_;  // stop/memory still chain; nullptr parent is fine
+  return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::child(double slice_seconds) const {
+  auto state = std::make_shared<State>();
+  if (state_ != nullptr) {
+    state->parent = state_;
+    const double rem = remaining();
+    const double slice =
+        slice_seconds > 0 ? std::min(slice_seconds, rem)
+                          : (rem == std::numeric_limits<double>::infinity() ? 0 : rem);
+    state->deadline = Deadline(slice);
+  } else {
+    state->deadline = Deadline(slice_seconds);
+  }
+  return CancelToken(std::move(state));
+}
+
+}  // namespace eco

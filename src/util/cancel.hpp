@@ -1,0 +1,124 @@
+/// \file cancel.hpp
+/// \brief Cooperative cancellation: stop flag + wall-clock deadline +
+/// optional memory budget in one token threaded through every engine phase.
+///
+/// A `CancelToken` is the engine's single answer to "should this work
+/// stop?". It bundles the three reasons work ever stops early:
+///
+///  - **external stop** — a CLI signal handler or an executor shutting down
+///    calls `request_stop()`; the store is async-signal-safe,
+///  - **deadline** — the wall-clock budget of the run (or of one ladder
+///    rung) expired,
+///  - **memory** — the cooperative allocation account exceeded its budget
+///    (phases `charge_memory()` their large allocations).
+///
+/// Tokens are cheap shared handles (one `shared_ptr`); copies observe the
+/// same state. `child(slice)` derives a token with its *own, tighter*
+/// deadline that still observes the parent's stop flag and memory account —
+/// this is how the driver slices the remaining budget across strategy-ladder
+/// rungs and grace windows without losing external abort.
+///
+/// A default-constructed token is the "unlimited" token: never cancelled,
+/// `request_stop()` is a no-op. It costs nothing and is the default for
+/// every options struct. See docs/ROBUSTNESS.md for the cancellation
+/// contract (who checks, how often, what they return).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/timer.hpp"
+
+namespace eco {
+
+/// Why a token reports cancelled() — checked in this priority order.
+enum class CancelReason : uint8_t {
+  kNone,      ///< not cancelled
+  kStopped,   ///< request_stop() was called (signal, shutdown, user abort)
+  kMemory,    ///< the memory account exceeded its budget
+  kDeadline,  ///< the wall-clock deadline expired
+};
+
+const char* cancel_reason_name(CancelReason r) noexcept;
+
+class CancelToken {
+ public:
+  /// The unlimited token: never cancelled, unstoppable, free to copy.
+  CancelToken() noexcept = default;
+
+  /// A real token. \p budget_seconds <= 0 means no deadline;
+  /// \p memory_budget_bytes == 0 means no memory budget. Either way the
+  /// token is stoppable via request_stop().
+  explicit CancelToken(double budget_seconds, uint64_t memory_budget_bytes = 0);
+
+  /// A stoppable token with no deadline and no memory budget.
+  static CancelToken stoppable() { return CancelToken(0.0); }
+
+  /// False for the default-constructed unlimited token.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once any stop condition holds (cheap: at most two relaxed atomic
+  /// loads plus one clock read; safe to call at solver-conflict cadence).
+  bool cancelled() const noexcept { return reason() != CancelReason::kNone; }
+
+  /// The first stop condition that holds, kNone when none does.
+  CancelReason reason() const noexcept;
+
+  /// Requests cooperative stop. Async-signal-safe (one atomic store); no-op
+  /// on the unlimited token. Propagates to every child of this token.
+  void request_stop() noexcept;
+
+  /// True if request_stop() was called on this token or an ancestor.
+  bool stop_requested() const noexcept;
+
+  /// Seconds until the deadline; +infinity when unlimited. Never negative.
+  double remaining() const noexcept;
+
+  /// This token's deadline (unlimited Deadline{} when none) — for code that
+  /// still consumes a plain Deadline.
+  Deadline deadline() const noexcept;
+
+  /// Cooperative memory accounting. Charges are process-wide per token tree
+  /// (children share the root's account). No-ops on the unlimited token.
+  /// Const: the account lives in shared state, like the stop flag.
+  void charge_memory(uint64_t bytes) const noexcept;
+  void release_memory(uint64_t bytes) const noexcept;
+  uint64_t memory_used() const noexcept;
+  uint64_t memory_budget() const noexcept;
+
+  /// Derives a token that shares this token's stop flag and memory account
+  /// but carries its own deadline of min(\p slice_seconds, remaining()).
+  /// On the unlimited token this simply creates a fresh token with the
+  /// given budget (<= 0 for none).
+  CancelToken child(double slice_seconds) const;
+
+  /// Derives a *grace-window* token: its deadline is exactly \p seconds —
+  /// NOT capped by this token's remaining time and not chained to ancestor
+  /// deadlines — while the stop flag and memory account are still shared.
+  /// Used by phases that deliberately run past the main deadline (the
+  /// structural fallback, final verification) yet must stay abortable.
+  CancelToken grace(double seconds) const;
+
+ private:
+  struct State {
+    std::atomic<bool> stop{false};
+    Deadline deadline{};
+    /// Grace window: ancestor deadlines are ignored past this state (the
+    /// stop flag and memory account still chain through).
+    bool detach_deadline = false;
+    // Memory account: root-owned; children alias the root's fields.
+    std::atomic<uint64_t> memory_used{0};
+    uint64_t memory_budget = 0;
+    std::shared_ptr<State> parent;  ///< stop/memory chain (nullptr at root)
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state) noexcept
+      : state_(std::move(state)) {}
+
+  State* root() const noexcept;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace eco

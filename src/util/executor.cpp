@@ -29,6 +29,9 @@ Executor::Executor(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
 }
 
 Executor::~Executor() {
+  // Cooperative abort first: in-flight tasks observing shutdown_token()
+  // wind down instead of pinning the joins below.
+  shutdown_token_.request_stop();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;

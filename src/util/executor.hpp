@@ -42,6 +42,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace eco::util {
 
 /// Number of hardware threads (at least 1).
@@ -64,6 +66,18 @@ class Executor {
 
   /// The configured degree of parallelism (>= 1).
   int jobs() const noexcept { return jobs_; }
+
+  /// A stoppable token tied to this executor's lifetime: `request_stop()`
+  /// and the destructor both trip it. Long-running work dispatched on the
+  /// pool (engine runs, bench sweeps) chains its CancelToken to this one —
+  /// see CancelToken::child — so tearing down the executor cooperatively
+  /// aborts in-flight jobs instead of blocking on them.
+  const CancelToken& shutdown_token() const noexcept { return shutdown_token_; }
+
+  /// Requests cooperative cancellation of everything observing
+  /// shutdown_token(). Queued-but-unstarted tasks still run (they should
+  /// observe the token and return early).
+  void request_stop() noexcept { shutdown_token_.request_stop(); }
 
   /// Schedules \p fn on the pool and returns its future. In serial mode the
   /// task runs inline before submit returns (its exception, if any, is
@@ -113,6 +127,7 @@ class Executor {
   void worker_loop();
 
   int jobs_;
+  CancelToken shutdown_token_ = CancelToken::stoppable();
   std::vector<std::thread> workers_;
   std::vector<std::function<void()>> queue_;  // FIFO (front at index head_)
   size_t queue_head_ = 0;

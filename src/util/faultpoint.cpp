@@ -1,0 +1,157 @@
+#include "util/faultpoint.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+
+namespace eco::fault {
+
+namespace {
+
+struct SiteState {
+  std::atomic<bool> armed{false};
+  std::atomic<uint64_t> draws{0};
+  std::atomic<uint64_t> fired{0};
+  /// Fire when mix(seed ^ draw-index) / 2^64 < probability.
+  uint64_t threshold = 0;  // probability mapped onto [0, 2^64)
+  uint64_t seed = 1;
+};
+
+std::atomic<bool> g_any_armed{false};
+SiteState g_sites[kNumSites];
+std::mutex g_config_mu;
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "sat.budget",  "cnf.load",  "window.extract", "qbf.itercap",
+    "verify.timeout", "net.parse", "alloc.guard",
+};
+constexpr const char* kFiredCounterNames[kNumSites] = {
+    "fault.fired.sat.budget",  "fault.fired.cnf.load",
+    "fault.fired.window.extract", "fault.fired.qbf.itercap",
+    "fault.fired.verify.timeout", "fault.fired.net.parse",
+    "fault.fired.alloc.guard",
+};
+
+void refresh_any_armed() noexcept {
+  bool any = false;
+  for (const SiteState& s : g_sites)
+    if (s.armed.load(std::memory_order_relaxed)) any = true;
+  g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+bool parse_one(const std::string& entry, std::string* error) {
+  // site[:prob[:seed]]
+  const size_t c1 = entry.find(':');
+  const std::string name = entry.substr(0, c1);
+  double prob = 1.0;
+  uint64_t seed = 1;
+  if (c1 != std::string::npos) {
+    const size_t c2 = entry.find(':', c1 + 1);
+    const std::string prob_str =
+        entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    errno = 0;
+    char* end = nullptr;
+    prob = std::strtod(prob_str.c_str(), &end);
+    if (errno != 0 || end == prob_str.c_str() || *end != '\0' || prob < 0 || prob > 1) {
+      if (error != nullptr) *error = "bad probability '" + prob_str + "' for '" + name + "'";
+      return false;
+    }
+    if (c2 != std::string::npos) {
+      const std::string seed_str = entry.substr(c2 + 1);
+      errno = 0;
+      seed = std::strtoull(seed_str.c_str(), &end, 10);
+      if (errno != 0 || end == seed_str.c_str() || *end != '\0') {
+        if (error != nullptr) *error = "bad seed '" + seed_str + "' for '" + name + "'";
+        return false;
+      }
+    }
+  }
+  for (size_t i = 0; i < kNumSites; ++i) {
+    if (name != kSiteNames[i]) continue;
+    SiteState& s = g_sites[i];
+    // Map prob onto the full 64-bit range; prob == 1 must always fire.
+    s.threshold = prob >= 1.0 ? ~0ULL
+                              : static_cast<uint64_t>(prob * 18446744073709551616.0);
+    s.seed = SplitMix64::mix(seed + 0x9E3779B97F4A7C15ULL);
+    s.draws.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.armed.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  if (error != nullptr) *error = "unknown fault site '" + name + "'";
+  return false;
+}
+
+/// Reads ECO_FAULT once before main-ish use (static initializer). A bad
+/// spec in the environment must not crash the process that was asked to be
+/// crash-proof: log and continue unarmed.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("ECO_FAULT");
+    if (spec == nullptr || *spec == '\0') return;
+    std::string error;
+    if (!arm(spec, &error))
+      log_warn("faultpoint: ignoring ECO_FAULT: %s", error.c_str());
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+const char* site_name(Site s) noexcept {
+  return kSiteNames[static_cast<size_t>(s)];
+}
+
+bool arm(const std::string& spec, std::string* error) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!entry.empty() && !parse_one(entry, error)) {
+      refresh_any_armed();
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  refresh_any_armed();
+  return true;
+}
+
+void disarm_all() noexcept {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  for (SiteState& s : g_sites) {
+    s.armed.store(false, std::memory_order_relaxed);
+    s.draws.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+  }
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() noexcept { return g_any_armed.load(std::memory_order_relaxed); }
+
+bool should_fail(Site site) noexcept {
+  SiteState& s = g_sites[static_cast<size_t>(site)];
+  if (!s.armed.load(std::memory_order_relaxed)) return false;
+  // Deterministic per draw index, independent of thread interleaving: the
+  // k-th draw at a site always sees the same value.
+  const uint64_t index = s.draws.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t draw = SplitMix64::mix(s.seed ^ (index + 1));
+  if (s.threshold != ~0ULL && draw >= s.threshold) return false;
+  s.fired.fetch_add(1, std::memory_order_relaxed);
+  ECO_TELEMETRY_COUNT(kFiredCounterNames[static_cast<size_t>(site)]);
+  return true;
+}
+
+uint64_t fired_count(Site s) noexcept {
+  return g_sites[static_cast<size_t>(s)].fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace eco::fault

@@ -1,0 +1,71 @@
+/// \file faultpoint.hpp
+/// \brief Named, deterministic fault-injection sites for chaos testing.
+///
+/// Every seam where the engine can fail in production — solver budget
+/// exhaustion, CNF loading, window extraction, the QBF iteration cap, the
+/// verify timeout, netlist parsing, the allocation guard — carries a fault
+/// point. Unarmed (the default), a site costs a single relaxed load of one
+/// process-wide flag and a perfectly predicted branch; the sites are
+/// compiled into every build so the chaos suite and CI exercise the exact
+/// binaries that ship.
+///
+/// Arming: `ECO_FAULT="site[:prob[:seed]]"` in the environment (read once
+/// at process start) or `arm("spec")` programmatically (the CLI's `--fault`
+/// flag). Multiple sites separated by commas. `prob` in [0,1] (default 1);
+/// `seed` makes the per-call Bernoulli draws deterministic (default 1).
+/// Draws are indexed by a per-site atomic counter and hashed with
+/// SplitMix64, so a run's k-th visit to a site always draws the same value
+/// regardless of thread schedule.
+///
+/// A firing site takes its *natural* failure path — the solver reports
+/// budget exhaustion, the parser throws its parse error, the allocation
+/// guard throws `std::bad_alloc` — so chaos tests exercise the same code
+/// the real failure would. The site catalog lives in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eco::fault {
+
+/// The fault-site catalog. Keep site_name() and the docs in sync.
+enum class Site : uint8_t {
+  kSatBudget,      ///< sat.budget — solve() reports budget exhaustion (kUndef)
+  kCnfLoad,        ///< cnf.load — CNF encoding fails with bad_alloc
+  kWindowExtract,  ///< window.extract — structural pruning fails internally
+  kQbfIterCap,     ///< qbf.itercap — the CEGAR loop gives up (kUnknown)
+  kVerifyTimeout,  ///< verify.timeout — final CEC reports inconclusive
+  kNetParse,       ///< net.parse — netlist parsing throws ParseError
+  kAllocGuard,     ///< alloc.guard — the expansion allocation guard trips
+  kCount_,
+};
+inline constexpr size_t kNumSites = static_cast<size_t>(Site::kCount_);
+
+const char* site_name(Site s) noexcept;
+
+/// Arms sites from a spec: `site[:prob[:seed]]` joined by commas, e.g.
+/// `"sat.budget:0.5:7,net.parse"`. Returns false (and fills \p error when
+/// non-null) on an unknown site or malformed probability/seed; previously
+/// armed sites are kept in that case. Resets the fired/draw counters of the
+/// sites it arms.
+bool arm(const std::string& spec, std::string* error = nullptr);
+
+/// Disarms every site and clears all counters.
+void disarm_all() noexcept;
+
+/// True when at least one site is armed (one relaxed atomic load).
+bool armed() noexcept;
+
+/// Deterministic Bernoulli draw for \p s. Always false when the site is not
+/// armed. Counts fires into `fired_count` and the `fault.fired.<site>`
+/// telemetry counter.
+bool should_fail(Site s) noexcept;
+
+/// Number of times \p s fired since it was (re-)armed.
+uint64_t fired_count(Site s) noexcept;
+
+}  // namespace eco::fault
+
+/// Use this at injection sites: false (and nearly free) when unarmed.
+#define ECO_FAULT_POINT(site) \
+  (::eco::fault::armed() && ::eco::fault::should_fail(site))

@@ -1,0 +1,5 @@
+module bad (a, y);
+  input a;
+  output y;
+  frobnicate g1 (y, a);
+endmodule

@@ -1,0 +1,4 @@
+module broken (a, b, y);
+  input a, b;
+  output y;
+  and g1 (y, a, b

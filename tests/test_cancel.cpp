@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
+
+namespace eco {
+namespace {
+
+TEST(Deadline, ZeroBudgetIsUnlimited) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, NegativeBudgetIsUnlimited) {
+  Deadline d(-5.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining(), 0.0);
+}
+
+// The engine classifies a token as "limited" with `remaining() < 1e17`:
+// unlimited deadlines report +infinity, and any representable finite budget
+// stays well below the sentinel (steady_clock durations cap out around
+// 2.9e11 seconds). Pin both sides of that boundary.
+TEST(Deadline, RemainingSentinelBoundary) {
+  EXPECT_GE(Deadline{}.remaining(), 1e17);
+  EXPECT_GE(Deadline(0.0).remaining(), 1e17);
+  Deadline large(1e9);  // ~31 years: huge but representable
+  EXPECT_LT(large.remaining(), 1e17);
+  EXPECT_GT(large.remaining(), 0.9e9);
+}
+
+TEST(CancelToken, DefaultIsUnlimited) {
+  CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.reason(), CancelReason::kNone);
+  EXPECT_TRUE(std::isinf(t.remaining()));
+  t.request_stop();  // no-op, must not crash
+  EXPECT_FALSE(t.stop_requested());
+  t.charge_memory(1 << 20);  // no-op
+  EXPECT_EQ(t.memory_used(), 0u);
+}
+
+TEST(CancelToken, StoppableObservesRequestStop) {
+  CancelToken t = CancelToken::stoppable();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  CancelToken copy = t;  // copies share state
+  copy.request_stop();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), CancelReason::kStopped);
+  EXPECT_TRUE(t.stop_requested());
+}
+
+TEST(CancelToken, DeadlineExpiryCancels) {
+  CancelToken t(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), CancelReason::kDeadline);
+  EXPECT_EQ(t.remaining(), 0.0);  // clamped, never negative
+}
+
+TEST(CancelToken, ZeroBudgetTokenHasNoDeadline) {
+  CancelToken t(0.0);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_TRUE(std::isinf(t.remaining()));
+}
+
+TEST(CancelToken, MemoryBudgetCancels) {
+  CancelToken t(0.0, /*memory_budget_bytes=*/1000);
+  t.charge_memory(600);
+  EXPECT_FALSE(t.cancelled());
+  t.charge_memory(600);
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), CancelReason::kMemory);
+  t.release_memory(600);
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, StopWinsOverDeadline) {
+  CancelToken t(1e-9);
+  t.request_stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(t.reason(), CancelReason::kStopped);
+}
+
+TEST(CancelToken, ChildCapsSliceByParentRemaining) {
+  CancelToken parent(1000.0);
+  CancelToken child = parent.child(5.0);
+  EXPECT_TRUE(child.valid());
+  EXPECT_LE(child.remaining(), 5.0);
+  // A slice larger than the parent's remaining time is capped by it.
+  CancelToken wide = parent.child(1e6);
+  EXPECT_LE(wide.remaining(), 1000.0);
+}
+
+TEST(CancelToken, ChildObservesParentStop) {
+  CancelToken parent = CancelToken::stoppable();
+  CancelToken child = parent.child(60.0);
+  EXPECT_FALSE(child.cancelled());
+  parent.request_stop();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), CancelReason::kStopped);
+}
+
+TEST(CancelToken, ChildObservesParentDeadline) {
+  CancelToken parent(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  CancelToken child = parent.child(60.0);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelToken, ChildSharesMemoryAccountWithRoot) {
+  CancelToken parent(0.0, /*memory_budget_bytes=*/1000);
+  CancelToken child = parent.child(60.0);
+  child.charge_memory(1500);
+  EXPECT_EQ(parent.memory_used(), 1500u);
+  EXPECT_TRUE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), CancelReason::kMemory);
+}
+
+TEST(CancelToken, ChildOfUnlimitedTokenIsPlainBudget) {
+  CancelToken t;
+  CancelToken child = t.child(60.0);
+  EXPECT_TRUE(child.valid());
+  EXPECT_FALSE(child.cancelled());
+  EXPECT_LE(child.remaining(), 60.0);
+}
+
+TEST(CancelToken, GraceDetachesFromExpiredDeadline) {
+  CancelToken parent(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(parent.cancelled());
+  // A child would inherit the expired deadline; a grace window must not.
+  CancelToken g = parent.grace(60.0);
+  EXPECT_FALSE(g.cancelled());
+  EXPECT_LE(g.remaining(), 60.0);
+  EXPECT_GT(g.remaining(), 1.0);
+}
+
+TEST(CancelToken, GraceStillObservesStopAndMemory) {
+  CancelToken parent(0.0, /*memory_budget_bytes=*/1000);
+  CancelToken g = parent.grace(60.0);
+  EXPECT_FALSE(g.cancelled());
+  g.charge_memory(2000);
+  EXPECT_EQ(g.reason(), CancelReason::kMemory);
+  g.release_memory(2000);
+  parent.request_stop();
+  EXPECT_EQ(g.reason(), CancelReason::kStopped);
+}
+
+TEST(CancelToken, GraceOfUnlimitedTokenWorks) {
+  CancelToken t;
+  CancelToken g = t.grace(30.0);
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(g.cancelled());
+  EXPECT_LE(g.remaining(), 30.0);
+}
+
+TEST(CancelToken, ReasonNames) {
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kNone), "none");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kStopped), "stopped");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kMemory), "memory");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kDeadline), "deadline");
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/faultpoint.hpp"
+
+namespace eco::fault {
+namespace {
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultPointTest, UnarmedNeverFires) {
+  EXPECT_FALSE(armed());
+  for (size_t i = 0; i < kNumSites; ++i) {
+    const Site s = static_cast<Site>(i);
+    EXPECT_FALSE(should_fail(s)) << site_name(s);
+    EXPECT_FALSE(ECO_FAULT_POINT(s)) << site_name(s);
+    EXPECT_EQ(fired_count(s), 0u) << site_name(s);
+  }
+}
+
+TEST_F(FaultPointTest, SiteNamesAreStableAndDistinct) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kNumSites; ++i)
+    names.emplace_back(site_name(static_cast<Site>(i)));
+  EXPECT_EQ(names[0], "sat.budget");
+  EXPECT_EQ(names[static_cast<size_t>(Site::kNetParse)], "net.parse");
+  for (size_t i = 0; i < names.size(); ++i)
+    for (size_t j = i + 1; j < names.size(); ++j) EXPECT_NE(names[i], names[j]);
+}
+
+TEST_F(FaultPointTest, ArmProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(arm("sat.budget"));
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(ECO_FAULT_POINT(Site::kSatBudget));
+  EXPECT_EQ(fired_count(Site::kSatBudget), 20u);
+  // Other sites stay unarmed.
+  EXPECT_FALSE(ECO_FAULT_POINT(Site::kNetParse));
+}
+
+TEST_F(FaultPointTest, ArmMultipleSites) {
+  ASSERT_TRUE(arm("net.parse,verify.timeout"));
+  EXPECT_TRUE(ECO_FAULT_POINT(Site::kNetParse));
+  EXPECT_TRUE(ECO_FAULT_POINT(Site::kVerifyTimeout));
+  EXPECT_FALSE(ECO_FAULT_POINT(Site::kCnfLoad));
+}
+
+TEST_F(FaultPointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(arm("cnf.load:0"));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(ECO_FAULT_POINT(Site::kCnfLoad));
+  EXPECT_EQ(fired_count(Site::kCnfLoad), 0u);
+}
+
+TEST_F(FaultPointTest, DrawsAreDeterministicPerSeed) {
+  const auto draw_sequence = [](const char* spec) {
+    disarm_all();
+    EXPECT_TRUE(arm(spec));
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(should_fail(Site::kWindowExtract));
+    return fires;
+  };
+  const auto a = draw_sequence("window.extract:0.5:7");
+  const auto b = draw_sequence("window.extract:0.5:7");
+  EXPECT_EQ(a, b);  // same seed: identical k-th draws
+  const auto c = draw_sequence("window.extract:0.5:8");
+  EXPECT_NE(a, c);  // different seed: different sequence
+  // Roughly half fire at prob 0.5 (wide tolerance, deterministic anyway).
+  int fired = 0;
+  for (const bool f : a) fired += f;
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 150);
+}
+
+TEST_F(FaultPointTest, RearmResetsCounters) {
+  ASSERT_TRUE(arm("qbf.itercap"));
+  (void)should_fail(Site::kQbfIterCap);
+  EXPECT_EQ(fired_count(Site::kQbfIterCap), 1u);
+  ASSERT_TRUE(arm("qbf.itercap"));
+  EXPECT_EQ(fired_count(Site::kQbfIterCap), 0u);
+}
+
+TEST_F(FaultPointTest, DisarmAllClearsEverything) {
+  ASSERT_TRUE(arm("alloc.guard"));
+  EXPECT_TRUE(ECO_FAULT_POINT(Site::kAllocGuard));
+  disarm_all();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(ECO_FAULT_POINT(Site::kAllocGuard));
+  EXPECT_EQ(fired_count(Site::kAllocGuard), 0u);
+}
+
+TEST_F(FaultPointTest, MalformedSpecsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(arm("no.such.site", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(arm("sat.budget:notanumber", &error));
+  EXPECT_FALSE(arm("sat.budget:1.5", &error));  // prob out of [0,1]
+  EXPECT_FALSE(arm("sat.budget:-0.1", &error));
+  EXPECT_TRUE(arm("", &error));  // empty spec: accepted no-op
+  // A rejected spec must not arm anything as a side effect.
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FaultPointTest, RejectedSpecKeepsExistingArming) {
+  ASSERT_TRUE(arm("net.parse"));
+  EXPECT_FALSE(arm("no.such.site"));
+  EXPECT_TRUE(ECO_FAULT_POINT(Site::kNetParse));
+}
+
+}  // namespace
+}  // namespace eco::fault

@@ -1,0 +1,102 @@
+// Front-end hardening: truncated / garbage netlist, BLIF, and weight files
+// must produce a net::ParseError with a one-line diagnostic — never a crash,
+// an uncaught std::exception, or a silently empty network. The corpus lives
+// in tests/data/malformed/ (ECOPATCH_TEST_DATA_DIR).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/blif.hpp"
+#include "net/network.hpp"
+#include "net/verilog.hpp"
+#include "net/weights.hpp"
+
+namespace eco::net {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(ECOPATCH_TEST_DATA_DIR) + "/malformed/" + name;
+}
+
+/// A diagnostic is one line: non-empty, no embedded newline — what the CLI
+/// prints verbatim before exiting nonzero.
+void expect_one_line(const ParseError& e) {
+  const std::string msg = e.what();
+  EXPECT_FALSE(msg.empty());
+  EXPECT_EQ(msg.find('\n'), std::string::npos) << msg;
+}
+
+TEST(NetMalformed, TruncatedVerilogThrowsParseError) {
+  try {
+    parse_verilog_file(data_path("truncated.v"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, GarbageVerilogThrowsParseError) {
+  try {
+    parse_verilog_file(data_path("garbage.v"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, UnknownGateVerilogThrowsParseError) {
+  try {
+    parse_verilog_file(data_path("bad_gate.v"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, TruncatedBlifThrowsParseError) {
+  try {
+    parse_blif_file(data_path("truncated.blif"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, GarbageBlifThrowsParseError) {
+  try {
+    parse_blif_file(data_path("garbage.blif"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, BadWeightsThrowsParseError) {
+  try {
+    parse_weights_file(data_path("bad_weights.txt"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    expect_one_line(e);
+  }
+}
+
+TEST(NetMalformed, MissingFileThrowsParseError) {
+  EXPECT_THROW(parse_verilog_file(data_path("does_not_exist.v")), ParseError);
+  EXPECT_THROW(parse_blif_file(data_path("does_not_exist.blif")), ParseError);
+  EXPECT_THROW(parse_weights_file(data_path("does_not_exist.txt")), ParseError);
+}
+
+TEST(NetMalformed, ParseErrorIsARuntimeError) {
+  // The taxonomy contract: ParseError and InputError remain catchable as
+  // std::runtime_error so pre-taxonomy call sites keep working.
+  try {
+    parse_weights_string("x not_a_number\n");
+    FAIL() << "expected ParseError";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("weights"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace eco::net

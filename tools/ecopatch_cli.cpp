@@ -15,11 +15,16 @@
 //         --jobs N                            thread pool for the run
 //                                             (0 = all hardware threads;
 //                                             default: ECO_JOBS, else 1)
+//         --ladder 0|1                        strategy-ladder fallback
+//                                             (default on; docs/ROBUSTNESS.md)
 //   ecopatch gen <unit 1..20> <outdir> [--seed N]
 //
 // Global options (any command): -v/--verbose raises the log level to info,
 // -vv to debug, and routes the telemetry phase/counter summary through the
-// logger. See docs/OBSERVABILITY.md for the JSON schemas.
+// logger; --fault SPEC arms fault-injection sites (same syntax as ECO_FAULT,
+// docs/ROBUSTNESS.md). See docs/OBSERVABILITY.md for the JSON schemas.
+// SIGINT/SIGTERM request cooperative cancellation: the run winds down and
+// reports status "unknown" with fail_reason "cancelled".
 //       Materializes a synthetic suite unit as impl.v/spec.v/weights.txt.
 //   ecopatch stats <circuit>
 //       Parses a circuit (.v, .blif, .aag/.aig) and prints statistics.
@@ -28,6 +33,7 @@
 //   ecopatch convert <in> <out>
 //       Converts between formats; both chosen by file extension.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +51,17 @@
 #include "net/elaborate.hpp"
 #include "net/verilog.hpp"
 #include "net/weights.hpp"
+#include "util/cancel.hpp"
 #include "util/executor.hpp"
+#include "util/faultpoint.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
 namespace {
+
+/// Tripped by SIGINT/SIGTERM; the engine observes it cooperatively and
+/// winds down with FailReason::kCancelled instead of being killed mid-write.
+eco::CancelToken g_stop = eco::CancelToken::stoppable();
 
 int usage() {
   std::fprintf(stderr,
@@ -57,12 +69,15 @@ int usage() {
                "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
                "                 [--stats-json FILE] [--trace FILE] [--jobs N]\n"
-               "                 [--sim-bank 0|1]\n"
+               "                 [--sim-bank 0|1] [--ladder 0|1]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
                "  ecopatch cec <a> <b> [--jobs N]\n"
                "  ecopatch convert <in> <out>\n"
-               "global options: -v/--verbose (info), -vv (debug)\n");
+               "global options: -v/--verbose (info), -vv (debug),\n"
+               "                --fault SITE[:PROB[:SEED]],... (inject faults)\n"
+               "exit codes: 0 patched, 1 infeasible/not-equivalent, 2 usage,\n"
+               "            3 unknown, 4 front-end error, 5 engine error\n");
   return 2;
 }
 
@@ -133,6 +148,10 @@ int cmd_solve(int argc, char** argv) {
       const std::string v = argv[++i];
       if (v != "0" && v != "1") return usage();
       options.simfilter.enabled = v == "1";
+    } else if (arg == "--ladder" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v != "0" && v != "1") return usage();
+      options.ladder = v == "1";
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -150,6 +169,7 @@ int cmd_solve(int argc, char** argv) {
   const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
   eco::util::Executor executor(jobs);
   options.executor = &executor;
+  options.cancel = g_stop;  // Ctrl-C / SIGTERM aborts the run cooperatively
   const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
 
   // Observability outputs are written for every status, including failures —
@@ -180,13 +200,29 @@ int cmd_solve(int argc, char** argv) {
   }
 
   using Status = eco::core::EcoOutcome::Status;
+  if (outcome.stats.ladder.size() > 1) {
+    std::printf("ladder: %zu attempts (", outcome.stats.ladder.size());
+    for (size_t i = 0; i < outcome.stats.ladder.size(); ++i)
+      std::printf("%s%s=%s", i ? ", " : "", outcome.stats.ladder[i].rung.c_str(),
+                  outcome.stats.ladder[i].result.c_str());
+    std::printf(")\n");
+  }
+  if (outcome.status == Status::kError) {
+    std::fprintf(stderr, "ecopatch: engine error (%s): %s\n",
+                 eco::core::fail_reason_name(outcome.fail_reason),
+                 outcome.fail_detail.c_str());
+    return 5;
+  }
   if (outcome.status == Status::kInfeasible) {
     std::printf("INFEASIBLE: the targets cannot rectify the implementation (method %s)\n",
                 outcome.method.c_str());
     return 1;
   }
   if (outcome.status == Status::kUnknown) {
-    std::printf("UNKNOWN: budgets exhausted before an answer\n");
+    std::printf("UNKNOWN (%s): no answer within the budgets%s%s\n",
+                eco::core::fail_reason_name(outcome.fail_reason),
+                outcome.fail_detail.empty() ? "" : ": ",
+                outcome.fail_detail.c_str());
     return 3;
   }
   const char* verification =
@@ -289,18 +325,33 @@ int cmd_convert(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip global verbosity flags (valid in any position) before dispatch.
+  // Strip global flags (valid in any position) before dispatch.
   int verbosity = 0;
   int out_argc = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-v" || arg == "--verbose") ++verbosity;
-    else if (arg == "-vv") verbosity += 2;
-    else argv[out_argc++] = argv[i];
+    if (arg == "-v" || arg == "--verbose") {
+      ++verbosity;
+    } else if (arg == "-vv") {
+      verbosity += 2;
+    } else if (arg == "--fault" && i + 1 < argc) {
+      std::string error;
+      if (!eco::fault::arm(argv[++i], &error)) {
+        std::fprintf(stderr, "ecopatch: --fault: %s\n", error.c_str());
+        return 2;
+      }
+    } else {
+      argv[out_argc++] = argv[i];
+    }
   }
   argc = out_argc;
   if (verbosity >= 2) eco::set_log_level(eco::LogLevel::kDebug);
   else if (verbosity == 1) eco::set_log_level(eco::LogLevel::kInfo);
+
+  // Cooperative shutdown: the handler performs one atomic store; the engine
+  // notices at its next cancellation poll.
+  std::signal(SIGINT, [](int) { g_stop.request_stop(); });
+  std::signal(SIGTERM, [](int) { g_stop.request_stop(); });
 
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -310,6 +361,12 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "cec") return cmd_cec(argc, argv);
     if (command == "convert") return cmd_convert(argc, argv);
+  } catch (const eco::net::ParseError& e) {
+    std::fprintf(stderr, "ecopatch: parse error: %s\n", e.what());
+    return 4;
+  } catch (const eco::net::InputError& e) {
+    std::fprintf(stderr, "ecopatch: invalid input: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ecopatch: %s\n", e.what());
     return 4;
