@@ -9,7 +9,7 @@
 // The final row reports geometric means of the per-unit ratios vs. config A.
 //
 // Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--jobs N]
-//                     [--json FILE] [--ladder 0|1]
+//                     [--json FILE] [--ledger FILE] [--ladder 0|1]
 //
 // The strategy ladder is OFF by default here (unlike the engine default):
 // Table 1 compares the three configurations as-is, so escalation to other
@@ -46,8 +46,10 @@
 #include "benchgen/weightgen.hpp"
 #include "eco/engine.hpp"
 #include "eco/problem.hpp"
+#include "util/buildinfo.hpp"
 #include "util/executor.hpp"
 #include "util/jsonw.hpp"
+#include "util/ledger.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -167,13 +169,15 @@ double ratio_or_one(double num, double den) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--jobs N] [--json FILE]\n"
-               "          [--ladder 0|1]\n"
+               "          [--ledger FILE] [--ladder 0|1]\n"
                "  --seed N          benchmark-suite generator seed (default 20170912)\n"
                "  --unit K          run only unit K (0..%d)\n"
                "  --budget SECONDS  per-run engine time budget > 0 (default 15)\n"
                "  --jobs N          parallel runs; 0 = all hardware threads\n"
                "                    (default: ECO_JOBS, else 1)\n"
                "  --json FILE       write machine-readable records to FILE\n"
+               "  --ledger FILE     write the per-query JSONL ledger to FILE\n"
+               "                    (ecopatch-ledger-v1; analyze with ecoprof)\n"
                "  --ladder 0|1      strategy-ladder fallback (default 0: compare\n"
                "                    the configurations as-is)\n",
                argv0, eco::benchgen::kNumUnits - 1);
@@ -219,7 +223,7 @@ int main(int argc, char** argv) {
   double budget = 15.0;
   int jobs = eco::util::default_jobs();
   bool ladder = false;
-  std::string json_path;
+  std::string json_path, ledger_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* operand = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -264,6 +268,13 @@ int main(int argc, char** argv) {
       }
       json_path = operand;
       ++i;
+    } else if (!std::strcmp(arg, "--ledger")) {
+      if (operand == nullptr || operand[0] == '\0') {
+        std::fprintf(stderr, "%s: --ledger needs a file path\n", argv[0]);
+        return usage(argv[0]);
+      }
+      ledger_path = operand;
+      ++i;
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
       return usage(argv[0]);
@@ -291,6 +302,14 @@ int main(int argc, char** argv) {
     for (int cfg = 0; cfg < 3; ++cfg) tasks.push_back(Task{u, cfg});
   std::vector<RunRow> results(tasks.size());
 
+  // Fail fast on an unwritable ledger path — the sink writes its header line
+  // on open, well before the sweep burns hundreds of seconds.
+  if (!ledger_path.empty() && !eco::ledger::set_sink(ledger_path)) {
+    std::fprintf(stderr, "bench_table1: cannot write %s: %s\n", ledger_path.c_str(),
+                 std::strerror(errno));
+    return 2;
+  }
+
   eco::util::Executor executor(jobs);
   eco::Timer sweep_timer;
   executor.parallel_for(tasks.size(), [&](size_t t) {
@@ -305,6 +324,9 @@ int main(int argc, char** argv) {
   eco::JsonWriter json;
   json.begin_object();
   json.kv("schema", "ecopatch-bench-table1-v1");
+  // Provenance stamp (schema-additive): which build produced these numbers.
+  json.kv("git_commit", eco::build::git_commit());
+  json.kv("git_dirty", eco::build::git_dirty());
   json.kv("seed", seed);
   json.kv("budget_seconds", budget);
   json.kv("ladder", ladder);
@@ -388,6 +410,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("JSON records written to %s\n", json_path.c_str());
+  }
+  if (!ledger_path.empty()) {
+    if (!eco::ledger::close_sink()) {
+      std::fprintf(stderr, "bench_table1: cannot write %s\n", ledger_path.c_str());
+      return 2;
+    }
+    std::printf("ledger written to %s\n", ledger_path.c_str());
   }
 
   if (failures) std::printf("\n%d unit(s) had unverified configurations.\n", failures);

@@ -11,7 +11,9 @@
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/executor.hpp"
+#include "util/ledger.hpp"
 #include "util/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace eco::cec {
 
@@ -111,19 +113,42 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
                        const eco::CancelToken& cancel) {
   ECO_TELEMETRY_PHASE("cec");
   ECO_TELEMETRY_COUNT("cec.checks");
+  // Weak: the engine's verification opens kVerify above this entry point.
+  auto ledger_scope = ledger::ScopedPurpose::weak(ledger::Purpose::kCec);
+  const bool ledger_on = ledger::enabled();
+  const Timer check_wall;
+  const double check_cpu0 = ledger_on ? ledger::thread_cpu_seconds() : 0;
+  auto append_check = [&](const CecResult& res, bool sim_hit) {
+    if (!ledger_on) return;
+    ledger::Record r;
+    r.kind = ledger::Kind::kCecCheck;
+    r.wall_seconds = check_wall.seconds();
+    r.cpu_seconds = ledger::thread_cpu_seconds() - check_cpu0;
+    r.vars = g.num_pis();
+    r.sim_hit = sim_hit ? 1 : 0;
+    r.result = res.status == Status::kEquivalent      ? ledger::QueryResult::kUnsat
+               : res.status == Status::kNotEquivalent ? ledger::QueryResult::kSat
+                                                      : ledger::QueryResult::kUndef;
+    ledger::append(r);
+  };
   CecResult result;
   if (root == aig::kLitFalse) {
     result.status = Status::kEquivalent;
+    append_check(result, false);
     return result;
   }
   if (root == aig::kLitTrue) {
     result.status = Status::kNotEquivalent;
     result.counterexample.assign(g.num_pis(), false);
+    append_check(result, false);
     return result;
   }
   // Directed screening: a seed that excites the root decides the check with
   // zero solver work; when none fires, the SAT path below is untouched.
-  if (screen_seed_patterns(g, root, seed_patterns, result)) return result;
+  if (screen_seed_patterns(g, root, seed_patterns, result)) {
+    append_check(result, true);
+    return result;
+  }
   sat::Solver solver;
   solver.set_deadline(deadline);
   solver.set_cancel(cancel);
@@ -138,6 +163,7 @@ CecResult check_const0(const aig::Aig& g, aig::Lit root, int64_t conflict_budget
     result.status = Status::kNotEquivalent;
     result.counterexample = extract_pattern(g, enc, solver);
   }
+  append_check(result, false);
   return result;
 }
 

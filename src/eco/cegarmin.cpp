@@ -8,6 +8,7 @@
 #include "cnf/tseitin.hpp"
 #include "flow/maxflow.hpp"
 #include "sat/solver.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
@@ -48,6 +49,7 @@ struct SigHash {
 std::vector<TargetRewrite> cegar_min(const EcoProblem& problem, const aig::Aig& patches,
                                      const CegarMinOptions& options) {
   ECO_TELEMETRY_PHASE("cegar_min");
+  ledger::ScopedPurpose ledger_scope(ledger::Purpose::kCegarMin);
   const uint32_t num_targets = patches.num_pos();
   std::vector<TargetRewrite> result(num_targets);
 

@@ -16,6 +16,7 @@
 #include "eco/structural.hpp"
 #include "eco/window.hpp"
 #include "sop/synth.hpp"
+#include "util/buildinfo.hpp"
 #include "util/cancel.hpp"
 #include "util/executor.hpp"
 #include "util/faultpoint.hpp"
@@ -657,6 +658,9 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
     std::optional<telemetry::ScopedSolverCapture> capture;
     if (capture_totals) capture.emplace(sat_acc);
     ECO_TELEMETRY_PHASE("verify");
+    // Strong scope: the final verification keeps its tag even through the
+    // cec library's own (weak) kCec scope.
+    ledger::ScopedPurpose ledger_scope(ledger::Purpose::kVerify);
     Timer verify_timer;
     // Fault site: the verification prover gives up (times out).
     if (ECO_FAULT_POINT(fault::Site::kVerifyTimeout)) {
@@ -716,6 +720,11 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
   finish(outcome);
   return outcome;
 }
+
+/// Flight-recorder depth: the last N ledger records dumped into a failing
+/// outcome. Enough to cover the queries leading up to the failure without
+/// bloating the JSON.
+constexpr size_t kFlightRecorderTail = 32;
 
 /// An EcoOutcome carrying only an error classification.
 EcoOutcome error_outcome(FailReason reason, std::string detail) {
@@ -810,6 +819,9 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   const auto attempt_guarded = [&](const EngineOptions& opts, const CancelToken& token,
                                    const char* rung) {
     Timer attempt_timer;
+    const bool ledger_on = ledger::enabled();
+    const double attempt_cpu0 = ledger_on ? ledger::thread_cpu_seconds() : 0;
+    const uint64_t faults_fired0 = ledger_on ? fault::total_fired() : 0;
     EcoOutcome out;
     try {
       out = run_eco_attempt(problem, opts, token);
@@ -840,6 +852,35 @@ EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
     rec.seconds = attempt_timer.seconds();
     ladder_log.push_back(std::move(rec));
     ECO_TELEMETRY_COUNT("ladder.attempts");
+    if (ledger_on) {
+      ledger::Record lr;
+      lr.kind = ledger::Kind::kLadderAttempt;
+      lr.purpose = ledger::Purpose::kLadder;
+      lr.wall_seconds = rec.seconds;
+      lr.cpu_seconds = ledger::thread_cpu_seconds() - attempt_cpu0;
+      lr.result = out.status == EcoOutcome::Status::kPatched ||
+                          out.status == EcoOutcome::Status::kInfeasible
+                      ? ledger::QueryResult::kSat
+                  : out.status == EcoOutcome::Status::kUnknown
+                      ? ledger::QueryResult::kUndef
+                      : ledger::QueryResult::kUnsat;
+      if (out.status == EcoOutcome::Status::kUnknown) {
+        switch (out.fail_reason) {
+          case FailReason::kCancelled: lr.cancel = ledger::CancelCause::kStopped; break;
+          case FailReason::kMemory: lr.cancel = ledger::CancelCause::kMemory; break;
+          default: lr.cancel = ledger::CancelCause::kBudget; break;
+        }
+      }
+      ledger::append(lr);
+      // Flight recorder: a kError outcome or a fault that fired inside this
+      // attempt freezes the ledger tail into the outcome, so the crash is
+      // diagnosable from the JSON alone. The attempt record just appended is
+      // part of the dump — an attempt that dies before its first query still
+      // leaves evidence.
+      if (out.status == EcoOutcome::Status::kError ||
+          fault::total_fired() > faults_fired0)
+        out.flight_recorder = ledger::tail(kFlightRecorderTail);
+    }
     return out;
   };
 
@@ -921,6 +962,8 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "ecopatch-outcome-v1");
+  w.kv("git_commit", build::git_commit());
+  w.kv("git_dirty", build::git_dirty());
   w.kv("status", status_name(outcome.status));
   w.kv("fail_reason", fail_reason_name(outcome.fail_reason));
   if (!outcome.fail_detail.empty()) w.kv("fail_detail", outcome.fail_detail);
@@ -985,6 +1028,13 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
     w.end_object();
   }
   w.end_array();
+
+  if (!outcome.flight_recorder.empty()) {
+    w.key("flight_recorder");
+    w.begin_array();
+    for (const auto& r : outcome.flight_recorder) ledger::write_record(w, r);
+    w.end_array();
+  }
 
   w.key("targets");
   w.begin_array();

@@ -23,6 +23,7 @@
 #include "net/network.hpp"
 #include "qbf/qbf2.hpp"
 #include "util/cancel.hpp"
+#include "util/ledger.hpp"
 
 namespace eco::util {
 class Executor;
@@ -209,6 +210,10 @@ struct EcoOutcome {
   aig::Aig patch_module;
   /// The implementation with all patches substituted (target PIs unused).
   aig::Aig patched_impl;
+  /// Flight-recorder dump: the last ledger records before a kError outcome
+  /// or an injected fault (util/ledger.hpp). Empty on clean runs or with
+  /// the ledger disabled; serialized into the outcome JSON.
+  std::vector<ledger::Record> flight_recorder;
 };
 
 /// Runs the complete flow on \p problem.

@@ -6,6 +6,7 @@
 #include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
 #include "sat/solver.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
@@ -32,6 +33,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
                                     const PatchFuncOptions& options) {
   (void)divisors;
   ECO_TELEMETRY_PHASE("patch_func");
+  ledger::ScopedPurpose ledger_scope(ledger::Purpose::kPatchFunc);
   PatchFuncResult result;
   result.cover.num_vars = static_cast<uint32_t>(support.size());
   const aig::Lit target_lit = m.target_lit(target);
@@ -151,6 +153,7 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
     // cube i and outside every other kept cube. One fresh solver holds the
     // on-set copy plus, per cube j, an activation variable out_j with
     // out_j -> (some literal of cube j is false).
+    ledger::ScopedPurpose ir_ledger_scope(ledger::Purpose::kIrredundancy);
     sat::Solver ir_solver;
     ir_solver.set_cancel(options.cancel);
     cnf::Encoder ir_enc(m.aig, ir_solver);
@@ -180,8 +183,11 @@ PatchFuncResult compute_patch_cover(const EcoMiter& m, uint32_t target,
       // A bank pattern inside cube i and outside every other kept cube is a
       // model of the query below: the cube is necessary, skip the solve.
       if (options.sim_filter != nullptr &&
-          options.sim_filter->witnesses_cube_necessity(i, kept))
+          options.sim_filter->witnesses_cube_necessity(i, kept)) {
+        // A necessity witness is a model of the query: a SAT answer.
+        ledger::append_sim_hit(ledger::Purpose::kIrredundancy, ledger::QueryResult::kSat);
         continue;
+      }
       // Assumption order: shared "outside cube j" activations first (in cube
       // index order), this cube's literals last. Iterations i and i+1 then
       // agree on the activations out_0..out_{i-1}, so the common prefix grows

@@ -6,6 +6,7 @@
 #include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
 #include "sat/solver.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 
 namespace eco::core {
@@ -35,6 +36,7 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
                              const std::vector<Divisor>& divisors,
                              std::span<const size_t> candidates,
                              const ResubOptions& options) {
+  ledger::ScopedPurpose ledger_scope(ledger::Purpose::kResub);
   ResubResult result;
 
   // A bank pattern pair agreeing on every candidate but differing on `func`
@@ -42,8 +44,10 @@ ResubResult functional_resub(const aig::Aig& impl, aig::Lit func,
   // SAT path below treats kTrue and kUndef identically, so the answer is
   // verdict-equivalent even under conflict budgets.)
   if (options.sim != nullptr &&
-      options.sim->refutes_dependency(func, divisors, candidates))
+      options.sim->refutes_dependency(func, divisors, candidates)) {
+    ledger::append_sim_hit(ledger::Purpose::kResub, ledger::QueryResult::kSat);
     return result;
+  }
 
   // --- Support selection on the two-copy dependency instance. ------------
   sat::Solver dep;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -107,6 +108,7 @@ SatPruneResult sat_prune(SupportInstance& inst, const std::vector<Divisor>& divi
                          const SatPruneOptions& options,
                          const std::vector<size_t>* warm_start) {
   ECO_TELEMETRY_PHASE("sat_prune");
+  ledger::ScopedPurpose ledger_scope(ledger::Purpose::kSatPrune);
   SatPruneResult result;
   Deadline deadline(options.time_budget);
 

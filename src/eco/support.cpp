@@ -6,6 +6,7 @@
 #include "cnf/tseitin.hpp"
 #include "eco/simfilter.hpp"
 #include "sat/minimize.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
@@ -76,6 +77,8 @@ sat::LBool SupportInstance::check_subset(std::span<const size_t> subset,
                                          int64_t conflict_budget, bool use_sim_filter) {
   if (use_sim_filter && sim_ != nullptr && sim_->refutes_subset(subset)) {
     last_sim_refuted_ = true;
+    // A refuted subset is a SAT answer (a separating witness exists).
+    ledger::append_sim_hit(ledger::current_purpose(), ledger::QueryResult::kSat);
     return sat::LBool(true);
   }
   last_sim_refuted_ = false;
@@ -113,6 +116,7 @@ std::vector<size_t> SupportInstance::separator() const {
 SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>& divisors,
                               const SupportOptions& options) {
   ECO_TELEMETRY_PHASE("support");
+  ledger::ScopedPurpose ledger_scope(ledger::Purpose::kSupport);
   SupportResult result;
   sat::Solver& solver = inst.solver();
   const std::vector<size_t>& candidates = inst.candidates();
@@ -120,8 +124,10 @@ SupportResult compute_support(SupportInstance& inst, const std::vector<Divisor>&
   // A bank witness for the full candidate set proves infeasibility without
   // any solver work; the instance is abandoned either way, so skipping the
   // solve cannot change anything downstream.
-  if (inst.sim_filter() != nullptr && inst.sim_filter()->refutes_subset(candidates))
+  if (inst.sim_filter() != nullptr && inst.sim_filter()->refutes_subset(candidates)) {
+    ledger::append_sim_hit(ledger::Purpose::kSupport, ledger::QueryResult::kSat);
     return result;  // divisors insufficient
+  }
 
   // Assumptions in increasing cost order (candidates come from the problem's
   // cost-sorted divisor list; keep that order).

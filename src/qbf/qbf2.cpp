@@ -6,6 +6,7 @@
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/faultpoint.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -15,6 +16,8 @@ namespace eco::qbf {
 Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
                                const Qbf2Options& options) {
   ECO_TELEMETRY_PHASE("qbf");
+  // Weak: a library entry point must not shadow an engine-level tag.
+  auto ledger_scope = ledger::ScopedPurpose::weak(ledger::Purpose::kQbf);
   Qbf2Result result;
   // Fault site: the CEGAR loop hits its iteration cap before converging.
   if (ECO_FAULT_POINT(fault::Site::kQbfIterCap)) {
@@ -54,17 +57,46 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
       s.set_conflict_budget(options.conflict_budget);
   };
 
+  // One kQbfIteration ledger record per CEGAR iteration: kUnsat when the
+  // iteration settled the formula, kSat when it refined and looped, kUndef
+  // when a budget cut it short. Work counters are the deltas of both
+  // solvers, so an iteration record aggregates its (up to two) solves.
+  const bool ledger_on = ledger::enabled();
+  auto iteration_work = [&] {
+    return a_solver.stats().conflicts + b_solver.stats().conflicts;
+  };
+  auto append_iteration = [&](const Timer& wall, double cpu0, uint64_t conflicts0,
+                              ledger::QueryResult qr) {
+    if (!ledger_on) return;
+    ledger::Record r;
+    r.kind = ledger::Kind::kQbfIteration;
+    r.purpose = ledger::Purpose::kQbf;
+    r.wall_seconds = wall.seconds();
+    r.cpu_seconds = ledger::thread_cpu_seconds() - cpu0;
+    r.conflicts = iteration_work() - conflicts0;
+    r.vars = static_cast<uint32_t>(b_solver.num_vars());
+    r.result = qr;
+    ledger::append(r);
+  };
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     ECO_TELEMETRY_COUNT("qbf.iterations");
     if (deadline.expired() || options.cancel.cancelled()) return result;
+    const Timer iter_wall;
+    const double iter_cpu0 = ledger_on ? ledger::thread_cpu_seconds() : 0;
+    const uint64_t iter_conflicts0 = ledger_on ? iteration_work() : 0;
 
     // Propose x*.
     budgeted(a_solver);
     const sat::LBool a_verdict = a_solver.solve();
-    if (a_verdict.is_undef()) return result;
+    if (a_verdict.is_undef()) {
+      append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kUndef);
+      return result;
+    }
     if (a_verdict.is_false()) {
       result.status = Qbf2Status::kFalse;
+      append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kUnsat);
       return result;
     }
     std::vector<bool> x_star(num_x);
@@ -76,10 +108,14 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
     for (uint32_t i = 0; i < num_x; ++i) assumps.push_back(b_x[i] ^ !x_star[i]);
     budgeted(b_solver);
     const sat::LBool b_verdict = b_solver.solve(assumps);
-    if (b_verdict.is_undef()) return result;
+    if (b_verdict.is_undef()) {
+      append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kUndef);
+      return result;
+    }
     if (b_verdict.is_false()) {
       result.status = Qbf2Status::kTrue;
       result.witness_x = std::move(x_star);
+      append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kUnsat);
       return result;
     }
     std::vector<bool> n_star(num_n);
@@ -100,9 +136,11 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
     if (!a_solver.okay()) {
       result.status = Qbf2Status::kFalse;
       result.moves.push_back(std::move(n_star));
+      append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kUnsat);
       return result;
     }
     result.moves.push_back(std::move(n_star));
+    append_iteration(iter_wall, iter_cpu0, iter_conflicts0, ledger::QueryResult::kSat);
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "util/faultpoint.hpp"
+#include "util/ledger.hpp"
 #include "util/telemetry.hpp"
 
 namespace eco::sat {
@@ -829,6 +830,44 @@ double Solver::luby(double y, int i) {
 }
 
 LBool Solver::solve(std::span<const Lit> assumptions) {
+  if (!ledger::enabled()) return solve_impl(assumptions);
+  // Ledger path: time the solve and append one record with the stat deltas.
+  const Timer wall;
+  const double cpu0 = ledger::thread_cpu_seconds();
+  const uint64_t conflicts0 = stats_.conflicts;
+  const uint64_t decisions0 = stats_.decisions;
+  const uint64_t propagations0 = stats_.propagations;
+  const LBool status = solve_impl(assumptions);
+  ledger::Record r;
+  r.kind = ledger::Kind::kSolve;
+  r.wall_seconds = wall.seconds();
+  r.cpu_seconds = ledger::thread_cpu_seconds() - cpu0;
+  r.conflicts = stats_.conflicts - conflicts0;
+  r.decisions = stats_.decisions - decisions0;
+  r.propagations = stats_.propagations - propagations0;
+  r.vars = static_cast<uint32_t>(num_vars());
+  r.clauses = static_cast<uint32_t>(clauses_.size());
+  r.result = status.is_true()    ? ledger::QueryResult::kSat
+             : status.is_false() ? ledger::QueryResult::kUnsat
+                                 : ledger::QueryResult::kUndef;
+  if (status.is_undef()) {
+    if (cancel_hit_) {
+      switch (cancel_.reason()) {
+        case CancelReason::kStopped: r.cancel = ledger::CancelCause::kStopped; break;
+        case CancelReason::kMemory: r.cancel = ledger::CancelCause::kMemory; break;
+        default: r.cancel = ledger::CancelCause::kDeadline; break;
+      }
+    } else if (deadline_expired_) {
+      r.cancel = ledger::CancelCause::kDeadline;
+    } else {
+      r.cancel = ledger::CancelCause::kBudget;
+    }
+  }
+  ledger::append(r);
+  return status;
+}
+
+LBool Solver::solve_impl(std::span<const Lit> assumptions) {
   ++stats_.solves;
   model_.clear();
   core_.clear();

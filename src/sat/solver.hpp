@@ -381,6 +381,9 @@ class Solver {
   void maybe_garbage_collect();
   LBool search(int64_t conflicts_before_restart);
   bool within_budget() const noexcept;
+  /// The actual solve; the public solve() wraps it with one query-ledger
+  /// record (util/ledger.hpp) when the ledger is enabled.
+  LBool solve_impl(std::span<const Lit> assumptions);
 
   uint32_t compute_lbd(std::span<const Lit> lits);
 

@@ -1,0 +1,10 @@
+#include "util/buildinfo.hpp"
+
+#include "gitversion.h"  // generated into the build tree
+
+namespace eco::build {
+
+const char* git_commit() noexcept { return ECOPATCH_GIT_COMMIT; }
+bool git_dirty() noexcept { return ECOPATCH_GIT_DIRTY != 0; }
+
+}  // namespace eco::build

@@ -1,0 +1,21 @@
+/// \file buildinfo.hpp
+/// \brief Build provenance: the git commit this binary was built from.
+///
+/// Stamped at build time by cmake/gitversion.cmake (a custom target that
+/// runs on every build and rewrites the generated header only when the
+/// state changed). Every JSON emitter (outcome, bench table, ledger) adds
+/// `git_commit` / `git_dirty` so `ecoprof diff` can label a perf trajectory
+/// with the commits it compares.
+#pragma once
+
+namespace eco::build {
+
+/// The full commit hash of HEAD at build time, or "unknown" when the build
+/// happened outside a git checkout.
+const char* git_commit() noexcept;
+
+/// True when tracked files were modified at build time (the commit hash
+/// alone does not identify the built code).
+bool git_dirty() noexcept;
+
+}  // namespace eco::build

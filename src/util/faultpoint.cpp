@@ -154,4 +154,11 @@ uint64_t fired_count(Site s) noexcept {
   return g_sites[static_cast<size_t>(s)].fired.load(std::memory_order_relaxed);
 }
 
+uint64_t total_fired() noexcept {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumSites; ++i)
+    total += g_sites[i].fired.load(std::memory_order_relaxed);
+  return total;
+}
+
 }  // namespace eco::fault

@@ -64,6 +64,10 @@ bool should_fail(Site s) noexcept;
 /// Number of times \p s fired since it was (re-)armed.
 uint64_t fired_count(Site s) noexcept;
 
+/// Total fires across every site — the flight-recorder trigger: a delta
+/// over an engine attempt means an injected fault fired inside it.
+uint64_t total_fired() noexcept;
+
 }  // namespace eco::fault
 
 /// Use this at injection sites: false (and nearly free) when unarmed.

@@ -1,0 +1,285 @@
+#include "util/jsonr.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace eco {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = "offset " + std::to_string(pos) + ": " + msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos;
+      else
+        break;
+    }
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  bool expect(char c) {
+    if (eof() || text[pos] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 200) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text.substr(pos, 4) != "true") return fail("bad literal");
+        pos += 4;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (text.substr(pos, 5) != "false") return fail("bad literal");
+        pos += 5;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (text.substr(pos, 4) != "null") return fail("bad literal");
+        pos += 4;
+        out = JsonValue();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      out = JsonValue(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"') return fail("expected object key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      obj.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        out = JsonValue(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      out = JsonValue(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        out = JsonValue(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  static void append_utf8(std::string& s, uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(uint32_t& out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9')
+        out |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<uint32_t>(c - 'A' + 10);
+      else
+        return fail("bad \\u escape");
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos;  // '"'
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (eof()) return fail("truncated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!parse_hex4(cp)) return false;
+            // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() &&
+                text[pos] == '\\' && text[pos + 1] == 'u') {
+              pos += 2;
+              uint32_t lo = 0;
+              if (!parse_hex4(lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF)
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char in string");
+      out += c;
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos;
+    if (!eof() && peek() == '.') {
+      ++pos;
+      while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    // strtod needs a NUL-terminated copy; numbers are short.
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return fail("bad number");
+    }
+    out = JsonValue(d);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  JsonValue v;
+  if (!p.parse_value(v, 0)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.eof()) {
+    p.fail("trailing content after document");
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<JsonValue> json_parse_file(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read error on " + path;
+    return std::nullopt;
+  }
+  return json_parse(content, error);
+}
+
+}  // namespace eco

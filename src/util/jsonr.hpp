@@ -1,0 +1,106 @@
+/// \file jsonr.hpp
+/// \brief Minimal JSON reader: recursive-descent parser into a small DOM.
+///
+/// The write side (util/jsonw.hpp) is stream-oriented and never needs a
+/// tree; the read side exists for the tools that consume our own emitters —
+/// `ecoprof` parsing `ecopatch-bench-table1-v1` files and
+/// `ecopatch-ledger-v1` JSONL lines. It is a strict subset of JSON
+/// sufficient for that: objects, arrays, strings (with \uXXXX escapes
+/// decoded to UTF-8), doubles, bools, null. Numbers are held as double —
+/// exact for the counters we emit up to 2^53, which is far beyond any
+/// realistic conflict count.
+///
+/// Errors carry a byte offset; parse() returns std::nullopt and fills an
+/// optional error string instead of throwing, so tools can print one clean
+/// diagnostic line.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eco {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Ordered map: iteration order is key order, which keeps output stable.
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), num_(d) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : type_(Type::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : type_(Type::kObject), obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed reads with a fallback (never throw, never assert).
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& as_string() const noexcept {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+  const JsonArray& as_array() const noexcept {
+    static const JsonArray empty;
+    return is_array() ? *arr_ : empty;
+  }
+  const JsonObject& as_object() const noexcept {
+    static const JsonObject empty;
+    return is_object() ? *obj_ : empty;
+  }
+
+  /// Object member lookup; null JsonValue when absent or not an object.
+  const JsonValue& operator[](std::string_view key) const noexcept {
+    static const JsonValue null;
+    if (!is_object()) return null;
+    const auto it = obj_->find(key);
+    return it == obj_->end() ? null : it->second;
+  }
+  bool contains(std::string_view key) const noexcept {
+    return is_object() && obj_->count(key) != 0;
+  }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  // shared_ptr keeps JsonValue copyable and cheap to pass around a DOM;
+  // parsed documents are read-only so sharing is safe.
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parses one JSON document (the whole of \p text up to trailing
+/// whitespace). On failure returns std::nullopt and, when \p error is
+/// non-null, fills it with "offset N: message".
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
+
+/// Reads and parses a whole file. Distinguishes I/O from syntax errors via
+/// the \p error text ("cannot open ..." vs "offset N: ...").
+std::optional<JsonValue> json_parse_file(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace eco

@@ -80,6 +80,9 @@ thread_local std::vector<SolverTotalsAccumulator*> t_solver_captures;
 
 void record_slice(const char* leaf, uint64_t start_ns, uint64_t dur_ns) {
   Registry& r = registry();
+  // Capacity 0 means "trace recording disabled": discard silently, without
+  // inflating the dropped counter (dropped == lost to overflow, not "off").
+  if (r.trace_capacity == 0) return;
   if (r.trace.size() >= r.trace_capacity) {
     ++r.dropped_trace;
     return;
@@ -415,7 +418,16 @@ void set_trace_capacity(size_t max_events) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   r.trace_capacity = max_events;
+  if (r.trace.size() > max_events) {
+    // Shrinking below the buffered count evicts the oldest events; they were
+    // recorded and lost, so they count as dropped (capacity 0 drops all).
+    r.dropped_trace += r.trace.size() - max_events;
+    r.trace.erase(r.trace.begin(),
+                  r.trace.begin() + static_cast<long>(r.trace.size() - max_events));
+  }
 }
+
+std::string current_phase_path() { return t_phase_path; }
 
 void log_summary() {
   if (!log_enabled(LogLevel::kInfo)) return;

@@ -209,8 +209,16 @@ bool write_snapshot_json(const std::string& path);
 bool write_trace_json(const std::string& path);
 
 /// Caps the in-memory trace buffer; further slices are counted as dropped.
-/// Default: 1M events.
+/// Default: 1M events. **0 disables trace recording entirely**: slices are
+/// discarded silently and `dropped_trace_events` does NOT grow (disabled is
+/// not the same as overflowing). Shrinking below the current buffer size
+/// trims the oldest events and counts the trimmed ones as dropped.
 void set_trace_capacity(size_t max_events);
+
+/// The calling thread's current '/'-joined phase path ("" when no frame is
+/// open or recording is off). Consumed by the query ledger to attribute
+/// records to phases.
+std::string current_phase_path();
 
 /// Logs the phase-time and counter summary through log_info (one line per
 /// timer/counter), for `--verbose` front ends.

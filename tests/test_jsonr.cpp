@@ -1,0 +1,91 @@
+// Tests for util/jsonr, the minimal JSON reader used by ecoprof and the
+// observability tests: value types, nesting, string escapes (incl. \uXXXX
+// and surrogate pairs), number parsing, and error reporting with offsets.
+
+#include "util/jsonr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using eco::JsonValue;
+using eco::json_parse;
+
+TEST(JsonrTest, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null")->is_null());
+  EXPECT_TRUE(json_parse("true")->as_bool());
+  EXPECT_FALSE(json_parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2")->as_number(), -1250.0);
+  EXPECT_EQ(json_parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonrTest, ParsesNestedDocument) {
+  const auto v = json_parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": -3})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->contains("a"));
+  ASSERT_EQ((*v)["a"].as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ((*v)["a"].as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE((*v)["a"].as_array()[2]["b"].as_bool());
+  EXPECT_TRUE((*v)["c"]["d"].is_null());
+  EXPECT_DOUBLE_EQ((*v)["e"].as_number(), -3.0);
+  // Missing keys read as typed fallbacks rather than faulting.
+  EXPECT_FALSE(v->contains("zz"));
+  EXPECT_TRUE((*v)["zz"].is_null());
+  EXPECT_DOUBLE_EQ((*v)["zz"].as_number(42.0), 42.0);
+  EXPECT_TRUE((*v)["zz"].as_string().empty());
+}
+
+TEST(JsonrTest, DecodesStringEscapes) {
+  const auto v = json_parse(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\tA");
+  // Two-byte, three-byte, and surrogate-pair code points decode to UTF-8.
+  EXPECT_EQ(json_parse(R"("é")")->as_string(), "\xc3\xa9");
+  EXPECT_EQ(json_parse(R"("€")")->as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(json_parse(R"("😀")")->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonrTest, IntegersUpTo2To53AreExact) {
+  const auto v = json_parse("9007199254740992");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(static_cast<uint64_t>(v->as_number()), 9007199254740992ull);
+}
+
+TEST(JsonrTest, ReportsErrorsWithOffset) {
+  std::string err;
+  EXPECT_FALSE(json_parse("{\"a\": }", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(json_parse("[1, 2", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(json_parse("{} trailing", &err).has_value());
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+  EXPECT_FALSE(json_parse("", &err).has_value());
+  EXPECT_FALSE(json_parse("{\"dup\" 1}", &err).has_value());
+  EXPECT_FALSE(json_parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(json_parse("nul", &err).has_value());
+}
+
+TEST(JsonrTest, RejectsExcessiveNesting) {
+  std::string doc(300, '[');
+  doc += std::string(300, ']');
+  std::string err;
+  EXPECT_FALSE(json_parse(doc, &err).has_value());
+  EXPECT_NE(err.find("deep"), std::string::npos);
+}
+
+TEST(JsonrTest, ParsesFileAndReportsMissingOne) {
+  const std::string path = ::testing::TempDir() + "/jsonr_roundtrip.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"k\": [true, 7]}", f);
+  std::fclose(f);
+  std::string err;
+  const auto v = eco::json_parse_file(path, &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_DOUBLE_EQ((*v)["k"].as_array()[1].as_number(), 7.0);
+  EXPECT_FALSE(eco::json_parse_file("/nonexistent-dir/x.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}

@@ -441,6 +441,40 @@ TEST_F(TelemetryTest, TraceCapacityBoundsMemory) {
   tel::set_trace_capacity(1u << 20);
 }
 
+TEST_F(TelemetryTest, TraceCapacityZeroDisablesTracingWithoutDropCounting) {
+  // Capacity 0 means "tracing off", not "drop everything": no events are
+  // retained AND the dropped counter stays put, so a capacity-0 snapshot
+  // does not read as data loss. Timers/phase paths keep working.
+  tel::set_trace_capacity(0);
+  for (int i = 0; i < 10; ++i) tel::ScopedPhase p("spam0");
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.trace_events, 0u);
+  EXPECT_EQ(s.dropped_trace_events, 0u);
+  EXPECT_EQ(tel::timer_value("spam0").count, 10u);
+  tel::set_trace_capacity(1u << 20);
+}
+
+TEST_F(TelemetryTest, ShrinkingTraceCapacityTrimsOldestAndCountsThemDropped) {
+  tel::set_trace_capacity(8);
+  for (int i = 0; i < 8; ++i) tel::ScopedPhase p("trim");
+  tel::set_trace_capacity(3);
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.trace_events, 3u);
+  EXPECT_EQ(s.dropped_trace_events, 5u);
+  tel::set_trace_capacity(1u << 20);
+}
+
+TEST_F(TelemetryTest, CurrentPhasePathReflectsOpenScopes) {
+  EXPECT_EQ(tel::current_phase_path(), "");
+  tel::ScopedPhase outer("engine");
+  EXPECT_EQ(tel::current_phase_path(), "engine");
+  {
+    tel::ScopedPhase inner("verify");
+    EXPECT_EQ(tel::current_phase_path(), "engine/verify");
+  }
+  EXPECT_EQ(tel::current_phase_path(), "engine");
+}
+
 TEST_F(TelemetryTest, JsonWriterEscapesAndNests) {
   eco::JsonWriter w;
   w.begin_object();

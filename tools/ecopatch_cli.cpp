@@ -10,6 +10,9 @@
 //         --force-structural
 //         --stats-json FILE                   outcome + telemetry snapshot JSON
 //         --trace FILE                        Chrome trace_event JSON
+//         --ledger FILE                       per-query JSONL ledger
+//                                             (ecopatch-ledger-v1; analyze
+//                                             with `ecoprof report`)
 //         --sim-bank 0|1                      counterexample simulation bank
 //                                             (default: ECO_SIM_BANK, else on)
 //         --jobs N                            thread pool for the run
@@ -33,6 +36,7 @@
 //   ecopatch convert <in> <out>
 //       Converts between formats; both chosen by file extension.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -68,8 +72,8 @@ int usage() {
                "usage:\n"
                "  ecopatch solve <impl.v> <spec.v> <weights.txt> [--algo A] [--budget S]\n"
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
-               "                 [--stats-json FILE] [--trace FILE] [--jobs N]\n"
-               "                 [--sim-bank 0|1] [--ladder 0|1]\n"
+               "                 [--stats-json FILE] [--trace FILE] [--ledger FILE]\n"
+               "                 [--jobs N] [--sim-bank 0|1] [--ladder 0|1]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
                "  ecopatch cec <a> <b> [--jobs N]\n"
@@ -77,7 +81,9 @@ int usage() {
                "global options: -v/--verbose (info), -vv (debug),\n"
                "                --fault SITE[:PROB[:SEED]],... (inject faults)\n"
                "exit codes: 0 patched, 1 infeasible/not-equivalent, 2 usage,\n"
-               "            3 unknown, 4 front-end error, 5 engine error\n");
+               "            3 unknown, 4 front-end error, 5 engine error,\n"
+               "            6 observability output (--stats-json/--trace/--ledger)\n"
+               "              could not be written (overrides a success exit)\n");
   return 2;
 }
 
@@ -124,7 +130,7 @@ int cmd_solve(int argc, char** argv) {
   eco::core::EngineOptions options;
   options.time_budget = 60;
   int jobs = eco::util::default_jobs();
-  std::string patch_path = "patch.v", patched_path, stats_json_path, trace_path;
+  std::string patch_path = "patch.v", patched_path, stats_json_path, trace_path, ledger_path;
   for (int i = 5; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
@@ -156,6 +162,8 @@ int cmd_solve(int argc, char** argv) {
       stats_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--ledger" && i + 1 < argc) {
+      ledger_path = argv[++i];
     } else {
       return usage();
     }
@@ -163,6 +171,13 @@ int cmd_solve(int argc, char** argv) {
   // Telemetry recording is off by default; any observability output (or an
   // explicit ECO_TELEMETRY=1 in the environment) turns it on for the run.
   if (!stats_json_path.empty() || !trace_path.empty()) eco::telemetry::set_enabled(true);
+  // The ledger sink writes its header line on open, so an unwritable path
+  // fails here — before the solve burns its budget — with exit code 6.
+  if (!ledger_path.empty() && !eco::ledger::set_sink(ledger_path)) {
+    std::fprintf(stderr, "ecopatch: cannot write %s: %s\n", ledger_path.c_str(),
+                 std::strerror(errno));
+    return 6;
+  }
 
   const eco::net::Network impl = eco::net::parse_verilog_file(impl_path);
   const eco::net::Network spec = eco::net::parse_verilog_file(spec_path);
@@ -182,21 +197,43 @@ int cmd_solve(int argc, char** argv) {
                 static_cast<unsigned long long>(outcome.stats.sat_conflicts),
                 static_cast<unsigned long long>(outcome.stats.sat_solvers));
   eco::telemetry::log_summary();
+  // A failed observability write is a hard error (exit 6), not a warning —
+  // a monitoring pipeline must not read a truncated/absent file as success.
+  bool io_error = false;
   if (!stats_json_path.empty()) {
     // One document: the outcome block plus the flat telemetry snapshot.
     std::string doc = "{\"outcome\":" + eco::core::outcome_to_json(outcome) +
                       ",\"telemetry\":" + eco::telemetry::snapshot_json() + "}";
     std::ofstream out(stats_json_path);
     out << doc << '\n';
-    if (!out) std::fprintf(stderr, "ecopatch: cannot write %s\n", stats_json_path.c_str());
-    else std::printf("stats written to %s\n", stats_json_path.c_str());
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "ecopatch: cannot write %s: %s\n", stats_json_path.c_str(),
+                   std::strerror(errno));
+      io_error = true;
+    } else {
+      std::printf("stats written to %s\n", stats_json_path.c_str());
+    }
   }
   if (!trace_path.empty()) {
-    if (!eco::telemetry::write_trace_json(trace_path))
-      std::fprintf(stderr, "ecopatch: cannot write %s\n", trace_path.c_str());
-    else
+    if (!eco::telemetry::write_trace_json(trace_path)) {
+      std::fprintf(stderr, "ecopatch: cannot write %s: %s\n", trace_path.c_str(),
+                   std::strerror(errno));
+      io_error = true;
+    } else {
       std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
                   trace_path.c_str());
+    }
+  }
+  if (!ledger_path.empty()) {
+    if (!eco::ledger::close_sink()) {
+      std::fprintf(stderr, "ecopatch: cannot write %s: %s\n", ledger_path.c_str(),
+                   std::strerror(errno));
+      io_error = true;
+    } else {
+      std::printf("ledger written to %s (analyze with `ecoprof report`)\n",
+                  ledger_path.c_str());
+    }
   }
 
   using Status = eco::core::EcoOutcome::Status;
@@ -244,7 +281,7 @@ int cmd_solve(int argc, char** argv) {
     save_circuit(patched_path, outcome.patched_impl);
     std::printf("patched implementation written to %s\n", patched_path.c_str());
   }
-  return 0;
+  return io_error ? 6 : 0;
 }
 
 int cmd_gen(int argc, char** argv) {
