@@ -10,10 +10,16 @@
 //
 // Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--jobs N]
 //                     [--json FILE] [--ledger FILE] [--ladder 0|1]
+//                     [--par-sat off|on|racy]
 //
 // The strategy ladder is OFF by default here (unlike the engine default):
 // Table 1 compares the three configurations as-is, so escalation to other
 // strategies would blur the comparison and break run-to-run bit-identity.
+//
+// --par-sat enables intra-query parallel SAT (sat/parsolve.hpp): a solve
+// stuck past the conflict trigger fans out over the same Executor the sweep
+// runs on. `on` keeps outcome fields deterministic (see the contract in
+// docs/PARALLEL_SAT.md); `racy` trades reproducibility for wall-clock.
 //
 // The 60 (unit, configuration) runs are independent; `--jobs N` (or the
 // ECO_JOBS environment variable; 0 = all hardware threads) sweeps them over
@@ -46,6 +52,7 @@
 #include "benchgen/weightgen.hpp"
 #include "eco/engine.hpp"
 #include "eco/problem.hpp"
+#include "sat/parsolve.hpp"
 #include "util/buildinfo.hpp"
 #include "util/executor.hpp"
 #include "util/jsonw.hpp"
@@ -148,6 +155,11 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("learnts_core", row.stats.sat_learnts_core);
   w.kv("learnts_tier2", row.stats.sat_learnts_tier2);
   w.kv("learnts_local", row.stats.sat_learnts_local);
+  w.kv("par_escalations", row.stats.sat_par_escalations);
+  w.kv("par_portfolio", row.stats.sat_par_portfolio);
+  w.kv("par_cube", row.stats.sat_par_cube);
+  w.kv("par_wins", row.stats.sat_par_wins);
+  w.kv("par_clauses_imported", row.stats.sat_par_clauses_imported);
   w.end_object();
   w.key("sim");
   w.begin_object();
@@ -169,7 +181,7 @@ double ratio_or_one(double num, double den) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--jobs N] [--json FILE]\n"
-               "          [--ledger FILE] [--ladder 0|1]\n"
+               "          [--ledger FILE] [--ladder 0|1] [--par-sat off|on|racy]\n"
                "  --seed N          benchmark-suite generator seed (default 20170912)\n"
                "  --unit K          run only unit K (0..%d)\n"
                "  --budget SECONDS  per-run engine time budget > 0 (default 15)\n"
@@ -179,7 +191,10 @@ int usage(const char* argv0) {
                "  --ledger FILE     write the per-query JSONL ledger to FILE\n"
                "                    (ecopatch-ledger-v1; analyze with ecoprof)\n"
                "  --ladder 0|1      strategy-ladder fallback (default 0: compare\n"
-               "                    the configurations as-is)\n",
+               "                    the configurations as-is)\n"
+               "  --par-sat MODE    intra-query parallel SAT: off | on | racy\n"
+               "                    (default: ECO_PAR_SAT, else off; 'on' keeps\n"
+               "                    outcome fields deterministic)\n",
                argv0, eco::benchgen::kNumUnits - 1);
   return 2;
 }
@@ -223,6 +238,7 @@ int main(int argc, char** argv) {
   double budget = 15.0;
   int jobs = eco::util::default_jobs();
   bool ladder = false;
+  eco::sat::ParSolveOptions par_opts = eco::sat::ParSolveOptions::defaults();
   std::string json_path, ledger_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -260,6 +276,12 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       ladder = operand[0] == '1';
+      ++i;
+    } else if (!std::strcmp(arg, "--par-sat")) {
+      if (operand == nullptr || !eco::sat::parse_par_mode(operand, par_opts.mode)) {
+        std::fprintf(stderr, "%s: --par-sat needs off, on, or racy\n", argv[0]);
+        return usage(argv[0]);
+      }
       ++i;
     } else if (!std::strcmp(arg, "--json")) {
       if (operand == nullptr || operand[0] == '\0') {
@@ -311,6 +333,8 @@ int main(int argc, char** argv) {
   }
 
   eco::util::Executor executor(jobs);
+  eco::sat::ParSolveOptions::set_defaults(par_opts);
+  if (par_opts.mode != eco::sat::ParMode::kOff) eco::sat::set_par_executor(&executor);
   eco::Timer sweep_timer;
   executor.parallel_for(tasks.size(), [&](size_t t) {
     const Task& task = tasks[t];
@@ -330,6 +354,7 @@ int main(int argc, char** argv) {
   json.kv("seed", seed);
   json.kv("budget_seconds", budget);
   json.kv("ladder", ladder);
+  json.kv("par_sat", eco::sat::par_mode_name(par_opts.mode));
   json.kv("jobs", executor.jobs());
   json.kv("sweep_wall_seconds", sweep_wall);
   json.key("runs");

@@ -15,6 +15,7 @@
 #include "eco/resub.hpp"
 #include "eco/structural.hpp"
 #include "eco/window.hpp"
+#include "sat/parsolve.hpp"
 #include "sop/synth.hpp"
 #include "util/buildinfo.hpp"
 #include "util/cancel.hpp"
@@ -527,6 +528,11 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
     out.stats.sat_learnts_core = sat.learnts_core;
     out.stats.sat_learnts_tier2 = sat.learnts_tier2;
     out.stats.sat_learnts_local = sat.learnts_local;
+    out.stats.sat_par_escalations = sat.par_escalations;
+    out.stats.sat_par_portfolio = sat.par_portfolio;
+    out.stats.sat_par_cube = sat.par_cube;
+    out.stats.sat_par_wins = sat.par_wins;
+    out.stats.sat_par_clauses_imported = sat.par_clauses_imported;
   };
 
   // 1. Structural pruning (paper §3.3).
@@ -804,6 +810,11 @@ const char* fail_reason_name(FailReason r) noexcept {
 EcoOutcome run_eco(const EcoProblem& problem, const EngineOptions& options) {
   Timer total_timer;
 
+  // Register the run's pool for intra-query parallel SAT (sat/parsolve.hpp)
+  // so a stuck solve anywhere in the pipeline can fan out. Harmless when the
+  // layer is off; front ends running sweeps register their pool up front.
+  if (options.executor != nullptr) sat::set_par_executor(options.executor);
+
   // The run token: the caller's token capped to time_budget, a fresh
   // deadline token, or the unlimited token when neither limit is set.
   CancelToken run_token = options.cancel;
@@ -1006,6 +1017,11 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.kv("learnts_core", outcome.stats.sat_learnts_core);
   w.kv("learnts_tier2", outcome.stats.sat_learnts_tier2);
   w.kv("learnts_local", outcome.stats.sat_learnts_local);
+  w.kv("par_escalations", outcome.stats.sat_par_escalations);
+  w.kv("par_portfolio", outcome.stats.sat_par_portfolio);
+  w.kv("par_cube", outcome.stats.sat_par_cube);
+  w.kv("par_wins", outcome.stats.sat_par_wins);
+  w.kv("par_clauses_imported", outcome.stats.sat_par_clauses_imported);
   w.end_object();
 
   w.key("sim");

@@ -1,5 +1,6 @@
 #include "qbf/qbf2.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "aig/ops.hpp"
@@ -53,8 +54,13 @@ Qbf2Result solve_exists_forall(const aig::Aig& g, aig::Lit root, uint32_t num_x,
   for (uint32_t i = 0; i < num_n; ++i) b_n.push_back(b_enc.lit(g.pi_lit(num_x + i)));
 
   auto budgeted = [&](sat::Solver& s) {
-    if (options.conflict_budget >= 0)
+    if (options.conflict_budget >= 0) {
       s.set_conflict_budget(options.conflict_budget);
+      // Escalate to the parallel layer (sat/parsolve.hpp) once a CEGAR
+      // iteration has burned a quarter of its slice: the remaining budget is
+      // then spent by the portfolio by proxy instead of one stuck core.
+      s.set_par_trigger(std::max<int64_t>(options.conflict_budget / 4, 1000));
+    }
   };
 
   // One kQbfIteration ledger record per CEGAR iteration: kUnsat when the

@@ -1,6 +1,8 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+
+#include "sat/parsolve.hpp"
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -136,6 +138,11 @@ Solver::~Solver() {
   t.learnts_core = stats_.learnts_core;
   t.learnts_tier2 = stats_.learnts_tier2;
   t.learnts_local = stats_.learnts_local;
+  t.par_escalations = stats_.par_escalations;
+  t.par_portfolio = stats_.par_portfolio;
+  t.par_cube = stats_.par_cube;
+  t.par_wins = stats_.par_wins;
+  t.par_clauses_imported = stats_.par_clauses_imported;
   telemetry::add_solver_totals(t);
 }
 
@@ -560,6 +567,13 @@ void Solver::admit_learnt(CRef ref, uint32_t lbd) {
   auto c = clause(ref);
   c.lbd() = lbd;
   c.touched() = static_cast<uint32_t>(stats_.conflicts);
+  // Clause exchange export (racy parallel mode only; export_lbd_cut_ == 0
+  // otherwise). Short low-LBD learnts are worth shipping to sibling clones.
+  if (export_lbd_cut_ != 0 && lbd <= export_lbd_cut_ && c.size() <= 8 &&
+      export_pending_.size() < export_max_) {
+    const auto lits = c.lits();
+    export_pending_.emplace_back(lits.begin(), lits.end());
+  }
   uint32_t tier;
   // Size-2 learnts always join core: a binary reason may have its implied
   // literal at index 1 (lazy normalization), so the locked-clause check in
@@ -741,6 +755,8 @@ LBool Solver::search(int64_t conflicts_before_restart) {
       cancel_until(bt_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0]);
+        if (export_lbd_cut_ != 0 && export_pending_.size() < export_max_)
+          export_pending_.push_back(LitVec{learnt[0]});
       } else {
         const CRef ref = alloc_clause(learnt, /*learnt=*/true);
         admit_learnt(ref, lbd);
@@ -872,6 +888,10 @@ LBool Solver::solve_impl(std::span<const Lit> assumptions) {
   model_.clear();
   core_.clear();
   std::fill(in_core_mark_.begin(), in_core_mark_.end(), 0);
+  par_attempted_ = false;
+  par_failed_rounds_ = 0;
+  par_retry_at_ = 0;
+  solve_timer_.reset();
   if (!ok_) return kFalse;
   // Fault site: pretend the budget was exhausted before any search ran.
   if (ECO_FAULT_POINT(fault::Site::kSatBudget)) return kUndef;
@@ -904,6 +924,29 @@ LBool Solver::solve_impl(std::span<const Lit> assumptions) {
 
   LBool status = kUndef;
   for (int restarts = 0; status.is_undef(); ++restarts) {
+    if (restarts > 0 && restart_hook_ != nullptr) {
+      // Clause publish/import point for parallel worker clones. Imports go
+      // through add_clause, which may discover top-level UNSAT.
+      restart_hook_(restart_hook_ctx_, *this);
+      if (!ok_) {
+        core_.clear();
+        status = kFalse;
+        break;
+      }
+    }
+    if (par_allowed_ && !par_attempted_) {
+      // Hand a long-running solve to the parallel layer (no-op unless it is
+      // enabled, an executor is registered, and the trigger was crossed).
+      // On escalation the layer installs model_/core_ itself, so the normal
+      // conversion tail below must be skipped.
+      if (auto par = maybe_escalate_par(*this)) {
+        if (!opts_.trail_reuse) {
+          cancel_until(0);
+          assumptions_.clear();
+        }
+        return *par;
+      }
+    }
     int64_t segment = -1;  // EMA: search() decides internally
     if (opts_.restart == RestartPolicy::kLuby)
       segment = static_cast<int64_t>(luby(2.0, restarts) * 100.0);

@@ -137,6 +137,13 @@ struct SolverStats {
   uint64_t learnts_core = 0;
   uint64_t learnts_tier2 = 0;
   uint64_t learnts_local = 0;
+  // Intra-query parallel SAT (sat/parsolve.hpp). Counted on the solver whose
+  // solve escalated; the worker clones' search stats stay on the clones.
+  uint64_t par_escalations = 0;       ///< solves that crossed the trigger
+  uint64_t par_portfolio = 0;         ///< escalations run as a portfolio race
+  uint64_t par_cube = 0;              ///< escalations run as a cube split
+  uint64_t par_wins = 0;              ///< escalations that returned definitive
+  uint64_t par_clauses_imported = 0;  ///< clauses imported via the exchange
 };
 
 /// CDCL SAT solver.
@@ -240,6 +247,21 @@ class Solver {
 
   /// Top-level (decision level 0) value of a variable, kUndef if free.
   LBool fixed_value(Var v) const;
+
+  // ---- Intra-query parallel solving (sat/parsolve.hpp) ------------------
+
+  /// Allows or forbids escalating this solver's long solves to the parallel
+  /// layer (default allowed; parsolve forbids it on its worker clones so an
+  /// escalation never recurses). The layer itself is off unless
+  /// ParSolveOptions enables it and an executor is registered.
+  void set_par_escalation(bool allowed) noexcept { par_allowed_ = allowed; }
+
+  /// Per-solver override of the escalation trigger (conflicts inside one
+  /// solve before the parallel layer may take over): 0 defers to the
+  /// process-wide ParSolveOptions default, > 0 replaces it, < 0 disables
+  /// escalation for this solver. Consumers running on sliced budgets (QBF
+  /// CEGAR) lower it so escalation still has budget left to spend.
+  void set_par_trigger(int64_t conflicts) noexcept { par_trigger_override_ = conflicts; }
 
  private:
   // -- clause arena -----------------------------------------------------
@@ -457,6 +479,26 @@ class Solver {
   Ema ema_lbd_fast_;
   Ema ema_lbd_slow_;
   Ema ema_trail_;
+
+  // Intra-query parallel solving. sat/parsolve.cpp drives the private state
+  // through ParSolveAccess; solve_impl only checks par_allowed_ /
+  // par_attempted_ at restart boundaries (docs/PARALLEL_SAT.md).
+  friend struct ParSolveAccess;
+  bool par_allowed_ = true;
+  bool par_attempted_ = false;  ///< terminal: no further escalation this solve()
+  int par_failed_rounds_ = 0;   ///< inconclusive races this solve (slice growth)
+  int64_t par_retry_at_ = 0;    ///< conflicts_since_start gate for the next race
+  int64_t par_trigger_override_ = 0;  ///< 0 = ParSolveOptions default, < 0 = off
+  /// Learnt-clause export for the racy clause exchange (0 = off). Filled by
+  /// admit_learnt and unit learnts, drained by the clone's restart hook.
+  uint32_t export_lbd_cut_ = 0;
+  uint32_t export_max_ = 0;
+  std::vector<LitVec> export_pending_;
+  /// Invoked at every restart boundary of solve_impl (the clause
+  /// publish/import point for worker clones; may add clauses).
+  void (*restart_hook_)(void*, Solver&) = nullptr;
+  void* restart_hook_ctx_ = nullptr;
+  Timer solve_timer_;  ///< restarted per solve (racy wall-clock trigger)
 
   SolverStats stats_;
 };

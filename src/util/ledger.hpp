@@ -73,7 +73,9 @@ enum class Kind : uint8_t {
   kSimHit,         ///< a query answered by the simulation bank, no search
   kQbfIteration,   ///< one CEGAR iteration (two solves) of the 2QBF check
   kCecCheck,       ///< one cec::check_const0 top-level check
-  kLadderAttempt,  ///< one engine attempt (primary or escalation rung)
+  kLadderAttempt,     ///< one engine attempt (primary or escalation rung)
+  kPortfolioAttempt,  ///< one diversified clone raced by sat/parsolve
+  kCubeSolve,         ///< one cube sub-instance solved by sat/parsolve
   kCount_,
 };
 const char* kind_name(Kind k) noexcept;
@@ -113,9 +115,13 @@ struct Record {
   QueryResult result = QueryResult::kUndef;
   uint8_t sim_hit = 0;  ///< answered by the simulation bank, no SAT search
   CancelCause cancel = CancelCause::kNone;
+  // Parallel SAT (kind kPortfolioAttempt / kCubeSolve; zero otherwise).
+  uint32_t par_imported = 0;  ///< learnt clauses imported from siblings
+  uint16_t par_rank = 0;      ///< clone rank or cube id within the escalation
+  uint8_t par_winner = 0;     ///< 1 when this worker's result was adopted
   /// Telemetry phase path at append time ('/'-joined, truncated). Empty
   /// when telemetry recording is off.
-  char phase[35] = {};
+  char phase[33] = {};
 };
 static_assert(sizeof(Record) <= 128, "Record must stay one cache-line pair");
 

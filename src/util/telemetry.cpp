@@ -68,7 +68,8 @@ struct AtomicSolverTotals {
   std::atomic<uint64_t> solvers{0}, solves{0}, decisions{0}, propagations{0}, conflicts{0},
       restarts{0}, learnt_literals{0}, db_reductions{0}, prefix_reused_levels{0},
       propagations_saved{0}, restarts_blocked{0}, learnts_core{0}, learnts_tier2{0},
-      learnts_local{0};
+      learnts_local{0}, par_escalations{0}, par_portfolio{0}, par_cube{0}, par_wins{0},
+      par_clauses_imported{0};
 };
 AtomicSolverTotals g_solver;
 
@@ -203,6 +204,11 @@ void SolverTotalsAccumulator::add(const SolverTotals& t) noexcept {
   learnts_core_.fetch_add(t.learnts_core, std::memory_order_relaxed);
   learnts_tier2_.fetch_add(t.learnts_tier2, std::memory_order_relaxed);
   learnts_local_.fetch_add(t.learnts_local, std::memory_order_relaxed);
+  par_escalations_.fetch_add(t.par_escalations, std::memory_order_relaxed);
+  par_portfolio_.fetch_add(t.par_portfolio, std::memory_order_relaxed);
+  par_cube_.fetch_add(t.par_cube, std::memory_order_relaxed);
+  par_wins_.fetch_add(t.par_wins, std::memory_order_relaxed);
+  par_clauses_imported_.fetch_add(t.par_clauses_imported, std::memory_order_relaxed);
 }
 
 SolverTotals SolverTotalsAccumulator::totals() const noexcept {
@@ -221,6 +227,11 @@ SolverTotals SolverTotalsAccumulator::totals() const noexcept {
   t.learnts_core = learnts_core_.load(std::memory_order_relaxed);
   t.learnts_tier2 = learnts_tier2_.load(std::memory_order_relaxed);
   t.learnts_local = learnts_local_.load(std::memory_order_relaxed);
+  t.par_escalations = par_escalations_.load(std::memory_order_relaxed);
+  t.par_portfolio = par_portfolio_.load(std::memory_order_relaxed);
+  t.par_cube = par_cube_.load(std::memory_order_relaxed);
+  t.par_wins = par_wins_.load(std::memory_order_relaxed);
+  t.par_clauses_imported = par_clauses_imported_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -253,6 +264,11 @@ void add_solver_totals(const SolverTotals& t) noexcept {
   g_solver.learnts_core.fetch_add(t.learnts_core, std::memory_order_relaxed);
   g_solver.learnts_tier2.fetch_add(t.learnts_tier2, std::memory_order_relaxed);
   g_solver.learnts_local.fetch_add(t.learnts_local, std::memory_order_relaxed);
+  g_solver.par_escalations.fetch_add(t.par_escalations, std::memory_order_relaxed);
+  g_solver.par_portfolio.fetch_add(t.par_portfolio, std::memory_order_relaxed);
+  g_solver.par_cube.fetch_add(t.par_cube, std::memory_order_relaxed);
+  g_solver.par_wins.fetch_add(t.par_wins, std::memory_order_relaxed);
+  g_solver.par_clauses_imported.fetch_add(t.par_clauses_imported, std::memory_order_relaxed);
 }
 
 SolverTotals solver_totals() noexcept {
@@ -271,7 +287,16 @@ SolverTotals solver_totals() noexcept {
   t.learnts_core = g_solver.learnts_core.load(std::memory_order_relaxed);
   t.learnts_tier2 = g_solver.learnts_tier2.load(std::memory_order_relaxed);
   t.learnts_local = g_solver.learnts_local.load(std::memory_order_relaxed);
+  t.par_escalations = g_solver.par_escalations.load(std::memory_order_relaxed);
+  t.par_portfolio = g_solver.par_portfolio.load(std::memory_order_relaxed);
+  t.par_cube = g_solver.par_cube.load(std::memory_order_relaxed);
+  t.par_wins = g_solver.par_wins.load(std::memory_order_relaxed);
+  t.par_clauses_imported = g_solver.par_clauses_imported.load(std::memory_order_relaxed);
   return t;
+}
+
+SolverTotalsAccumulator* current_solver_capture() noexcept {
+  return t_solver_captures.empty() ? nullptr : t_solver_captures.back();
 }
 
 // ---- RAII scopes --------------------------------------------------------
@@ -366,6 +391,11 @@ std::string snapshot_json() {
   w.kv("learnts_core", s.solver.learnts_core);
   w.kv("learnts_tier2", s.solver.learnts_tier2);
   w.kv("learnts_local", s.solver.learnts_local);
+  w.kv("par_escalations", s.solver.par_escalations);
+  w.kv("par_portfolio", s.solver.par_portfolio);
+  w.kv("par_cube", s.solver.par_cube);
+  w.kv("par_wins", s.solver.par_wins);
+  w.kv("par_clauses_imported", s.solver.par_clauses_imported);
   w.end_object();
   w.kv("trace_events", static_cast<uint64_t>(s.trace_events));
   w.kv("dropped_trace_events", static_cast<uint64_t>(s.dropped_trace_events));

@@ -100,6 +100,12 @@ struct SolverTotals {
   uint64_t learnts_core = 0;
   uint64_t learnts_tier2 = 0;
   uint64_t learnts_local = 0;
+  // Intra-query parallel SAT (sat/parsolve.hpp).
+  uint64_t par_escalations = 0;       ///< solves that crossed the trigger
+  uint64_t par_portfolio = 0;         ///< escalations resolved by portfolio
+  uint64_t par_cube = 0;              ///< escalations resolved by cube split
+  uint64_t par_wins = 0;              ///< escalations that returned definitive
+  uint64_t par_clauses_imported = 0;  ///< learnt clauses imported via exchange
 };
 
 /// Called by sat::Solver's destructor; cheap unconditional atomic adds.
@@ -129,8 +135,16 @@ class SolverTotalsAccumulator {
   std::atomic<uint64_t> solvers_{0}, solves_{0}, decisions_{0}, propagations_{0},
       conflicts_{0}, restarts_{0}, learnt_literals_{0}, db_reductions_{0},
       prefix_reused_levels_{0}, propagations_saved_{0}, restarts_blocked_{0},
-      learnts_core_{0}, learnts_tier2_{0}, learnts_local_{0};
+      learnts_core_{0}, learnts_tier2_{0}, learnts_local_{0},
+      par_escalations_{0}, par_portfolio_{0}, par_cube_{0}, par_wins_{0},
+      par_clauses_imported_{0};
 };
+
+/// The accumulator of the innermost open ScopedSolverCapture on the calling
+/// thread, or nullptr when none is open. The parallel SAT layer uses this to
+/// re-open the coordinating run's capture on pool worker threads so clone
+/// solvers destroyed there are credited to the right run.
+SolverTotalsAccumulator* current_solver_capture() noexcept;
 
 /// Attaches \p acc to the calling thread for this scope: every Solver
 /// destroyed on this thread while the capture is open is credited to the

@@ -20,6 +20,9 @@
 //                                             default: ECO_JOBS, else 1)
 //         --ladder 0|1                        strategy-ladder fallback
 //                                             (default on; docs/ROBUSTNESS.md)
+//         --par-sat off|on|racy               intra-query parallel SAT
+//                                             (default: ECO_PAR_SAT, else off;
+//                                             docs/PARALLEL_SAT.md)
 //   ecopatch gen <unit 1..20> <outdir> [--seed N]
 //
 // Global options (any command): -v/--verbose raises the log level to info,
@@ -55,6 +58,7 @@
 #include "net/elaborate.hpp"
 #include "net/verilog.hpp"
 #include "net/weights.hpp"
+#include "sat/parsolve.hpp"
 #include "util/cancel.hpp"
 #include "util/executor.hpp"
 #include "util/faultpoint.hpp"
@@ -74,6 +78,7 @@ int usage() {
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
                "                 [--stats-json FILE] [--trace FILE] [--ledger FILE]\n"
                "                 [--jobs N] [--sim-bank 0|1] [--ladder 0|1]\n"
+               "                 [--par-sat off|on|racy]\n"
                "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
                "  ecopatch cec <a> <b> [--jobs N]\n"
@@ -130,6 +135,7 @@ int cmd_solve(int argc, char** argv) {
   eco::core::EngineOptions options;
   options.time_budget = 60;
   int jobs = eco::util::default_jobs();
+  eco::sat::ParSolveOptions par_opts = eco::sat::ParSolveOptions::defaults();
   std::string patch_path = "patch.v", patched_path, stats_json_path, trace_path, ledger_path;
   for (int i = 5; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -158,6 +164,8 @@ int cmd_solve(int argc, char** argv) {
       const std::string v = argv[++i];
       if (v != "0" && v != "1") return usage();
       options.ladder = v == "1";
+    } else if (arg == "--par-sat" && i + 1 < argc) {
+      if (!eco::sat::parse_par_mode(argv[++i], par_opts.mode)) return usage();
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -184,6 +192,9 @@ int cmd_solve(int argc, char** argv) {
   const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
   eco::util::Executor executor(jobs);
   options.executor = &executor;
+  // run_eco registers the pool for intra-query parallel SAT; the mode knob
+  // (default off, env ECO_PAR_SAT, flag --par-sat) decides whether it fires.
+  eco::sat::ParSolveOptions::set_defaults(par_opts);
   options.cancel = g_stop;  // Ctrl-C / SIGTERM aborts the run cooperatively
   const eco::core::EcoOutcome outcome = eco::core::run_eco(impl, spec, weights, options);
 
