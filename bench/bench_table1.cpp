@@ -10,7 +10,13 @@
 //
 // Usage: bench_table1 [--seed N] [--unit K] [--budget SECONDS] [--jobs N]
 //                     [--json FILE] [--ledger FILE] [--ladder 0|1]
-//                     [--par-sat off|on|racy]
+//                     [--par-sat off|on|racy] [--cec mono|sweep]
+//
+// --cec selects the equivalence-checking backend for every engine run
+// (verification and window divisor discovery): `mono` (default, bit-identical
+// with previous releases) or `sweep`, the SAT-sweeping engine of
+// docs/SWEEPING.md. The JSON header records the mode and each record carries
+// a `sweep` stats block (all zero under mono).
 //
 // The strategy ladder is OFF by default here (unlike the engine default):
 // Table 1 compares the three configurations as-is, so escalation to other
@@ -50,6 +56,7 @@
 
 #include "benchgen/suite.hpp"
 #include "benchgen/weightgen.hpp"
+#include "cec/sweep.hpp"
 #include "eco/engine.hpp"
 #include "eco/problem.hpp"
 #include "sat/parsolve.hpp"
@@ -80,11 +87,12 @@ double thread_cpu_seconds() {
 }
 
 RunRow run_config(const eco::core::EcoProblem& problem, eco::core::Algorithm algorithm,
-                  double budget, bool ladder) {
+                  double budget, bool ladder, eco::cec::CecMode cec_mode) {
   eco::core::EngineOptions options;
   options.algorithm = algorithm;
   options.time_budget = budget;
   options.ladder = ladder;
+  options.cec_mode = cec_mode;
   options.conflict_budget = 300000;
   // Moderate expansion cap: large multi-target units fall back to the
   // structural path, as the hard units do in the paper.
@@ -169,6 +177,16 @@ void append_record(eco::JsonWriter& w, const eco::benchgen::EcoUnit& unit,
   w.kv("bank_patterns", row.stats.sim_bank_patterns);
   w.kv("resim_nodes", row.stats.sim_resim_nodes);
   w.end_object();
+  // Schema-additive (all zero under --cec mono, the default).
+  w.key("sweep");
+  w.begin_object();
+  w.kv("classes", row.stats.sweep_classes);
+  w.kv("proofs", row.stats.sweep_proofs);
+  w.kv("refutes", row.stats.sweep_refutes);
+  w.kv("merges", row.stats.sweep_merges);
+  w.kv("cex_splits", row.stats.sweep_cex_splits);
+  w.kv("equiv_divisors", row.stats.sweep_equiv_divisors);
+  w.end_object();
   w.end_object();
 }
 
@@ -182,6 +200,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--unit K] [--budget SECONDS] [--jobs N] [--json FILE]\n"
                "          [--ledger FILE] [--ladder 0|1] [--par-sat off|on|racy]\n"
+               "          [--cec mono|sweep]\n"
                "  --seed N          benchmark-suite generator seed (default 20170912)\n"
                "  --unit K          run only unit K (0..%d)\n"
                "  --budget SECONDS  per-run engine time budget > 0 (default 15)\n"
@@ -194,7 +213,10 @@ int usage(const char* argv0) {
                "                    the configurations as-is)\n"
                "  --par-sat MODE    intra-query parallel SAT: off | on | racy\n"
                "                    (default: ECO_PAR_SAT, else off; 'on' keeps\n"
-               "                    outcome fields deterministic)\n",
+               "                    outcome fields deterministic)\n"
+               "  --cec MODE        equivalence-checking backend: mono | sweep\n"
+               "                    (default: ECO_CEC, else mono; see\n"
+               "                    docs/SWEEPING.md)\n",
                argv0, eco::benchgen::kNumUnits - 1);
   return 2;
 }
@@ -238,6 +260,7 @@ int main(int argc, char** argv) {
   double budget = 15.0;
   int jobs = eco::util::default_jobs();
   bool ladder = false;
+  eco::cec::CecMode cec_mode = eco::cec::CecOptions::defaults().mode;
   eco::sat::ParSolveOptions par_opts = eco::sat::ParSolveOptions::defaults();
   std::string json_path, ledger_path;
   for (int i = 1; i < argc; ++i) {
@@ -280,6 +303,12 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--par-sat")) {
       if (operand == nullptr || !eco::sat::parse_par_mode(operand, par_opts.mode)) {
         std::fprintf(stderr, "%s: --par-sat needs off, on, or racy\n", argv[0]);
+        return usage(argv[0]);
+      }
+      ++i;
+    } else if (!std::strcmp(arg, "--cec")) {
+      if (operand == nullptr || !eco::cec::parse_cec_mode(operand, cec_mode)) {
+        std::fprintf(stderr, "%s: --cec needs mono or sweep\n", argv[0]);
         return usage(argv[0]);
       }
       ++i;
@@ -341,7 +370,7 @@ int main(int argc, char** argv) {
     const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(task.unit, seed);
     const eco::core::EcoProblem problem =
         eco::core::make_problem(unit.impl, unit.spec, unit.weights);
-    results[t] = run_config(problem, kAlgos[task.cfg], budget, ladder);
+    results[t] = run_config(problem, kAlgos[task.cfg], budget, ladder, cec_mode);
   });
   const double sweep_wall = sweep_timer.seconds();
 
@@ -355,6 +384,7 @@ int main(int argc, char** argv) {
   json.kv("budget_seconds", budget);
   json.kv("ladder", ladder);
   json.kv("par_sat", eco::sat::par_mode_name(par_opts.mode));
+  json.kv("cec", eco::cec::cec_mode_name(cec_mode));
   json.kv("jobs", executor.jobs());
   json.kv("sweep_wall_seconds", sweep_wall);
   json.key("runs");

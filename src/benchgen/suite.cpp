@@ -61,6 +61,41 @@ const UnitRecipe kRecipes[kNumUnits] = {
     {UnitRecipe::Family::kParity, 512, 96, 0, 4, WeightType::kT4},
 };
 
+/// Multiplies the recipe's size parameters so the unit's gate count grows
+/// roughly linearly in \p scale. Widths scale directly for the linear-cost
+/// families; the array multiplier is quadratic in its width, so it takes
+/// ceil(sqrt(scale)); random logic scales its gate target linearly and its
+/// interface by ~sqrt so the DAG gets deeper as well as wider.
+UnitRecipe scale_recipe(UnitRecipe r, int scale) {
+  if (scale <= 1) return r;
+  int root = 1;
+  while (root * root < scale) ++root;  // ceil(sqrt(scale))
+  using Family = UnitRecipe::Family;
+  switch (r.family) {
+    case Family::kAdder:
+    case Family::kAlu:
+      r.p0 *= scale;
+      break;
+    case Family::kMult:
+      r.p0 *= root;
+      break;
+    case Family::kCmp:
+      r.p0 *= root;
+      r.p1 *= root;
+      break;
+    case Family::kRandom:
+      r.p0 *= root;
+      r.p1 *= root;
+      r.p2 *= scale;
+      break;
+    case Family::kParity:
+      r.p0 *= root;
+      r.p1 *= root;
+      break;
+  }
+  return r;
+}
+
 net::Network build_base(const UnitRecipe& recipe, Rng& rng) {
   using Family = UnitRecipe::Family;
   switch (recipe.family) {
@@ -76,14 +111,16 @@ net::Network build_base(const UnitRecipe& recipe, Rng& rng) {
 
 }  // namespace
 
-EcoUnit make_unit(int index, uint64_t seed) {
+EcoUnit make_unit(int index, uint64_t seed, int scale) {
   if (index < 0 || index >= kNumUnits)
     throw std::out_of_range("make_unit: index must be in [0, 20)");
-  const UnitRecipe& recipe = kRecipes[index];
+  if (scale < 1) throw std::out_of_range("make_unit: scale must be >= 1");
+  const UnitRecipe recipe = scale_recipe(kRecipes[index], scale);
   Rng rng(seed * 1000003ULL + static_cast<uint64_t>(index) * 7919ULL + 1);
 
   EcoUnit unit;
   unit.name = "unit" + std::to_string(index + 1);
+  if (scale > 1) unit.name += "@x" + std::to_string(scale);
   unit.num_targets = recipe.targets;
   unit.weight_type = recipe.wtype;
 
@@ -95,10 +132,10 @@ EcoUnit make_unit(int index, uint64_t seed) {
   return unit;
 }
 
-std::vector<EcoUnit> make_contest_suite(uint64_t seed) {
+std::vector<EcoUnit> make_contest_suite(uint64_t seed, int scale) {
   std::vector<EcoUnit> suite;
   suite.reserve(kNumUnits);
-  for (int i = 0; i < kNumUnits; ++i) suite.push_back(make_unit(i, seed));
+  for (int i = 0; i < kNumUnits; ++i) suite.push_back(make_unit(i, seed, scale));
   return suite;
 }
 

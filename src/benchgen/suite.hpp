@@ -26,11 +26,16 @@ struct EcoUnit {
   WeightType weight_type = WeightType::kT1;
 };
 
-/// Builds unit \p index (0-based, 0..19).
-EcoUnit make_unit(int index, uint64_t seed = 20170912);
+/// Builds unit \p index (0-based, 0..19). \p scale multiplies the recipe's
+/// size parameters (gate counts grow roughly linearly in \p scale, ~10× at
+/// scale 10): datapath widths for the arithmetic families, gate/input counts
+/// for random logic. Scaled units carry an "@xN" name suffix; scale 1 is
+/// bit-identical to the historical suite. Targets are cut from the larger
+/// netlist, so fanout cones widen and rewires reach proportionally farther.
+EcoUnit make_unit(int index, uint64_t seed = 20170912, int scale = 1);
 
 /// Builds all 20 units.
-std::vector<EcoUnit> make_contest_suite(uint64_t seed = 20170912);
+std::vector<EcoUnit> make_contest_suite(uint64_t seed = 20170912, int scale = 1);
 
 /// Number of units in the suite.
 constexpr int kNumUnits = 20;

@@ -8,6 +8,7 @@
 
 #include "aig/ops.hpp"
 #include "aig/sim.hpp"
+#include "cec/sweep.hpp"
 #include "cnf/tseitin.hpp"
 #include "sat/solver.hpp"
 #include "util/executor.hpp"
@@ -220,6 +221,12 @@ CecResult check_equivalence(const aig::Aig& a, const aig::Aig& b,
       }
     }
   }
+  // Past the size threshold the sweeping engine amortizes the single big
+  // SAT query into many small class proofs (--cec sweep, default off).
+  const CecOptions& copts = CecOptions::defaults();
+  if (copts.mode == CecMode::kSweep && miter.num_ands() >= copts.min_nodes)
+    return sweep_check(miter, out, conflict_budget, deadline, {}, cancel, executor, copts.sweep)
+        .cec;
   return check_const0(miter, out, conflict_budget, deadline, {}, cancel);
 }
 

@@ -104,7 +104,10 @@ constexpr size_t kMaxCecSeeds = 256;
 cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
                            int64_t conflict_budget, const Deadline& deadline,
                            std::span<const std::vector<bool>> cec_seeds,
-                           const CancelToken& cancel) {
+                           const CancelToken& cancel,
+                           cec::CecMode cec_mode = cec::CecMode::kMono,
+                           util::Executor* executor = nullptr,
+                           cec::SweepStats* sweep_stats = nullptr) {
   aig::Aig check;
   std::vector<aig::Lit> x;
   for (uint32_t i = 0; i < problem.num_shared_pis(); ++i)
@@ -133,6 +136,13 @@ cec::Status verify_patched(const EcoProblem& problem, const aig::Aig& patched,
   for (size_t i = 0; i < impl_pos.size(); ++i)
     diffs.push_back(check.add_xor(impl_pos[i], spec_pos[i]));
   const aig::Lit out = check.add_or_multi(diffs);
+  if (cec_mode == cec::CecMode::kSweep &&
+      check.num_ands() >= cec::CecOptions::defaults().min_nodes) {
+    cec::SweepResult sr = cec::sweep_check(check, out, conflict_budget, deadline, cec_seeds,
+                                           cancel, executor);
+    if (sweep_stats != nullptr) sweep_stats->accumulate(sr.stats);
+    return sr.cec.status;
+  }
   return cec::check_const0(check, out, conflict_budget, deadline, cec_seeds, cancel).status;
 }
 
@@ -196,6 +206,12 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
   const uint32_t k = problem.num_targets();
   std::vector<aig::Lit> patch_lits;
 
+  // Sweeping-proven duplicate divisors collapse onto their cheapest
+  // representative: same expressible patch functions, fewer activation
+  // variables per two-copy instance.
+  const std::vector<size_t> candidates =
+      dedupe_equivalent_divisors(window.divisor_indices, window.divisor_alias);
+
   for (uint32_t t = 0; t < k; ++t) {
     if (cancel.cancelled()) return false;
     ECO_TELEMETRY_PHASE("target");
@@ -224,7 +240,7 @@ bool run_sat_path(const EcoProblem& problem, const Window& window,
     // token so a memory budget can stop the run before the allocator does.
     cancel.charge_memory(static_cast<uint64_t>(mq.aig.num_nodes()) * 16);
 
-    SupportInstance inst(mq, t, problem.divisors, window.divisor_indices);
+    SupportInstance inst(mq, t, problem.divisors, candidates);
     inst.solver().set_cancel(cancel);
 
     // Per-target simulation bank over the quantified miter: refutes support
@@ -464,6 +480,7 @@ bool run_structural_path(const EcoProblem& problem, const Window& window,
                                  : std::min<int64_t>(options.conflict_budget, 50000);
       ropt.cancel = cancel.grace(grace_seconds);
       ropt.sim = rfilter.has_value() ? &*rfilter : nullptr;
+      ropt.divisor_alias = window.divisor_alias;
       const ResubResult resub =
           functional_resub(work, pi_lit, problem.divisors, window.divisor_indices, ropt);
       if (resub.ok && resub.cost < best_cost) {
@@ -513,8 +530,17 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
   // solver work of concurrently executing runs.
   telemetry::SolverTotalsAccumulator sat_acc;
   telemetry::ScopedSolverCapture sat_capture(sat_acc);
+  // SAT-sweeping counters (cec_mode == kSweep only; zero otherwise),
+  // accumulated across window escalation, divisor discovery and the final
+  // verification, then copied into the outcome by finish().
+  cec::SweepStats sweep_stats;
   const auto finish = [&](EcoOutcome& out) {
     out.seconds = timer.seconds();
+    out.stats.sweep_classes = sweep_stats.classes;
+    out.stats.sweep_proofs = sweep_stats.proofs;
+    out.stats.sweep_refutes = sweep_stats.refutes;
+    out.stats.sweep_merges = sweep_stats.merges;
+    out.stats.sweep_cex_splits = sweep_stats.cex_splits;
     const telemetry::SolverTotals sat = sat_acc.totals();
     out.stats.sat_solvers = sat.solvers;
     out.stats.sat_solves = sat.solves;
@@ -540,7 +566,15 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
   Window window;
   {
     ECO_TELEMETRY_PHASE("window");
-    window = compute_window(problem, options.conflict_budget);
+    window = compute_window(problem, options.conflict_budget, options.cec_mode,
+                            options.executor, &sweep_stats);
+  }
+  if (!window.divisor_alias.empty()) {
+    const size_t kept =
+        dedupe_equivalent_divisors(window.divisor_indices, window.divisor_alias).size();
+    outcome.stats.sweep_equiv_divisors = window.divisor_indices.size() - kept;
+    ECO_TELEMETRY_COUNT("engine.sweep_equiv_divisors",
+                        outcome.stats.sweep_equiv_divisors);
   }
   outcome.stats.window_seconds = phase_timer.seconds();
   log_info("engine: window computed in %.2fs (%zu affected POs, %zu divisors)",
@@ -677,7 +711,8 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
     // the (often already expired) main deadline, but still abortable.
     const cec::Status s = verify_patched(problem, outcome.patched_impl,
                                          /*conflict_budget=*/-1, Deadline(verify_budget),
-                                         cec_seeds, cancel.grace(verify_budget));
+                                         cec_seeds, cancel.grace(verify_budget),
+                                         options.cec_mode, options.executor, &sweep_stats);
     verify_seconds = verify_timer.seconds();
     return s;
   };
@@ -1022,6 +1057,16 @@ std::string outcome_to_json(const EcoOutcome& outcome) {
   w.kv("par_cube", outcome.stats.sat_par_cube);
   w.kv("par_wins", outcome.stats.sat_par_wins);
   w.kv("par_clauses_imported", outcome.stats.sat_par_clauses_imported);
+  w.end_object();
+
+  w.key("sweep");
+  w.begin_object();
+  w.kv("classes", outcome.stats.sweep_classes);
+  w.kv("proofs", outcome.stats.sweep_proofs);
+  w.kv("refutes", outcome.stats.sweep_refutes);
+  w.kv("merges", outcome.stats.sweep_merges);
+  w.kv("cex_splits", outcome.stats.sweep_cex_splits);
+  w.kv("equiv_divisors", outcome.stats.sweep_equiv_divisors);
   w.end_object();
 
   w.key("sim");

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "cec/sweep.hpp"
 #include "eco/cegarmin.hpp"
 #include "eco/problem.hpp"
 #include "eco/satprune.hpp"
@@ -100,6 +101,13 @@ struct EngineOptions {
   /// EngineStats::ladder. Off = single attempt, bit-identical to the
   /// pre-ladder engine.
   bool ladder = true;
+  /// CEC engine for the window's outside-PO screen and the final
+  /// verification (cec/sweep.hpp). kSweep additionally runs divisor
+  /// discovery: proven-equivalent divisors collapse to their cheapest
+  /// representative before the support/resub stages. Defaults come from
+  /// `CecOptions::defaults()` (env `ECO_CEC`), i.e. kMono — outcomes are
+  /// bit-identical unless sweeping is requested.
+  cec::CecMode cec_mode = cec::CecOptions::defaults().mode;
 };
 
 /// Per-target report.
@@ -171,6 +179,15 @@ struct EngineStats {
   uint64_t sim_irredundant_hits = 0;  ///< irredundancy SAT calls skipped
   uint64_t sim_bank_patterns = 0;     ///< counterexamples recorded into banks
   uint64_t sim_resim_nodes = 0;       ///< incremental re-simulation node-words
+
+  // SAT sweeping (cec/sweep.hpp), summed over the run's window divisor
+  // discovery and sweeping verification; all zero with cec_mode == kMono.
+  uint64_t sweep_classes = 0;         ///< multi-member candidate classes
+  uint64_t sweep_proofs = 0;          ///< pairs proven equivalent by SAT
+  uint64_t sweep_refutes = 0;         ///< pairs refuted (model harvested)
+  uint64_t sweep_merges = 0;          ///< nodes merged (SAT + structural)
+  uint64_t sweep_cex_splits = 0;      ///< counterexamples folded into the bank
+  uint64_t sweep_equiv_divisors = 0;  ///< divisors collapsed onto a cheaper twin
 
   /// Strategy-ladder log: one entry per attempt ("primary" first, then any
   /// escalation rungs). A single entry means no escalation happened.

@@ -25,6 +25,8 @@ SolverOptions env_seeded_defaults() {
   SolverOptions o;
   if (const char* v = std::getenv("ECO_SAT_TRAIL_REUSE"))
     o.trail_reuse = !(v[0] == '0' && v[1] == '\0');
+  if (const char* v = std::getenv("ECO_SAT_PHASE_SEED"))
+    o.phase_seed = !(v[0] == '0' && v[1] == '\0');
   if (const char* v = std::getenv("ECO_SAT_RESTART")) {
     const std::string_view s(v);
     if (s == "ema")

@@ -75,6 +75,13 @@ struct SolverOptions {
   /// the longest common assumption prefix (see file comment).
   bool trail_reuse = true;
 
+  /// Let consumers that hold simulation statistics (the sweeping engine,
+  /// cec/sweep.hpp) seed each Tseitin variable's saved phase from the
+  /// node's signal probability before solving. This flag only gates those
+  /// call sites' use of `set_polarity`; the solver itself never reads it.
+  /// `ECO_SAT_PHASE_SEED=0` disables it for A/B runs.
+  bool phase_seed = true;
+
   /// Restart policy for the search loop.
   RestartPolicy restart = RestartPolicy::kLuby;
 

@@ -125,6 +125,7 @@ const char* purpose_name(Purpose p) noexcept {
     case Purpose::kQbf: return "qbf";
     case Purpose::kVerify: return "verify";
     case Purpose::kLadder: return "ladder";
+    case Purpose::kSweep: return "sweep";
     case Purpose::kCount_: break;
   }
   return "unknown";

@@ -63,6 +63,7 @@ enum class Purpose : uint8_t {
   kQbf,           ///< 2QBF CEGAR feasibility iterations (§3.2)
   kVerify,        ///< the final patched-vs-spec verification
   kLadder,        ///< one strategy-ladder attempt (docs/ROBUSTNESS.md)
+  kSweep,         ///< SAT-sweeping class proofs (cec/sweep.hpp)
   kCount_,
 };
 const char* purpose_name(Purpose p) noexcept;

@@ -23,7 +23,10 @@
 //         --par-sat off|on|racy               intra-query parallel SAT
 //                                             (default: ECO_PAR_SAT, else off;
 //                                             docs/PARALLEL_SAT.md)
-//   ecopatch gen <unit 1..20> <outdir> [--seed N]
+//         --cec mono|sweep                    large-cone equivalence engine
+//                                             (default: ECO_CEC, else mono;
+//                                             docs/SWEEPING.md)
+//   ecopatch gen <unit 1..20> <outdir> [--seed N] [--scale N]
 //
 // Global options (any command): -v/--verbose raises the log level to info,
 // -vv to debug, and routes the telemetry phase/counter summary through the
@@ -52,6 +55,7 @@
 #include "aig/window.hpp"
 #include "benchgen/suite.hpp"
 #include "cec/cec.hpp"
+#include "cec/sweep.hpp"
 #include "eco/engine.hpp"
 #include "net/aignet.hpp"
 #include "net/blif.hpp"
@@ -78,10 +82,10 @@ int usage() {
                "                 [--patch FILE] [--patched FILE] [--force-structural]\n"
                "                 [--stats-json FILE] [--trace FILE] [--ledger FILE]\n"
                "                 [--jobs N] [--sim-bank 0|1] [--ladder 0|1]\n"
-               "                 [--par-sat off|on|racy]\n"
-               "  ecopatch gen <unit 1..20> <outdir> [--seed N]\n"
+               "                 [--par-sat off|on|racy] [--cec mono|sweep]\n"
+               "  ecopatch gen <unit 1..20> <outdir> [--seed N] [--scale N]\n"
                "  ecopatch stats <circuit.{v,blif,aag,aig}>\n"
-               "  ecopatch cec <a> <b> [--jobs N]\n"
+               "  ecopatch cec <a> <b> [--jobs N] [--cec mono|sweep]\n"
                "  ecopatch convert <in> <out>\n"
                "global options: -v/--verbose (info), -vv (debug),\n"
                "                --fault SITE[:PROB[:SEED]],... (inject faults)\n"
@@ -166,6 +170,8 @@ int cmd_solve(int argc, char** argv) {
       options.ladder = v == "1";
     } else if (arg == "--par-sat" && i + 1 < argc) {
       if (!eco::sat::parse_par_mode(argv[++i], par_opts.mode)) return usage();
+    } else if (arg == "--cec" && i + 1 < argc) {
+      if (!eco::cec::parse_cec_mode(argv[++i], options.cec_mode)) return usage();
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -300,10 +306,18 @@ int cmd_gen(int argc, char** argv) {
   const int unit_index = std::atoi(argv[2]) - 1;
   const std::string outdir = argv[3];
   uint64_t seed = 20170912;
-  for (int i = 4; i < argc; ++i)
-    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+  int scale = 1;
+  for (int i = 4; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
-  const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(unit_index, seed);
+    } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+      if (scale < 1 || scale > 1000) return usage();
+    } else {
+      return usage();
+    }
+  }
+  const eco::benchgen::EcoUnit unit = eco::benchgen::make_unit(unit_index, seed, scale);
   std::filesystem::create_directories(outdir);
   eco::net::write_verilog_file(outdir + "/impl.v", unit.impl);
   eco::net::write_verilog_file(outdir + "/spec.v", unit.spec);
@@ -330,14 +344,19 @@ int cmd_stats(int argc, char** argv) {
 int cmd_cec(int argc, char** argv) {
   if (argc < 4) return usage();
   int jobs = eco::util::default_jobs();
+  eco::cec::CecOptions cec_opts = eco::cec::CecOptions::defaults();
   for (int i = 4; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
       jobs = parse_jobs(argv[++i]);
       if (jobs < 0) return usage();
+    } else if (!std::strcmp(argv[i], "--cec") && i + 1 < argc) {
+      if (!eco::cec::parse_cec_mode(argv[++i], cec_opts.mode)) return usage();
     } else {
       return usage();
     }
   }
+  // check_equivalence reads the process defaults for its sweep escalation.
+  eco::cec::CecOptions::set_defaults(cec_opts);
   const eco::aig::Aig a = load_circuit(argv[2]);
   const eco::aig::Aig b = load_circuit(argv[3]);
   eco::util::Executor executor(jobs);

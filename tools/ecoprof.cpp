@@ -44,7 +44,8 @@ int usage() {
                "report: hotspot table, latency histograms, and slowest queries\n"
                "        from an ecopatch-ledger-v1 JSONL file.\n"
                "diff:   noise-aware regression check between two\n"
-               "        ecopatch-bench-table1-v1 files (old = baseline).\n"
+               "        ecopatch-bench-table1-v1 or ecopatch-bench-cec-v1\n"
+               "        files (old = baseline; both sides one schema).\n"
                "        Exits 1 on regression, 2 on schema/usage errors.\n"
                "        Tunable metrics: seconds cpu_seconds conflicts\n"
                "        decisions propagations\n");
@@ -371,8 +372,10 @@ int cmd_diff(int argc, char** argv) {
       return std::nullopt;
     }
     const std::string& schema = (*v)["schema"].as_string();
-    if (schema != "ecopatch-bench-table1-v1") {
-      std::fprintf(stderr, "ecoprof: %s: expected schema ecopatch-bench-table1-v1, got '%s'\n",
+    if (schema != "ecopatch-bench-table1-v1" && schema != "ecopatch-bench-cec-v1") {
+      std::fprintf(stderr,
+                   "ecoprof: %s: expected schema ecopatch-bench-table1-v1 or "
+                   "ecopatch-bench-cec-v1, got '%s'\n",
                    p.c_str(), schema.c_str());
       return std::nullopt;
     }
@@ -381,6 +384,14 @@ int cmd_diff(int argc, char** argv) {
   const std::optional<JsonValue> old_doc = load(old_path);
   const std::optional<JsonValue> new_doc = load(new_path);
   if (!old_doc || !new_doc) return 2;
+  // Both documents must speak the same schema; the record key and metric
+  // fields line up within a schema, not across them.
+  if ((*old_doc)["schema"].as_string() != (*new_doc)["schema"].as_string()) {
+    std::fprintf(stderr, "ecoprof: %s (%s) and %s (%s) use different schemas\n", old_path.c_str(),
+                 (*old_doc)["schema"].as_string().c_str(), new_path.c_str(),
+                 (*new_doc)["schema"].as_string().c_str());
+    return 2;
+  }
 
   const auto label = [](const JsonValue& doc) {
     std::string s = doc.contains("git_commit") ? doc["git_commit"].as_string() : "unknown";
