@@ -682,6 +682,17 @@ EcoOutcome run_eco_attempt(const EcoProblem& problem, const EngineOptions& optio
     outcome.patched_impl = patched.cleanup();
   }
 
+  // Warm seeds (service mode) join the run's own harvest after it, so fresh
+  // counterexamples keep priority under the seed cap; the union is both the
+  // verification stimulus set and the harvest handed back to the caller.
+  if (options.warm_patterns != nullptr) {
+    for (const auto& p : *options.warm_patterns) {
+      if (cec_seeds.size() >= kMaxCecSeeds) break;
+      if (!p.empty()) cec_seeds.push_back(p);
+    }
+  }
+  outcome.harvested_patterns = cec_seeds;
+
   // 5. Verification (paper Fig. 2 final check).
   // Verification gets its own grace window so a hard CEC cannot hang the
   // engine. An inconclusive check ships the patch but flags it, matching

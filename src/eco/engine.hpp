@@ -108,6 +108,13 @@ struct EngineOptions {
   /// `CecOptions::defaults()` (env `ECO_CEC`), i.e. kMono — outcomes are
   /// bit-identical unless sweeping is requested.
   cec::CecMode cec_mode = cec::CecOptions::defaults().mode;
+  /// Warm-start stimuli (the patch service, src/service/): shared-PI
+  /// pattern prefixes harvested from earlier runs on the same problem
+  /// (EcoOutcome::harvested_patterns). They join the run's own sim-bank
+  /// harvest as directed seeds for the final verification — stimuli to
+  /// screen, never assumed counterexamples — so a verdict can only be
+  /// reached faster, not changed. Not owned; may be null.
+  const std::vector<std::vector<bool>>* warm_patterns = nullptr;
 };
 
 /// Per-target report.
@@ -237,6 +244,12 @@ struct EcoOutcome {
   /// or an injected fault (util/ledger.hpp). Empty on clean runs or with
   /// the ledger disabled; serialized into the outcome JSON.
   std::vector<ledger::Record> flight_recorder;
+  /// Shared-PI counterexample prefixes this run harvested from its
+  /// simulation banks plus any warm seeds it was given (bounded; the union
+  /// fed to the final verification). A serving layer stores these per
+  /// session and feeds them back via EngineOptions::warm_patterns. Not
+  /// serialized into the outcome JSON.
+  std::vector<std::vector<bool>> harvested_patterns;
 };
 
 /// Runs the complete flow on \p problem.

@@ -1,0 +1,328 @@
+#include "service/daemon.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/jsonr.hpp"
+#include "util/jsonw.hpp"
+#include "util/ledger.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace eco::service {
+
+namespace {
+
+constexpr const char* kSchema = "ecopatch-service-v1";
+
+/// Starts the service envelope shared by every response flavor.
+JsonWriter begin_envelope(const std::string& id, bool ok) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("id", id);
+  w.kv("ok", ok);
+  return w;
+}
+
+}  // namespace
+
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message) {
+  JsonWriter w = begin_envelope(id, false);
+  w.key("error");
+  w.begin_object();
+  w.kv("code", code);
+  w.kv("message", message);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+/// One admitted solve job: everything run_job needs, captured at admission
+/// time so the submitting thread returns immediately.
+struct Daemon::Job {
+  std::string id;
+  std::string impl_path, spec_path, weights_path;
+  double budget_seconds = 0;
+  core::Algorithm algorithm{};
+  bool has_algorithm = false;
+  Timer queued;  ///< started at admission; read when execution begins
+  std::function<void(std::string)> respond;
+};
+
+Daemon::Daemon(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_budget_bytes),
+      // Executor(n) keeps n-1 dedicated workers (the caller is the nth slot
+      // in parallel_for, which the daemon never uses at the job level), so
+      // jobs+1 yields exactly `jobs` threads pulling from the queue.
+      exec_(std::max(1, options.jobs) + 1) {}
+
+Daemon::~Daemon() { drain(); }
+
+DaemonCounters Daemon::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Daemon::submit_line(const std::string& line,
+                         std::function<void(std::string)> respond) {
+  std::string err;
+  const auto doc = json_parse(line, &err);
+  if (!doc || !doc->is_object()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.bad_requests;
+    }
+    respond(error_response("", "bad_request",
+                           err.empty() ? "request is not a JSON object" : err));
+    return;
+  }
+  const JsonValue& req = *doc;
+  const std::string id = req["id"].as_string();
+  const std::string op =
+      req.contains("op") ? req["op"].as_string() : std::string("solve");
+
+  if (op == "ping" || op == "stats" || op == "drain") {
+    respond(control_response(op, id));
+    return;
+  }
+  if (op != "solve") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.bad_requests;
+    }
+    respond(error_response(id, "bad_request", "unknown op: " + op));
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->impl_path = req["impl"].as_string();
+  job->spec_path = req["spec"].as_string();
+  job->weights_path = req["weights"].as_string();
+  job->respond = std::move(respond);
+  if (job->impl_path.empty() || job->spec_path.empty() ||
+      job->weights_path.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.bad_requests;
+    }
+    job->respond(error_response(
+        id, "bad_request", "solve requires impl, spec, and weights paths"));
+    return;
+  }
+  job->budget_seconds = req["budget"].as_number(options_.default_budget_seconds);
+  if (options_.max_budget_seconds > 0)
+    job->budget_seconds =
+        std::min(job->budget_seconds, options_.max_budget_seconds);
+  if (req.contains("algo")) {
+    const std::string& algo = req["algo"].as_string();
+    if (algo == "baseline") job->algorithm = core::Algorithm::kBaseline;
+    else if (algo == "minimize") job->algorithm = core::Algorithm::kMinimize;
+    else if (algo == "satprune") job->algorithm = core::Algorithm::kSatPruneCegarMin;
+    else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.bad_requests;
+      }
+      job->respond(error_response(id, "bad_request", "unknown algo: " + algo));
+      return;
+    }
+    job->has_algorithm = true;
+  }
+
+  // Admission: draining beats queue_full, and the slot is taken before the
+  // submit so in_flight() always covers queued + running.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      ++counters_.rejected;
+      job->respond(error_response(id, "draining", "daemon is draining"));
+      return;
+    }
+    if (admitted_.load(std::memory_order_acquire) >= options_.queue_depth) {
+      ++counters_.rejected;
+      job->respond(error_response(
+          id, "queue_full",
+          "queue depth " + std::to_string(options_.queue_depth) + " reached"));
+      return;
+    }
+    ++counters_.submitted;
+    admitted_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  job->queued.reset();
+  exec_.submit([this, job] { run_job(job); });
+}
+
+void Daemon::run_job(std::shared_ptr<Job> job) {
+  const double queue_seconds = job->queued.seconds();
+  Timer exec_timer;
+  std::string response;
+  bool cancelled = false;
+  try {
+    const LoadedInputs in =
+        load_inputs(cache_, job->impl_path, job->spec_path, job->weights_path);
+    bool problem_hit = false;
+    const auto problem = cache_.problem(*in.impl, *in.spec, *in.weights, &problem_hit);
+
+    core::EngineOptions opts = options_.engine;
+    if (job->has_algorithm) opts.algorithm = job->algorithm;
+    opts.time_budget = job->budget_seconds;
+    // The job's token is a child slice of the daemon root: its own deadline
+    // plus the daemon-wide stop (drain past grace, SIGTERM escalation).
+    opts.cancel = root_.child(job->budget_seconds);
+    opts.executor = options_.engine_parallel ? &exec_ : nullptr;
+
+    std::vector<std::vector<bool>> warm;
+    if (options_.warm_patterns) warm = problem->warm_patterns();
+    opts.warm_patterns = warm.empty() ? nullptr : &warm;
+
+    const core::EcoOutcome outcome = core::run_eco(problem->problem, opts);
+    cancelled = outcome.fail_reason == core::FailReason::kCancelled;
+
+    size_t absorbed = 0;
+    if (options_.warm_patterns)
+      absorbed = problem->absorb_patterns(outcome.harvested_patterns,
+                                          options_.warm_pattern_cap);
+
+    JsonWriter w = begin_envelope(job->id, true);
+    w.key("service");
+    w.begin_object();
+    w.kv("queue_seconds", queue_seconds);
+    w.kv("exec_seconds", exec_timer.seconds());
+    w.kv("session", hash_hex(problem->key));
+    w.key("cache");
+    w.begin_object();
+    w.kv("impl_hit", in.impl_hit);
+    w.kv("spec_hit", in.spec_hit);
+    w.kv("weights_hit", in.weights_hit);
+    w.kv("problem_hit", problem_hit);
+    w.end_object();
+    w.kv("warm_patterns_in", static_cast<uint64_t>(warm.size()));
+    w.kv("warm_patterns_absorbed", static_cast<uint64_t>(absorbed));
+    w.end_object();
+    w.end_object();
+    response = w.take();
+    // Splice the full ecopatch-outcome-v1 object in as the last member —
+    // the envelope adds service context, it never rewrites outcome fields.
+    response.pop_back();  // trailing '}'
+    response += ",\"outcome\":";
+    response += core::outcome_to_json(outcome);
+    response += '}';
+  } catch (const net::ParseError& e) {
+    response = error_response(job->id, "parse", e.what());
+  } catch (const net::InputError& e) {
+    response = error_response(job->id, "inconsistent_input", e.what());
+  } catch (const std::exception& e) {
+    response = error_response(job->id, "internal", e.what());
+  } catch (...) {
+    response = error_response(job->id, "internal", "unknown exception");
+  }
+
+  // Counters first, delivery second: once a client sees the response, the
+  // daemon's own accounting (stats op, tests) already reflects the job.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.completed;
+    if (cancelled) ++counters_.cancelled;
+  }
+  try {
+    job->respond(response);
+  } catch (const std::exception& e) {
+    log_error("service: response delivery for job '%s' failed: %s",
+              job->id.c_str(), e.what());
+  }
+  finish_job();
+}
+
+void Daemon::finish_job() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  admitted_.fetch_sub(1, std::memory_order_acq_rel);
+  idle_cv_.notify_all();
+}
+
+std::string Daemon::control_response(const std::string& op, const std::string& id) {
+  if (op == "drain") {
+    // Stops admission only; the front end owns the blocking drain() call
+    // (it must keep pumping responses while jobs wind down).
+    draining_.store(true, std::memory_order_release);
+    JsonWriter w = begin_envelope(id, true);
+    w.kv("op", "drain");
+    w.kv("in_flight", static_cast<uint64_t>(in_flight()));
+    w.end_object();
+    return w.take();
+  }
+  JsonWriter w = begin_envelope(id, true);
+  w.kv("op", op);
+  if (op == "stats") {
+    const DaemonCounters c = counters();
+    const CacheStats cs = cache_.stats();
+    w.key("counters");
+    w.begin_object();
+    w.kv("submitted", c.submitted);
+    w.kv("completed", c.completed);
+    w.kv("rejected", c.rejected);
+    w.kv("bad_requests", c.bad_requests);
+    w.kv("cancelled", c.cancelled);
+    w.end_object();
+    w.kv("in_flight", static_cast<uint64_t>(in_flight()));
+    w.kv("draining", draining());
+    w.key("cache");
+    w.begin_object();
+    w.kv("netlist_hits", cs.netlist_hits);
+    w.kv("netlist_misses", cs.netlist_misses);
+    w.kv("weights_hits", cs.weights_hits);
+    w.kv("weights_misses", cs.weights_misses);
+    w.kv("problem_hits", cs.problem_hits);
+    w.kv("problem_misses", cs.problem_misses);
+    w.kv("evictions", cs.evictions);
+    w.kv("memory_used", cache_.memory_used());
+    w.kv("entries", static_cast<uint64_t>(cache_.entries()));
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string Daemon::submit_and_wait(const std::string& line) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::string out;
+  bool done = false;
+  submit_line(line, [&](std::string response) {
+    std::lock_guard<std::mutex> lock(m);
+    out = std::move(response);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+void Daemon::drain() {
+  draining_.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto all_done = [this] {
+      return admitted_.load(std::memory_order_acquire) == 0;
+    };
+    if (!idle_cv_.wait_for(
+            lock, std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::duration<double>(
+                          std::max(0.0, options_.drain_grace_seconds))),
+            all_done)) {
+      // Grace expired: cancel cooperatively and keep waiting. Every job
+      // still delivers its (now cancelled) outcome before the slot frees.
+      root_.request_stop();
+      idle_cv_.wait(lock, all_done);
+    }
+  }
+  // All outcomes delivered; make the ledger story durable too.
+  ledger::flush();
+}
+
+}  // namespace eco::service

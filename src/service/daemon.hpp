@@ -1,0 +1,155 @@
+/// \file daemon.hpp
+/// \brief The long-lived patch service: admission control, concurrent job
+/// execution on the Executor, warm session caching, and graceful drain.
+///
+/// `Daemon` is the transport-independent core of `ecopatchd`
+/// (tools/ecopatchd.cpp): front ends (stdin pipe, Unix socket, the
+/// bench_service load generator, tests) feed it request *lines* and get
+/// response *lines* back through a callback — one line-delimited JSON
+/// object each way, the protocol of docs/SERVICE.md.
+///
+/// Request:  {"op":"solve","id":"j1","impl":"impl.v","spec":"spec.v",
+///            "weights":"w.txt","budget":10,"algo":"minimize"}
+/// Response: {"schema":"ecopatch-service-v1","id":"j1","ok":true,
+///            "service":{queue/cache/session fields},"outcome":{...}}
+///
+/// Execution model:
+///  - **Admission.** A bounded queue admits at most `queue_depth` jobs
+///    (queued + running). Beyond that, submissions are rejected immediately
+///    with error code `queue_full` — the documented back-pressure signal —
+///    and nothing is enqueued. A draining daemon rejects with `draining`.
+///  - **Concurrency.** Admitted jobs run on an internal Executor with
+///    `jobs` worker threads; the submitting thread never blocks. Each job
+///    gets its own `CancelToken::child` slice of the daemon root token
+///    carrying the per-job deadline, so one runaway job can neither stall
+///    the pool forever nor outlive a drain. Inside a job the engine runs
+///    its normal crash-proof attempt boundary (eco/engine.cpp): any
+///    exception or fault becomes a classified outcome, never a daemon
+///    crash.
+///  - **Warm state.** Inputs resolve through the SessionCache
+///    (service/artifacts.hpp); each response reports per-artifact
+///    hit/miss, the session key, and queue/execution timings. Harvested
+///    simulation patterns are folded back into the session for the next
+///    job (EngineOptions::warm_patterns).
+///  - **Drain.** `drain()` (the SIGTERM/SIGINT path) stops admission,
+///    waits up to `drain_grace_seconds` for in-flight jobs, then requests
+///    cooperative cancellation and keeps waiting — every admitted job
+///    still delivers its response (status `unknown`, fail_reason
+///    `cancelled` if it was cut short), and the ledger sink is flushed
+///    before drain() returns. No in-flight outcome is ever lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "eco/engine.hpp"
+#include "service/artifacts.hpp"
+#include "util/cancel.hpp"
+#include "util/executor.hpp"
+
+namespace eco::service {
+
+struct ServiceOptions {
+  /// Concurrent jobs (dedicated pool worker threads).
+  int jobs = 2;
+  /// Admission cap: queued + running jobs. Submissions beyond it are
+  /// rejected with error code "queue_full".
+  size_t queue_depth = 64;
+  /// Per-job wall budget when the request carries none.
+  double default_budget_seconds = 60;
+  /// Ceiling for any requested budget (0 = no ceiling).
+  double max_budget_seconds = 0;
+  /// Session-cache budget (artifacts.hpp); 0 disables caching — every job
+  /// parses cold, which is the bench_service baseline mode.
+  uint64_t cache_budget_bytes = 256ull << 20;
+  /// Feed harvested simulation patterns back into the session between jobs.
+  bool warm_patterns = true;
+  /// Cap on stored warm patterns per session.
+  size_t warm_pattern_cap = 256;
+  /// How long drain() lets in-flight jobs finish before cancelling them.
+  double drain_grace_seconds = 30;
+  /// Per-job engine template. cancel/executor/warm_patterns are overwritten
+  /// per job; everything else (algorithm, budgets, sim bank, cec mode, ...)
+  /// is the daemon-wide default a request can override.
+  core::EngineOptions engine{};
+  /// Hand each job the daemon pool for intra-job parallelism (overlapped
+  /// verify, parallel sweeps). Off by default: pool slots equal whole jobs,
+  /// which keeps per-job latency independent of neighbors.
+  bool engine_parallel = false;
+};
+
+/// Cumulative daemon counters (monotone; snapshot via Daemon::counters).
+struct DaemonCounters {
+  uint64_t submitted = 0;   ///< well-formed solve requests seen
+  uint64_t completed = 0;   ///< responses delivered for admitted jobs
+  uint64_t rejected = 0;    ///< queue_full + draining rejections
+  uint64_t bad_requests = 0;
+  uint64_t cancelled = 0;   ///< jobs cut short by drain/stop
+};
+
+class Daemon {
+ public:
+  explicit Daemon(const ServiceOptions& options);
+  /// Drains (idempotent) before tearing the pool down.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Handles one request line. \p respond is invoked exactly once with the
+  /// response line (no trailing newline): inline for protocol errors,
+  /// rejections, and control ops; from a worker thread for admitted solve
+  /// jobs. \p respond must be thread-safe against other responses.
+  void submit_line(const std::string& line,
+                   std::function<void(std::string)> respond);
+
+  /// Blocking convenience (tests, bench): submits and waits for the line.
+  std::string submit_and_wait(const std::string& line);
+
+  /// Stops admission, waits for in-flight jobs (cancelling after the
+  /// grace), flushes the ledger sink. Safe to call repeatedly and from
+  /// signal-driven front-end loops (not from the handler itself).
+  void drain();
+
+  /// Requests cooperative cancellation of every running job (drain still
+  /// delivers their responses). Async-signal-safe.
+  void request_stop() noexcept { root_.request_stop(); }
+
+  bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+  /// Jobs admitted and not yet responded (queued + running).
+  size_t in_flight() const noexcept { return admitted_.load(std::memory_order_acquire); }
+  DaemonCounters counters() const;
+  const SessionCache& cache() const noexcept { return cache_; }
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Job;
+
+  void run_job(std::shared_ptr<Job> job);
+  std::string control_response(const std::string& op, const std::string& id);
+  void finish_job() noexcept;
+
+  ServiceOptions options_;
+  CancelToken root_ = CancelToken::stoppable();
+  SessionCache cache_;
+  util::Executor exec_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> admitted_{0};
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  DaemonCounters counters_;
+};
+
+/// Builds an error response line: {"schema":...,"id":id,"ok":false,
+/// "error":{"code":code,"message":message}}. Codes: "bad_request",
+/// "queue_full", "draining", "parse", "inconsistent_input", "internal".
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message);
+
+}  // namespace eco::service

@@ -140,6 +140,7 @@ const char* kind_name(Kind k) noexcept {
     case Kind::kLadderAttempt: return "ladder_attempt";
     case Kind::kPortfolioAttempt: return "portfolio_attempt";
     case Kind::kCubeSolve: return "cube_solve";
+    case Kind::kSweepChunk: return "sweep_chunk";
     case Kind::kCount_: break;
   }
   return "solve";

@@ -77,6 +77,9 @@ enum class Kind : uint8_t {
   kLadderAttempt,     ///< one engine attempt (primary or escalation rung)
   kPortfolioAttempt,  ///< one diversified clone raced by sat/parsolve
   kCubeSolve,         ///< one cube sub-instance solved by sat/parsolve
+  kSweepChunk,        ///< one SAT-sweeping prove chunk (cec/sweep.cpp):
+                      ///< whole-chunk solver totals; vars = classes proved.
+                      ///< The cost signal behind adaptive chunk sizing.
   kCount_,
 };
 const char* kind_name(Kind k) noexcept;

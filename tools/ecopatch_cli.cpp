@@ -63,6 +63,7 @@
 #include "net/verilog.hpp"
 #include "net/weights.hpp"
 #include "sat/parsolve.hpp"
+#include "service/artifacts.hpp"
 #include "util/cancel.hpp"
 #include "util/executor.hpp"
 #include "util/faultpoint.hpp"
@@ -193,9 +194,15 @@ int cmd_solve(int argc, char** argv) {
     return 6;
   }
 
-  const eco::net::Network impl = eco::net::parse_verilog_file(impl_path);
-  const eco::net::Network spec = eco::net::parse_verilog_file(spec_path);
-  const eco::net::WeightMap weights = eco::net::parse_weights_file(weights_path);
+  // The shared front-end path of CLI and ecopatchd (service/artifacts.hpp);
+  // budget 0 is the one-shot mode: parse fresh, cache nothing. Parse errors
+  // propagate as net::ParseError to main's exit-4 mapping, unchanged.
+  eco::service::SessionCache cache(0);
+  const eco::service::LoadedInputs inputs =
+      eco::service::load_inputs(cache, impl_path, spec_path, weights_path);
+  const eco::net::Network& impl = inputs.impl->network;
+  const eco::net::Network& spec = inputs.spec->network;
+  const eco::net::WeightMap& weights = inputs.weights->weights;
   eco::util::Executor executor(jobs);
   options.executor = &executor;
   // run_eco registers the pool for intra-query parallel SAT; the mode knob

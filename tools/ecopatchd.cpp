@@ -1,0 +1,280 @@
+// ecopatchd — the long-lived patch service (docs/SERVICE.md).
+//
+//   ecopatchd [options]
+//       Accepts line-delimited JSON job requests on stdin and writes one
+//       JSON response line per request to stdout (responses may interleave
+//       across jobs; match them by "id"). EOF drains and exits.
+//   ecopatchd --socket PATH [options]
+//       Same protocol over a local Unix stream socket: each connected
+//       client sends request lines and receives its own responses.
+//
+// Options:
+//   --jobs N           concurrent jobs (default 2)
+//   --queue N          admission cap, queued + running (default 64)
+//   --budget S         default per-job wall budget in seconds (default 60)
+//   --max-budget S     ceiling for requested budgets (default: none)
+//   --cache-mb MB      session-cache budget (default 256; 0 = cold mode)
+//   --no-warm          do not feed harvested patterns back into sessions
+//   --drain-grace S    drain: seconds to wait before cancelling (default 30)
+//   --ledger FILE      per-query JSONL ledger sink (flushed on drain)
+//   --par-engine       give jobs the pool for intra-job parallelism
+//
+// Global flags: -v/--verbose, -vv, --fault SPEC (as in ecopatch).
+//
+// SIGTERM/SIGINT trigger a graceful drain: admission stops, in-flight jobs
+// get drain-grace seconds to finish, then cooperative cancellation; every
+// admitted job still delivers its response, the ledger is flushed, and the
+// process exits 0. Exit codes: 0 clean drain, 2 usage, 6 unusable socket
+// or ledger path.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/daemon.hpp"
+#include "util/faultpoint.hpp"
+#include "util/ledger.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+/// Set by SIGTERM/SIGINT; the poll loops notice and start the drain.
+volatile std::sig_atomic_t g_signal = 0;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecopatchd [--socket PATH] [--jobs N] [--queue N]\n"
+               "                 [--budget S] [--max-budget S] [--cache-mb MB]\n"
+               "                 [--no-warm] [--drain-grace S] [--ledger FILE]\n"
+               "                 [--par-engine] [-v|-vv] [--fault SPEC]\n");
+  return 2;
+}
+
+/// One connected peer (a socket client, or stdout for the stdin mode).
+/// Response writers run on daemon worker threads, so every write goes
+/// through the per-client lock, and a closed client swallows writes instead
+/// of touching a recycled descriptor.
+struct Client {
+  explicit Client(int fd) : fd(fd) {}
+  std::mutex mu;
+  int fd = -1;
+  std::string rx;  ///< partial-line receive buffer (poll thread only)
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (fd < 0) return;  // client already gone; the response is dropped
+    std::string out = line;
+    out += '\n';
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        close_locked();
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  void close_now() {
+    std::lock_guard<std::mutex> lock(mu);
+    close_locked();
+  }
+
+ private:
+  void close_locked() {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+};
+
+/// Splits complete lines out of \p c's receive buffer into the daemon.
+void feed(eco::service::Daemon& daemon, const std::shared_ptr<Client>& c) {
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = c->rx.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = c->rx.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    daemon.submit_line(line, [c](std::string response) { c->send_line(response); });
+  }
+  c->rx.erase(0, start);
+}
+
+int run_stdin(eco::service::Daemon& daemon) {
+  // stdout is the shared response channel; Client serializes the writers.
+  auto out = std::make_shared<Client>(STDOUT_FILENO);
+  std::string buf(1 << 16, '\0');
+  bool eof = false;
+  while (!eof && g_signal == 0) {
+    struct pollfd pfd{STDIN_FILENO, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (r < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks g_signal
+      break;
+    }
+    if (r == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    out->rx.append(buf.data(), static_cast<size_t>(n));
+    // Reuse Client::rx as the stdin line buffer; responses go to out->fd.
+    feed(daemon, out);
+  }
+  if (g_signal != 0)
+    eco::log_info("ecopatchd: signal %d, draining %zu in-flight job(s)",
+                  static_cast<int>(g_signal), daemon.in_flight());
+  daemon.drain();  // delivers every admitted response through `out`
+  return 0;
+}
+
+int run_socket(eco::service::Daemon& daemon, const std::string& path) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "ecopatchd: socket: %s\n", std::strerror(errno));
+    return 6;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "ecopatchd: socket path too long: %s\n", path.c_str());
+    ::close(listen_fd);
+    return 6;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::fprintf(stderr, "ecopatchd: cannot listen on %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listen_fd);
+    return 6;
+  }
+  eco::log_info("ecopatchd: listening on %s", path.c_str());
+
+  std::vector<std::shared_ptr<Client>> clients;
+  std::string buf(1 << 16, '\0');
+  while (g_signal == 0 && !daemon.draining()) {
+    std::vector<pollfd> pfds;
+    pfds.push_back({listen_fd, POLLIN, 0});
+    for (const auto& c : clients) pfds.push_back({c->fd, POLLIN, 0});
+    const int r = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/200);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) clients.push_back(std::make_shared<Client>(fd));
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+      const short ev = pfds[i + 1].revents;
+      if (ev == 0) continue;
+      auto& c = clients[i];
+      bool gone = (ev & (POLLERR | POLLNVAL)) != 0;
+      if (!gone && (ev & (POLLIN | POLLHUP)) != 0) {
+        const ssize_t n = ::read(c->fd, buf.data(), buf.size());
+        if (n > 0) {
+          c->rx.append(buf.data(), static_cast<size_t>(n));
+          feed(daemon, c);
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          gone = true;
+        }
+      }
+      if (gone) {
+        c->close_now();
+        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i));
+        --i;
+      }
+    }
+  }
+  if (g_signal != 0)
+    eco::log_info("ecopatchd: signal %d, draining %zu in-flight job(s)",
+                  static_cast<int>(g_signal), daemon.in_flight());
+  // In-flight responses still flow to their (open) clients during drain.
+  daemon.drain();
+  for (const auto& c : clients) c->close_now();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int verbosity = 0;
+  eco::service::ServiceOptions options;
+  std::string socket_path;
+  std::string ledger_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-v" || arg == "--verbose") ++verbosity;
+    else if (arg == "-vv") verbosity += 2;
+    else if (arg == "--fault" && i + 1 < argc) {
+      std::string error;
+      if (!eco::fault::arm(argv[++i], &error)) {
+        std::fprintf(stderr, "ecopatchd: --fault: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+    else if (arg == "--jobs" && i + 1 < argc) options.jobs = std::atoi(argv[++i]);
+    else if (arg == "--queue" && i + 1 < argc)
+      options.queue_depth = static_cast<size_t>(std::atoll(argv[++i]));
+    else if (arg == "--budget" && i + 1 < argc)
+      options.default_budget_seconds = std::atof(argv[++i]);
+    else if (arg == "--max-budget" && i + 1 < argc)
+      options.max_budget_seconds = std::atof(argv[++i]);
+    else if (arg == "--cache-mb" && i + 1 < argc)
+      options.cache_budget_bytes = static_cast<uint64_t>(std::atoll(argv[++i])) << 20;
+    else if (arg == "--no-warm") options.warm_patterns = false;
+    else if (arg == "--drain-grace" && i + 1 < argc)
+      options.drain_grace_seconds = std::atof(argv[++i]);
+    else if (arg == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
+    else if (arg == "--par-engine") options.engine_parallel = true;
+    else return usage();
+  }
+  if (options.jobs < 1 || options.queue_depth < 1) return usage();
+  if (verbosity >= 2) eco::set_log_level(eco::LogLevel::kDebug);
+  else if (verbosity == 1) eco::set_log_level(eco::LogLevel::kInfo);
+
+  if (!ledger_path.empty() && !eco::ledger::set_sink(ledger_path)) {
+    std::fprintf(stderr, "ecopatchd: cannot write %s: %s\n", ledger_path.c_str(),
+                 std::strerror(errno));
+    return 6;
+  }
+
+  // One atomic store; the poll loop notices within its 200 ms tick and runs
+  // the graceful drain (daemon.cpp). A second signal during the drain is
+  // absorbed — drain already cancels after the grace.
+  std::signal(SIGINT, [](int sig) { g_signal = sig; });
+  std::signal(SIGTERM, [](int sig) { g_signal = sig; });
+  std::signal(SIGPIPE, SIG_IGN);  // client hangups surface as write errors
+
+  eco::service::Daemon daemon(options);
+  const int rc = socket_path.empty() ? run_stdin(daemon)
+                                     : run_socket(daemon, socket_path);
+  eco::ledger::close_sink();
+  return rc;
+}

@@ -10,7 +10,8 @@
 ///     fingerprints. Exit 0 on success, 2 on unreadable/invalid input.
 ///
 ///   ecoprof diff <old.json> <new.json> [--warn-only] [--threshold M=F]
-///     Noise-aware comparison of two `ecopatch-bench-table1-v1` files.
+///     Noise-aware comparison of two bench files (`ecopatch-bench-table1-v1`,
+///     `ecopatch-bench-cec-v1`, or `ecopatch-bench-service-v1`).
 ///     Runs are matched by (unit, weights, algorithm); exact metrics
 ///     (ok/verified/method/cost/gates) regress on any change for the worse,
 ///     timing and counter metrics regress past per-metric relative
@@ -44,11 +45,13 @@ int usage() {
                "report: hotspot table, latency histograms, and slowest queries\n"
                "        from an ecopatch-ledger-v1 JSONL file.\n"
                "diff:   noise-aware regression check between two\n"
-               "        ecopatch-bench-table1-v1 or ecopatch-bench-cec-v1\n"
-               "        files (old = baseline; both sides one schema).\n"
+               "        ecopatch-bench-table1-v1, ecopatch-bench-cec-v1, or\n"
+               "        ecopatch-bench-service-v1 files (old = baseline;\n"
+               "        both sides one schema).\n"
                "        Exits 1 on regression, 2 on schema/usage errors.\n"
                "        Tunable metrics: seconds cpu_seconds conflicts\n"
-               "        decisions propagations\n");
+               "        decisions propagations p50_ms p95_ms p99_ms\n"
+               "        throughput_jps (regresses downward)\n");
   return 2;
 }
 
@@ -294,6 +297,8 @@ struct NoisePolicy {
   double rel;
   double min_base;
   double min_delta;
+  /// Throughput-style metric: shrinking is the regression direction.
+  bool lower_is_worse = false;
 };
 
 std::map<std::string, NoisePolicy> default_policies() {
@@ -303,6 +308,14 @@ std::map<std::string, NoisePolicy> default_policies() {
       {"conflicts", {0.10, 1000, 200}},
       {"decisions", {0.10, 5000, 1000}},
       {"propagations", {0.10, 50000, 10000}},
+      // ecopatch-bench-service-v1 latency/throughput rows (bench_service).
+      // Wider thresholds than the solver counters: scheduling jitter under
+      // concurrent load is real, and the tails especially so. Absent on
+      // table1/cec rows, so they simply never match there.
+      {"p50_ms", {0.25, 1.0, 1.0}},
+      {"p95_ms", {0.30, 1.0, 2.0}},
+      {"p99_ms", {0.35, 1.0, 5.0}},
+      {"throughput_jps", {0.20, 0.5, 0.1, /*lower_is_worse=*/true}},
   };
 }
 
@@ -372,10 +385,11 @@ int cmd_diff(int argc, char** argv) {
       return std::nullopt;
     }
     const std::string& schema = (*v)["schema"].as_string();
-    if (schema != "ecopatch-bench-table1-v1" && schema != "ecopatch-bench-cec-v1") {
+    if (schema != "ecopatch-bench-table1-v1" && schema != "ecopatch-bench-cec-v1" &&
+        schema != "ecopatch-bench-service-v1") {
       std::fprintf(stderr,
-                   "ecoprof: %s: expected schema ecopatch-bench-table1-v1 or "
-                   "ecopatch-bench-cec-v1, got '%s'\n",
+                   "ecoprof: %s: expected schema ecopatch-bench-table1-v1, "
+                   "ecopatch-bench-cec-v1, or ecopatch-bench-service-v1, got '%s'\n",
                    p.c_str(), schema.c_str());
       return std::nullopt;
     }
@@ -454,8 +468,12 @@ int cmd_diff(int argc, char** argv) {
       ++st.compared;
       const double o = ov.as_number(), nw = nv.as_number();
       if (o < pol.min_base) continue;  // too small to measure reliably
-      if (nw > o * (1.0 + pol.rel) && nw - o > pol.min_delta)
+      if (pol.lower_is_worse) {
+        if (nw < o * (1.0 - pol.rel) && o - nw > pol.min_delta)
+          report_regression(st, key, metric.c_str(), fmt_num(o), fmt_num(nw));
+      } else if (nw > o * (1.0 + pol.rel) && nw - o > pol.min_delta) {
         report_regression(st, key, metric.c_str(), fmt_num(o), fmt_num(nw));
+      }
     }
   }
 
