@@ -160,7 +160,10 @@ std::shared_ptr<const NetlistArtifact> SessionCache::netlist(const std::string& 
   if (hit != nullptr) *hit = false;
   auto artifact = std::make_shared<NetlistArtifact>();
   artifact->hash = h;
-  artifact->network = net::parse_verilog_file(path);
+  // Parse the bytes that were hashed, not a second read of the file: an
+  // edit-in-place between the two reads would otherwise cache the new
+  // content under the old content hash.
+  artifact->network = net::parse_verilog_string(bytes);
   artifact->approx_bytes = approx_network_bytes(artifact->network, bytes.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -186,7 +189,7 @@ std::shared_ptr<const WeightsArtifact> SessionCache::weights(const std::string& 
   if (hit != nullptr) *hit = false;
   auto artifact = std::make_shared<WeightsArtifact>();
   artifact->hash = h;
-  artifact->weights = net::parse_weights_file(path);
+  artifact->weights = net::parse_weights_string(bytes);
   artifact->approx_bytes = bytes.size() * 3 + 1024;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -27,6 +27,7 @@
 // process exits 0. Exit codes: 0 clean drain, 2 usage, 6 unusable socket
 // or ledger path.
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -91,6 +92,11 @@ struct Client {
   void close_now() {
     std::lock_guard<std::mutex> lock(mu);
     close_locked();
+  }
+
+  bool closed() {
+    std::lock_guard<std::mutex> lock(mu);
+    return fd < 0;
   }
 
  private:
@@ -177,7 +183,13 @@ int run_socket(eco::service::Daemon& daemon, const std::string& path) {
   std::vector<std::shared_ptr<Client>> clients;
   std::string buf(1 << 16, '\0');
   while (g_signal == 0 && !daemon.draining()) {
+    // clients[i] pairs with pfds[i + 1] for this whole iteration: the count
+    // is snapshotted before accept() can grow the vector, and removals are
+    // deferred to a compaction pass so indices never shift mid-loop. A
+    // freshly accepted client is first polled on the next iteration.
+    const size_t polled = clients.size();
     std::vector<pollfd> pfds;
+    pfds.reserve(polled + 1);
     pfds.push_back({listen_fd, POLLIN, 0});
     for (const auto& c : clients) pfds.push_back({c->fd, POLLIN, 0});
     const int r = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/200);
@@ -189,7 +201,7 @@ int run_socket(eco::service::Daemon& daemon, const std::string& path) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) clients.push_back(std::make_shared<Client>(fd));
     }
-    for (size_t i = 0; i < clients.size(); ++i) {
+    for (size_t i = 0; i < polled; ++i) {
       const short ev = pfds[i + 1].revents;
       if (ev == 0) continue;
       auto& c = clients[i];
@@ -203,12 +215,13 @@ int run_socket(eco::service::Daemon& daemon, const std::string& path) {
           gone = true;
         }
       }
-      if (gone) {
-        c->close_now();
-        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i));
-        --i;
-      }
+      if (gone) c->close_now();  // fd becomes -1; compacted below
     }
+    clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                 [](const std::shared_ptr<Client>& c) {
+                                   return c->closed();
+                                 }),
+                  clients.end());
   }
   if (g_signal != 0)
     eco::log_info("ecopatchd: signal %d, draining %zu in-flight job(s)",
