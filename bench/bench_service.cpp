@@ -26,8 +26,13 @@
 // regresses downward, latency upward).
 //
 // Usage: bench_service [--sessions K] [--per-session M] [--scale N]
-//                      [--jobs N] [--seed N] [--budget S] [--json FILE]
-//                      [--dir PATH] [--keep]
+//                      [--jobs N] [--isolate N] [--seed N] [--budget S]
+//                      [--json FILE] [--dir PATH] [--keep]
+//
+// --isolate N runs both modes with the process-isolated worker pool
+// (service/worker.hpp): the identity check then proves isolation does not
+// change outcomes either, and comparing two --json files (with and without
+// the flag) proves it across processes.
 
 #include <algorithm>
 #include <cerrno>
@@ -84,7 +89,7 @@ double percentile(std::vector<double> v, double p) {
 /// deployed configuration; cold zeroes the cache and pattern reuse. The
 /// submission loop is serial (client-side), the daemon spreads execution
 /// over its workers; latency includes queue wait by design.
-ModeResult run_mode(bool warm, int daemon_jobs, double budget_seconds,
+ModeResult run_mode(bool warm, int daemon_jobs, int isolate, double budget_seconds,
                     const std::vector<std::array<std::string, 3>>& session_files,
                     int per_session) {
   eco::service::ServiceOptions opts;
@@ -93,6 +98,7 @@ ModeResult run_mode(bool warm, int daemon_jobs, double budget_seconds,
   opts.default_budget_seconds = budget_seconds;
   opts.cache_budget_bytes = warm ? (256ull << 20) : 0;
   opts.warm_patterns = warm;
+  opts.worker.workers = isolate;
   eco::service::Daemon daemon(opts);
 
   const size_t total = session_files.size() * static_cast<size_t>(per_session);
@@ -188,11 +194,13 @@ void append_row(eco::JsonWriter& w, const std::string& mix, const char* mode_nam
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sessions K] [--per-session M] [--scale N] [--jobs N]\n"
-               "          [--seed N] [--budget S] [--json FILE] [--dir PATH] [--keep]\n"
+               "          [--isolate N] [--seed N] [--budget S] [--json FILE]\n"
+               "          [--dir PATH] [--keep]\n"
                "  --sessions K     distinct (impl, spec, weights) sessions (default 3)\n"
                "  --per-session M  jobs per session, round-robin (default 20)\n"
                "  --scale N        benchmark-suite unit scale (default 16)\n"
                "  --jobs N         daemon worker threads (default 2)\n"
+               "  --isolate N      process-isolated worker pool of N (default 0 = off)\n"
                "  --seed N         suite generator seed (default 20170912)\n"
                "  --budget S       per-job wall budget (default 30)\n"
                "  --json FILE      write ecopatch-bench-service-v1 records\n"
@@ -215,7 +223,7 @@ bool parse_int(const char* s, int& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int sessions = 3, per_session = 20, scale = 16, jobs = 2;
+  int sessions = 3, per_session = 20, scale = 16, jobs = 2, isolate = 0;
   uint64_t seed = 20170912;
   double budget = 30;
   std::string json_path, dir;
@@ -236,6 +244,10 @@ int main(int argc, char** argv) {
       ++i;
     } else if (!std::strcmp(arg, "--jobs") && parse_int(operand, parsed) && parsed > 0) {
       jobs = parsed;
+      ++i;
+    } else if (!std::strcmp(arg, "--isolate") && parse_int(operand, parsed) &&
+               parsed >= 0) {
+      isolate = parsed;
       ++i;
     } else if (!std::strcmp(arg, "--seed") && operand != nullptr) {
       seed = std::strtoull(operand, nullptr, 10);
@@ -291,11 +303,14 @@ int main(int argc, char** argv) {
 
   const int total = sessions * per_session;
   std::printf("patch service: cold process-per-job vs warm daemon (docs/SERVICE.md)\n");
-  std::printf("(%d session(s) x %d job(s), scale %d, seed %" PRIu64 ", %d worker(s))\n\n",
-              sessions, per_session, scale, seed, jobs);
+  std::printf("(%d session(s) x %d job(s), scale %d, seed %" PRIu64
+              ", %d worker(s), isolate %d)\n\n",
+              sessions, per_session, scale, seed, jobs, isolate);
 
-  const ModeResult cold = run_mode(false, jobs, budget, session_files, per_session);
-  const ModeResult warm = run_mode(true, jobs, budget, session_files, per_session);
+  const ModeResult cold =
+      run_mode(false, jobs, isolate, budget, session_files, per_session);
+  const ModeResult warm =
+      run_mode(true, jobs, isolate, budget, session_files, per_session);
 
   // Identity: the warm path must change performance only. Any verdict or
   // patch-quality drift between modes is a correctness failure.
@@ -344,6 +359,7 @@ int main(int argc, char** argv) {
     w.kv("per_session", per_session);
     w.kv("scale", scale);
     w.kv("daemon_jobs", jobs);
+    w.kv("isolate", isolate);
     w.kv("warm_over_cold_throughput", ratio);
     w.key("runs");
     w.begin_array();

@@ -1,5 +1,7 @@
 #include "service/daemon.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <exception>
 #include <utility>
@@ -50,6 +52,12 @@ struct Daemon::Job {
   bool has_algorithm = false;
   Timer queued;  ///< started at admission; read when execution begins
   std::function<void(std::string)> respond;
+  // worker_mode metadata forwarded by the supervisor (-1 = absent): the
+  // parent's queue time and the dispatch retry/respawn counts, so the
+  // response a client sees reports the whole journey, not the inner hop.
+  double queue_offset = 0;
+  int64_t meta_retries = -1;
+  int64_t meta_respawns = -1;
 };
 
 Daemon::Daemon(const ServiceOptions& options)
@@ -58,7 +66,17 @@ Daemon::Daemon(const ServiceOptions& options)
       // Executor(n) keeps n-1 dedicated workers (the caller is the nth slot
       // in parallel_for, which the daemon never uses at the job level), so
       // jobs+1 yields exactly `jobs` threads pulling from the queue.
-      exec_(std::max(1, options.jobs) + 1) {}
+      exec_(std::max(1, options.jobs) + 1) {
+  if (options_.worker.workers > 0 && !options_.worker_mode) {
+    // Each worker child re-enters this same class through its own
+    // single-job inner Daemon (worker_child_loop), so isolated and
+    // in-process jobs run the exact same engine path — the basis of the
+    // bit-identical-outcomes guarantee.
+    ServiceOptions child = options_;
+    pool_ = std::make_unique<WorkerPool>(
+        options_.worker, [child](int fd) { worker_child_loop(fd, child); });
+  }
+}
 
 Daemon::~Daemon() { drain(); }
 
@@ -133,6 +151,13 @@ void Daemon::submit_line(const std::string& line,
     }
     job->has_algorithm = true;
   }
+  if (options_.worker_mode) {
+    job->queue_offset = req["_queue"].as_number(0);
+    if (req.contains("_retries"))
+      job->meta_retries = static_cast<int64_t>(req["_retries"].as_number(-1));
+    if (req.contains("_respawns"))
+      job->meta_respawns = static_cast<int64_t>(req["_respawns"].as_number(-1));
+  }
 
   // Admission: draining beats queue_full, and the slot is taken before the
   // submit so in_flight() always covers queued + running.
@@ -158,11 +183,17 @@ void Daemon::submit_line(const std::string& line,
 }
 
 void Daemon::run_job(std::shared_ptr<Job> job) {
-  const double queue_seconds = job->queued.seconds();
+  const double queue_seconds = job->queue_offset + job->queued.seconds();
   Timer exec_timer;
   std::string response;
   bool cancelled = false;
-  try {
+  bool handled = false;
+  // Isolation path: hand the job to a forked worker. A degraded pool
+  // (spawn circuit breaker) falls through to the in-process body below —
+  // reduced isolation beats refusing service.
+  if (pool_ != nullptr)
+    handled = run_job_isolated(*job, queue_seconds, response, cancelled);
+  if (!handled) try {
     const LoadedInputs in =
         load_inputs(cache_, job->impl_path, job->spec_path, job->weights_path);
     bool problem_hit = false;
@@ -203,6 +234,14 @@ void Daemon::run_job(std::shared_ptr<Job> job) {
     w.end_object();
     w.kv("warm_patterns_in", static_cast<uint64_t>(warm.size()));
     w.kv("warm_patterns_absorbed", static_cast<uint64_t>(absorbed));
+    if (options_.worker_mode) {
+      w.key("worker");
+      w.begin_object();
+      w.kv("pid", static_cast<int64_t>(::getpid()));
+      w.kv("retries", job->meta_retries < 0 ? int64_t{0} : job->meta_retries);
+      w.kv("respawns", job->meta_respawns < 0 ? int64_t{0} : job->meta_respawns);
+      w.end_object();
+    }
     w.end_object();
     w.end_object();
     response = w.take();
@@ -236,6 +275,76 @@ void Daemon::run_job(std::shared_ptr<Job> job) {
               job->id.c_str(), e.what());
   }
   finish_job();
+}
+
+bool Daemon::run_job_isolated(const Job& job, double queue_seconds,
+                              std::string& response, bool& cancelled) {
+  // Rebuild the validated request for the worker (never echo raw client
+  // bytes into a child) and carry the parent-side queue time across.
+  JsonWriter req;
+  req.begin_object();
+  req.kv("op", "solve");
+  req.kv("id", job.id);
+  req.kv("impl", job.impl_path);
+  req.kv("spec", job.spec_path);
+  req.kv("weights", job.weights_path);
+  req.kv("budget", job.budget_seconds);
+  if (job.has_algorithm) {
+    switch (job.algorithm) {
+      case core::Algorithm::kBaseline: req.kv("algo", "baseline"); break;
+      case core::Algorithm::kMinimize: req.kv("algo", "minimize"); break;
+      case core::Algorithm::kSatPruneCegarMin: req.kv("algo", "satprune"); break;
+    }
+  }
+  req.kv("_queue", queue_seconds);
+  req.end_object();
+
+  const DispatchResult r = pool_->execute(req.take(), job.budget_seconds, root_);
+  if (r.degraded_fallback) return false;
+  if (r.ok) {
+    response = r.response;
+    // The worker's inner daemon produced the complete response line; only
+    // the parent's cancelled counter needs a peek at the outcome.
+    const auto doc = json_parse(response);
+    cancelled =
+        doc && (*doc)["outcome"]["fail_reason"].as_string() == "cancelled";
+    return true;
+  }
+
+  // Every attempt died. The crash cost this one job, not the daemon — that
+  // is the whole point of the pool — and the client learns exactly how.
+  std::string detail = "worker pid " + std::to_string(r.pid);
+  if (r.watchdog_killed)
+    detail += " hard-killed by the wall watchdog";
+  else if (r.term_signal != 0)
+    detail += " died on signal " + std::to_string(r.term_signal);
+  else
+    detail += " exited with status " + std::to_string(r.exit_code);
+  if (r.retries_used > 0)
+    detail += " (after " + std::to_string(r.retries_used) + " retries)";
+
+  JsonWriter w = begin_envelope(job.id, false);
+  w.key("error");
+  w.begin_object();
+  w.kv("code", "worker_crashed");
+  w.kv("message", detail);
+  w.kv("signal", r.term_signal);
+  w.kv("exit_code", r.exit_code);
+  w.kv("watchdog", r.watchdog_killed);
+  w.end_object();
+  w.key("service");
+  w.begin_object();
+  w.kv("queue_seconds", queue_seconds);
+  w.key("worker");
+  w.begin_object();
+  w.kv("pid", static_cast<int64_t>(r.pid));
+  w.kv("retries", r.retries_used);
+  w.kv("respawns", r.respawns);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  response = w.take();
+  return true;
 }
 
 void Daemon::finish_job() noexcept {
@@ -282,6 +391,23 @@ std::string Daemon::control_response(const std::string& op, const std::string& i
     w.kv("memory_used", cache_.memory_used());
     w.kv("entries", static_cast<uint64_t>(cache_.entries()));
     w.end_object();
+    if (pool_ != nullptr) {
+      const WorkerStats ws = pool_->stats();
+      w.key("worker");
+      w.begin_object();
+      w.kv("workers", options_.worker.workers);
+      w.kv("live", static_cast<uint64_t>(ws.live));
+      w.kv("degraded", ws.degraded);
+      w.kv("spawned", ws.spawned);
+      w.kv("spawn_failures", ws.spawn_failures);
+      w.kv("dispatched", ws.dispatched);
+      w.kv("crashed", ws.crashed);
+      w.kv("watchdog_kills", ws.watchdog_kills);
+      w.kv("retries", ws.retries);
+      w.kv("recycled", ws.recycled);
+      w.kv("degraded_jobs", ws.degraded_jobs);
+      w.end_object();
+    }
   }
   w.end_object();
   return w.take();
@@ -321,7 +447,10 @@ void Daemon::drain() {
       idle_cv_.wait(lock, all_done);
     }
   }
-  // All outcomes delivered; make the ledger story durable too.
+  // All outcomes delivered. Reap the worker processes BEFORE the ledger
+  // flush: nothing service-owned outlives drain, and a wedged child must
+  // not be able to sit between the last response and a durable ledger.
+  if (pool_ != nullptr) pool_->shutdown();
   ledger::flush();
 }
 

@@ -49,6 +49,7 @@
 
 #include "eco/engine.hpp"
 #include "service/artifacts.hpp"
+#include "service/worker.hpp"
 #include "util/cancel.hpp"
 #include "util/executor.hpp"
 
@@ -81,6 +82,16 @@ struct ServiceOptions {
   /// verify, parallel sweeps). Off by default: pool slots equal whole jobs,
   /// which keeps per-job latency independent of neighbors.
   bool engine_parallel = false;
+  /// Process isolation (service/worker.hpp). `worker.workers > 0` runs
+  /// every admitted job in a forked worker process: crashes and hangs cost
+  /// one job (`worker_crashed`), never the daemon. Default off — the
+  /// in-process path, bit-identical outcomes by construction.
+  WorkerOptions worker{};
+  /// Internal: this daemon IS the inner daemon of a worker child. It
+  /// renders the `service.worker` response block from the supervisor's
+  /// `_queue`/`_retries`/`_respawns` request fields and never builds a
+  /// pool of its own. Front ends never set this.
+  bool worker_mode = false;
 };
 
 /// Cumulative daemon counters (monotone; snapshot via Daemon::counters).
@@ -126,11 +137,19 @@ class Daemon {
   DaemonCounters counters() const;
   const SessionCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
+  /// The isolation pool, or nullptr when running in-process.
+  const WorkerPool* worker_pool() const noexcept { return pool_.get(); }
 
  private:
   struct Job;
 
   void run_job(std::shared_ptr<Job> job);
+  /// Dispatches \p job to the worker pool. Returns false when the pool has
+  /// degraded to the in-process path (the caller runs the job itself);
+  /// otherwise fills response/cancelled — a worker response or a
+  /// `worker_crashed` error.
+  bool run_job_isolated(const Job& job, double queue_seconds,
+                        std::string& response, bool& cancelled);
   std::string control_response(const std::string& op, const std::string& id);
   void finish_job() noexcept;
 
@@ -138,6 +157,7 @@ class Daemon {
   CancelToken root_ = CancelToken::stoppable();
   SessionCache cache_;
   util::Executor exec_;
+  std::unique_ptr<WorkerPool> pool_;
 
   std::atomic<bool> draining_{false};
   std::atomic<size_t> admitted_{0};
@@ -148,7 +168,8 @@ class Daemon {
 
 /// Builds an error response line: {"schema":...,"id":id,"ok":false,
 /// "error":{"code":code,"message":message}}. Codes: "bad_request",
-/// "queue_full", "draining", "parse", "inconsistent_input", "internal".
+/// "queue_full", "draining", "parse", "inconsistent_input", "internal",
+/// "worker_crashed" (isolated worker died/was killed; retries exhausted).
 std::string error_response(const std::string& id, const std::string& code,
                            const std::string& message);
 

@@ -1,0 +1,31 @@
+#include "service/lines.hpp"
+
+namespace eco::service {
+
+bool LineSplitter::append(const char* data, size_t len,
+                          const std::function<void(const std::string&)>& on_line) {
+  if (overflowed_) return false;
+  buf_.append(data, len);
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = buf_.find('\n', start);
+    if (nl == std::string::npos) break;
+    size_t end = nl;
+    if (end > start && buf_[end - 1] == '\r') --end;
+    if (end - start > max_line_) {
+      overflowed_ = true;
+      break;
+    }
+    if (end > start) {
+      const std::string line = buf_.substr(start, end - start);
+      on_line(line);
+    }
+    start = nl + 1;
+  }
+  buf_.erase(0, start);
+  if (!overflowed_ && buf_.size() > max_line_) overflowed_ = true;
+  if (overflowed_) buf_.clear();  // nothing past the poison line is kept
+  return !overflowed_;
+}
+
+}  // namespace eco::service

@@ -1,0 +1,53 @@
+/// \file lines.hpp
+/// \brief Incremental line splitting with a hard per-line byte cap — the
+/// receive-buffer discipline of every service front end.
+///
+/// `ecopatchd` peers (socket clients, the stdin pipe, worker socketpairs)
+/// stream bytes that the front end must cut into protocol lines. Before
+/// this class, a peer streaming bytes with *no* newline grew the receive
+/// buffer without bound — a trivial memory DoS against a daemon meant to
+/// survive anything. `LineSplitter` owns the partial-line buffer, strips
+/// CR before LF (telnet-style CRLF peers just work), skips empty lines,
+/// and latches an overflow the moment a line — complete or still partial —
+/// exceeds the cap. A latched splitter emits nothing further; the caller
+/// answers `bad_request` and closes the peer (docs/SERVICE.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace eco::service {
+
+class LineSplitter {
+ public:
+  /// The service default: no legitimate request line approaches 1 MiB.
+  static constexpr size_t kDefaultMaxLine = 1u << 20;
+
+  explicit LineSplitter(size_t max_line_bytes = kDefaultMaxLine)
+      : max_line_(max_line_bytes == 0 ? kDefaultMaxLine : max_line_bytes) {}
+
+  /// Appends \p len bytes and invokes \p on_line once per complete line
+  /// (newline excluded, trailing CR stripped, empty lines skipped), in
+  /// order. Returns false — and latches overflowed() — when a line exceeds
+  /// the cap; lines already complete before the oversized one are still
+  /// delivered, nothing after it ever is.
+  bool append(const char* data, size_t len,
+              const std::function<void(const std::string&)>& on_line);
+
+  /// True once any line exceeded the cap. Latched: append() is a no-op
+  /// returning false from then on.
+  bool overflowed() const noexcept { return overflowed_; }
+
+  /// Bytes currently buffered as an incomplete line.
+  size_t pending() const noexcept { return buf_.size(); }
+
+  size_t max_line() const noexcept { return max_line_; }
+
+ private:
+  size_t max_line_;
+  bool overflowed_ = false;
+  std::string buf_;
+};
+
+}  // namespace eco::service

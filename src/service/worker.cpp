@@ -1,0 +1,509 @@
+#include "service/worker.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "service/daemon.hpp"
+#include "service/lines.hpp"
+#include "util/faultpoint.hpp"
+#include "util/jsonr.hpp"
+#include "util/jsonw.hpp"
+#include "util/ledger.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace eco::service {
+
+namespace {
+
+/// send() with MSG_NOSIGNAL: a worker that died between dispatch and write
+/// must surface as a write error on this thread, not a process-wide SIGPIPE.
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Resident set size of \p pid from /proc (0 when unreadable or non-Linux —
+/// the RSS recycle ceiling simply never triggers there).
+uint64_t rss_bytes(pid_t pid) {
+#ifdef __linux__
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%d/statm", static_cast<int>(pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+#else
+  (void)pid;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+// ---- WorkerPool ----------------------------------------------------------
+
+struct WorkerPool::Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  uint64_t jobs_done = 0;
+  bool busy = false;
+};
+
+WorkerPool::WorkerPool(const WorkerOptions& options, WorkerEntry entry)
+    : options_(options), entry_(std::move(entry)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_workers_locked();
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+WorkerStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerStats s = stats_;
+  s.degraded = degraded_;
+  s.live = workers_.size();
+  return s;
+}
+
+std::unique_ptr<WorkerPool::Worker> WorkerPool::spawn_locked() {
+  if (ECO_FAULT_POINT(fault::Site::kWorkerSpawn)) {
+    log_warn("worker: injected spawn failure (worker.spawn)");
+    return nullptr;
+  }
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    log_warn("worker: socketpair failed: %s", std::strerror(errno));
+    return nullptr;
+  }
+  // Pin our lock-guarded globals across the fork so the child cannot
+  // inherit them mid-update from some other thread; glibc's own atfork
+  // handlers cover malloc and stdio.
+  telemetry::fork_prepare();
+  ledger::fork_prepare();
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    telemetry::fork_release();
+    ledger::fork_release();
+    ::close(sv[0]);
+    entry_(sv[1]);
+    ::_exit(0);  // entry_ never returns; backstop anyway
+  }
+  telemetry::fork_release();
+  ledger::fork_release();
+  ::close(sv[1]);
+  if (pid < 0) {
+    ::close(sv[0]);
+    log_warn("worker: fork failed: %s", std::strerror(errno));
+    return nullptr;
+  }
+
+  // Ready handshake: the child writes one line once its inner daemon is up.
+  // A child that dies or wedges during startup is a spawn failure, not a
+  // worker the pool would dispatch into a black hole.
+  Timer t;
+  std::string ready;
+  bool ok = false;
+  while (t.seconds() < options_.spawn_timeout_seconds) {
+    struct pollfd p = {sv[0], POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    char tmp[256];
+    const ssize_t n = ::read(sv[0], tmp, sizeof tmp);
+    if (n <= 0) break;
+    ready.append(tmp, static_cast<size_t>(n));
+    if (ready.find('\n') != std::string::npos) {
+      ok = true;
+      break;
+    }
+  }
+  if (!ok) {
+    ::close(sv[0]);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    log_warn("worker: pid %d failed the ready handshake", static_cast<int>(pid));
+    return nullptr;
+  }
+
+  auto w = std::make_unique<Worker>();
+  w->pid = pid;
+  w->fd = sv[0];
+  ++stats_.spawned;
+  ECO_TELEMETRY_COUNT("service.worker.spawned");
+  return w;
+}
+
+void WorkerPool::ensure_workers_locked() {
+  while (!shutdown_ && !degraded_ &&
+         workers_.size() < static_cast<size_t>(options_.workers)) {
+    auto w = spawn_locked();
+    if (w != nullptr) {
+      consecutive_spawn_failures_ = 0;
+      workers_.push_back(std::move(w));
+      continue;
+    }
+    ++stats_.spawn_failures;
+    ECO_TELEMETRY_COUNT("service.worker.spawn_fail");
+    if (++consecutive_spawn_failures_ >= options_.spawn_failure_limit) {
+      // Circuit breaker: reduced isolation beats refusing service. Latched
+      // for the pool's lifetime — a host that cannot fork reliably will not
+      // start forking reliably mid-run.
+      degraded_ = true;
+      ECO_TELEMETRY_COUNT("service.worker.degraded");
+      log_warn(
+          "worker: %d consecutive spawn failures -- degrading to in-process "
+          "execution",
+          consecutive_spawn_failures_);
+    }
+    break;  // one attempt per pass; the next acquire retries
+  }
+}
+
+WorkerPool::Worker* WorkerPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_ || degraded_) return nullptr;
+    ensure_workers_locked();
+    if (degraded_) return nullptr;
+    for (auto& w : workers_) {
+      if (!w->busy) {
+        w->busy = true;
+        return w.get();
+      }
+    }
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void WorkerPool::reap_locked(std::unique_ptr<Worker> w, bool watchdog,
+                             int* term_signal, int* exit_code) {
+  ::close(w->fd);
+  int status = 0;
+  ::waitpid(w->pid, &status, 0);
+  *term_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (watchdog) {
+    ++stats_.watchdog_kills;
+    ECO_TELEMETRY_COUNT("service.worker.watchdog_kill");
+    log_warn("worker: pid %d hard-killed by the wall watchdog",
+             static_cast<int>(w->pid));
+  } else {
+    ++stats_.crashed;
+    ECO_TELEMETRY_COUNT("service.worker.crashed");
+    if (*term_signal != 0)
+      log_warn("worker: pid %d died on signal %d", static_cast<int>(w->pid),
+               *term_signal);
+    else
+      log_warn("worker: pid %d exited unexpectedly with status %d",
+               static_cast<int>(w->pid), *exit_code);
+  }
+}
+
+DispatchResult WorkerPool::execute(const std::string& request_line,
+                                   double budget_seconds,
+                                   const CancelToken& cancel) {
+  DispatchResult out;
+  const int max_attempts = 1 + std::max(0, options_.retries);
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      ECO_TELEMETRY_COUNT("service.worker.retry");
+      // Exponential backoff, interruptible: a drain must not sit out the
+      // full ladder before the job even re-dispatches.
+      const double delay =
+          options_.backoff_base_seconds * static_cast<double>(1u << (attempt - 1));
+      Timer t;
+      while (t.seconds() < delay && !cancel.stop_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    Worker* w = acquire();
+    if (w == nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded_jobs;
+      out.degraded_fallback = true;
+      return out;
+    }
+    int pool_respawns = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.dispatched;
+      pool_respawns = static_cast<int>(stats_.crashed + stats_.watchdog_kills +
+                                       stats_.recycled);
+    }
+    ECO_TELEMETRY_COUNT("service.worker.dispatched");
+
+    // Chaos draws happen HERE, in the supervisor, so the per-site
+    // deterministic counters survive worker turnover (a per-child counter
+    // would restart at 0 in every fresh worker and retries could never see
+    // a different draw). The child merely executes the verdict. Crash wins
+    // when both fire on the same dispatch.
+    const bool inject_crash = ECO_FAULT_POINT(fault::Site::kWorkerCrash);
+    const bool inject_hang = ECO_FAULT_POINT(fault::Site::kWorkerHang);
+
+    // Request lines are JSON objects by contract (the daemon builds them),
+    // so per-attempt metadata splices in before the closing brace.
+    std::string line = request_line;
+    line.pop_back();
+    line += ",\"_retries\":" + std::to_string(attempt);
+    line += ",\"_respawns\":" + std::to_string(pool_respawns);
+    if (inject_crash)
+      line += ",\"_fault\":\"crash\"";
+    else if (inject_hang)
+      line += ",\"_fault\":\"hang\"";
+    line += "}\n";
+
+    out.pid = w->pid;
+    out.retries_used = attempt;
+    out.respawns = pool_respawns;
+    out.watchdog_killed = false;
+    out.term_signal = 0;
+    out.exit_code = -1;
+
+    bool dead = !write_all(w->fd, line.data(), line.size());
+    bool watchdog = false;
+    std::string rx;
+    bool got = false;
+    if (!dead) {
+      double kill_deadline = std::max(options_.min_kill_seconds,
+                                      budget_seconds * options_.kill_factor);
+      bool term_sent = false;
+      Timer t;
+      for (;;) {
+        if (!term_sent && cancel.stop_requested()) {
+          // Forward the stop: the worker's inner daemon cancels the job
+          // cooperatively and still answers with a cancelled outcome.
+          ::kill(w->pid, SIGTERM);
+          term_sent = true;
+          kill_deadline = std::min(kill_deadline,
+                                   t.seconds() + options_.term_grace_seconds);
+        }
+        if (t.seconds() >= kill_deadline) {
+          ::kill(w->pid, SIGKILL);
+          watchdog = true;
+          dead = true;
+          break;
+        }
+        struct pollfd p = {w->fd, POLLIN, 0};
+        const int pr = ::poll(&p, 1, 50);
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          dead = true;
+          break;
+        }
+        if (pr == 0) continue;
+        char tmp[4096];
+        const ssize_t n = ::read(w->fd, tmp, sizeof tmp);
+        if (n <= 0) {
+          dead = true;
+          break;
+        }
+        rx.append(tmp, static_cast<size_t>(n));
+        const size_t nl = rx.find('\n');
+        if (nl != std::string::npos) {
+          out.response = rx.substr(0, nl);
+          got = true;
+          break;
+        }
+      }
+    }
+
+    if (got) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++w->jobs_done;
+      bool recycle =
+          options_.recycle_jobs != 0 && w->jobs_done >= options_.recycle_jobs;
+      if (!recycle && options_.recycle_rss_bytes != 0 &&
+          rss_bytes(w->pid) > options_.recycle_rss_bytes)
+        recycle = true;
+      if (recycle) {
+        for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+          if (it->get() == w) {
+            std::unique_ptr<Worker> doomed = std::move(*it);
+            workers_.erase(it);
+            ::close(doomed->fd);  // EOF: the child exits its read loop
+            int status = 0;
+            ::waitpid(doomed->pid, &status, 0);
+            ++stats_.recycled;
+            ECO_TELEMETRY_COUNT("service.worker.recycled");
+            break;
+          }
+        }
+      } else {
+        w->busy = false;
+      }
+      idle_cv_.notify_all();
+      out.ok = true;
+      return out;
+    }
+
+    // The worker is gone (crash, watchdog kill, or a dead socket): remove
+    // it from the pool, decode its fate, and retry in a fresh one.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+        if (it->get() == w) {
+          std::unique_ptr<Worker> doomed = std::move(*it);
+          workers_.erase(it);
+          reap_locked(std::move(doomed), watchdog, &out.term_signal,
+                      &out.exit_code);
+          break;
+        }
+      }
+      idle_cv_.notify_all();
+    }
+    out.watchdog_killed = watchdog;
+  }
+
+  return out;  // ok=false: every attempt died; out carries the last fate
+}
+
+void WorkerPool::shutdown() {
+  std::vector<std::unique_ptr<Worker>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    doomed.swap(workers_);
+    idle_cv_.notify_all();
+  }
+  for (auto& w : doomed) ::close(w->fd);  // EOF: children exit their loops
+  for (auto& w : doomed) {
+    Timer t;
+    for (;;) {
+      int status = 0;
+      const pid_t r = ::waitpid(w->pid, &status, WNOHANG);
+      if (r == w->pid || (r < 0 && errno == ECHILD)) break;
+      if (t.seconds() > 5.0) {
+        // A wedged child must never hang shutdown (or drain's ledger flush).
+        ::kill(w->pid, SIGKILL);
+        ::waitpid(w->pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+// ---- worker_child_loop ---------------------------------------------------
+
+namespace {
+
+std::atomic<Daemon*> g_child_daemon{nullptr};
+
+void child_sigterm(int) {
+  Daemon* d = g_child_daemon.load(std::memory_order_acquire);
+  if (d != nullptr) d->request_stop();  // async-signal-safe (atomic store)
+}
+
+}  // namespace
+
+[[noreturn]] void worker_child_loop(int fd, const ServiceOptions& options) {
+  // The inherited ledger sink FILE* (buffer and fd offset) belongs to the
+  // parent; drop it without flushing or closing.
+  ledger::abandon_sink();
+
+  ServiceOptions child = options;
+  child.jobs = 1;         // one dispatched job at a time per worker
+  child.queue_depth = 1;  // the supervisor is the only client
+  child.worker.workers = 0;  // no recursive pools
+  child.worker_mode = true;
+
+  Daemon daemon(child);
+  g_child_daemon.store(&daemon, std::memory_order_release);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = child_sigterm;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGINT, SIG_IGN);   // the parent's Ctrl-C drain owns the policy
+  ::signal(SIGPIPE, SIG_IGN);
+
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("op", "_ready");
+    w.kv("pid", static_cast<int64_t>(::getpid()));
+    w.end_object();
+    std::string line = w.take();
+    line += '\n';
+    if (!write_all(fd, line.data(), line.size())) ::_exit(0);
+  }
+
+  LineSplitter split;
+  char buf[4096];
+  bool io_ok = true;
+  while (io_ok) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // supervisor closed: recycle or shutdown
+    const bool fed =
+        split.append(buf, static_cast<size_t>(n), [&](const std::string& line) {
+          // Execute a supervisor-injected fault verdict before the job runs:
+          // the crash must look exactly like a real mid-job death.
+          const auto doc = json_parse(line);
+          if (doc && doc->contains("_fault")) {
+            const std::string& f = (*doc)["_fault"].as_string();
+            if (f == "crash") ::kill(::getpid(), SIGKILL);
+            if (f == "hang")
+              for (;;) ::pause();
+          }
+          std::string response = daemon.submit_and_wait(line);
+          // submit_and_wait returns the moment the response is delivered,
+          // which is just BEFORE the job's admission slot frees. Wait the
+          // slot out so the next dispatch — which the supervisor may send
+          // the instant it reads this response — can never bounce off
+          // queue_full on our depth-1 queue.
+          while (daemon.in_flight() != 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          response += '\n';
+          if (!write_all(fd, response.data(), response.size())) io_ok = false;
+        });
+    if (!fed) break;  // oversized line: the supervisor never does this
+  }
+  ::_exit(0);  // skip atexit/static destructors: this heap is a fork copy
+}
+
+}  // namespace eco::service

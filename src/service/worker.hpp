@@ -1,0 +1,180 @@
+/// \file worker.hpp
+/// \brief Process-isolated worker pool: crash containment for the patch
+/// service.
+///
+/// The in-process Daemon contains every *cooperative* failure — exceptions,
+/// injected faults, budget exhaustion — but a hard crash (segfault, OOM
+/// kill, a wedged native loop that never checks its CancelToken) takes the
+/// whole service down with the job. `WorkerPool` puts each job in a forked
+/// worker process so the blast radius of the worst failure is one job:
+///
+///  - **Dispatch.** The supervisor (the daemon's executor threads) sends an
+///    admitted job's request line to an idle worker over a `socketpair` and
+///    reads back one response line — the same line-JSON protocol as every
+///    other front end (docs/SERVICE.md).
+///  - **Crash detection.** A worker that dies mid-job (EOF on its socket)
+///    is reaped with `waitpid` and the signal / exit status is decoded into
+///    a `worker_crashed` error response. The daemon keeps serving.
+///  - **Watchdog.** A worker that stops answering is SIGKILLed at
+///    `max(min_kill_seconds, budget × kill_factor)` — the hard backstop for
+///    jobs that escape cooperative cancellation entirely.
+///  - **Retry.** A crashed/killed job is retried in a fresh worker up to
+///    `retries` times with exponential backoff before the error is
+///    surfaced.
+///  - **Recycling.** Workers are replaced after `recycle_jobs` jobs or when
+///    their RSS exceeds `recycle_rss_bytes`, bounding leak accumulation.
+///  - **Degradation.** After `spawn_failure_limit` consecutive spawn
+///    failures the pool trips a circuit breaker: `execute` returns
+///    `degraded_fallback` and the daemon runs jobs in-process — reduced
+///    isolation beats refusing service.
+///
+/// Workers are forked *without* exec: the child inherits the armed fault
+/// sites, options, and environment, then runs `worker_child_loop`, which
+/// builds its own single-job inner Daemon. That makes isolation available
+/// to every embedder of the library (ecopatchd, bench_service, the tests)
+/// with no dependency on argv conventions. Fork safety for our global
+/// state is handled by `telemetry::fork_prepare/fork_release` and
+/// `ledger::fork_prepare/fork_release` around the fork, plus
+/// `ledger::abandon_sink` in the child.
+///
+/// Chaos hooks (util/faultpoint.hpp): `worker.spawn` fails a spawn,
+/// `worker.crash` / `worker.hang` are drawn *in the supervisor* at dispatch
+/// time — so the deterministic draw counter survives worker turnover — and
+/// forwarded to the child via a `"_fault"` request field it executes.
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace eco::service {
+
+struct ServiceOptions;  // daemon.hpp (worker.cpp includes it)
+
+struct WorkerOptions {
+  /// Worker processes; 0 disables isolation (the in-process path,
+  /// bit-identical outcomes by construction).
+  int workers = 0;
+  /// Hard-kill wall watchdog: SIGKILL at budget × kill_factor ...
+  double kill_factor = 2.0;
+  /// ... but never sooner than this (small budgets still need startup room).
+  double min_kill_seconds = 5.0;
+  /// After forwarding a stop (SIGTERM) to a busy worker, how long it gets
+  /// to deliver its cancelled outcome before the SIGKILL.
+  double term_grace_seconds = 5.0;
+  /// Crash/watchdog retries per job, each in a fresh worker.
+  int retries = 0;
+  /// Backoff before retry k is base × 2^(k-1), interruptible by stop.
+  double backoff_base_seconds = 0.25;
+  /// Replace a worker after this many jobs (0 = never).
+  uint64_t recycle_jobs = 0;
+  /// Replace a worker whose RSS exceeds this (0 = never; Linux only).
+  uint64_t recycle_rss_bytes = 0;
+  /// Consecutive spawn failures that trip the degradation circuit breaker.
+  int spawn_failure_limit = 3;
+  /// Ready-handshake timeout for a freshly forked worker.
+  double spawn_timeout_seconds = 10.0;
+};
+
+/// Monotone pool counters (snapshot via WorkerPool::stats; also exported as
+/// `service.worker.*` telemetry counters).
+struct WorkerStats {
+  uint64_t spawned = 0;         ///< successful forks incl. replacements
+  uint64_t spawn_failures = 0;  ///< fork/socketpair/handshake failures
+  uint64_t dispatched = 0;      ///< job attempts sent to a worker
+  uint64_t crashed = 0;         ///< workers that died mid-job on their own
+  uint64_t watchdog_kills = 0;  ///< workers SIGKILLed by the wall watchdog
+  uint64_t retries = 0;         ///< retry attempts after a crash/kill
+  uint64_t recycled = 0;        ///< planned replacements (job count / RSS)
+  uint64_t degraded_jobs = 0;   ///< jobs bounced to the in-process path
+  bool degraded = false;        ///< circuit breaker tripped (latched)
+  size_t live = 0;              ///< currently running worker processes
+};
+
+/// What one `execute` produced. Exactly one of {ok, degraded_fallback,
+/// crash-detail} describes the terminal state:
+///  - ok: `response` is the worker's complete response line.
+///  - degraded_fallback: nothing ran; the caller must run the job itself.
+///  - otherwise: every attempt died; pid/signal/exit describe the last one.
+struct DispatchResult {
+  bool ok = false;
+  std::string response;
+  bool degraded_fallback = false;
+  bool watchdog_killed = false;  ///< last attempt was a watchdog SIGKILL
+  int term_signal = 0;           ///< terminating signal of the last worker
+  int exit_code = -1;            ///< exit status when it exited normally
+  pid_t pid = -1;                ///< worker that produced the terminal state
+  int retries_used = 0;
+  int respawns = 0;  ///< pool-lifetime replacements at dispatch time
+};
+
+/// Runs in the forked child with its end of the socketpair; never returns.
+using WorkerEntry = std::function<void(int fd)>;
+
+class WorkerPool {
+ public:
+  /// Spawns the initial workers eagerly (failures feed the circuit breaker
+  /// and are retried on later dispatches).
+  WorkerPool(const WorkerOptions& options, WorkerEntry entry);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs one job to its terminal state: acquires an idle worker (blocking
+  /// while all are busy), sends \p request_line (a JSON object), and owns
+  /// the full failure lifecycle — watchdog, crash decode, retry with
+  /// backoff in a fresh worker. `cancel.stop_requested()` is forwarded to
+  /// the busy worker as SIGTERM so drains still deliver cancelled outcomes.
+  /// Thread-safe; one call per admitted job.
+  DispatchResult execute(const std::string& request_line,
+                         double budget_seconds, const CancelToken& cancel);
+
+  /// Closes every worker's socket (EOF = exit), reaps them all (SIGKILL
+  /// after a bounded wait — shutdown never hangs on a wedged child).
+  /// Idempotent; called by the destructor and by Daemon::drain before the
+  /// ledger flush. Callers must have stopped dispatching first.
+  void shutdown();
+
+  WorkerStats stats() const;
+  bool degraded() const;
+
+ private:
+  struct Worker;
+
+  std::unique_ptr<Worker> spawn_locked();
+  void ensure_workers_locked();
+  Worker* acquire();
+  void reap_locked(std::unique_ptr<Worker> w, bool watchdog, int* term_signal,
+                   int* exit_code);
+
+  WorkerOptions options_;
+  WorkerEntry entry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  WorkerStats stats_;
+  int consecutive_spawn_failures_ = 0;
+  bool degraded_ = false;
+  bool shutdown_ = false;
+};
+
+/// The forked child's whole life: abandon the parent's ledger sink, build a
+/// single-job inner Daemon (`worker_mode`, isolation off), answer request
+/// lines from \p fd until EOF, then `_exit(0)`. SIGTERM requests stop on
+/// the inner daemon (cancelled outcomes still delivered); the supervisor's
+/// injected `"_fault"` field is executed here (crash = raise SIGKILL,
+/// hang = pause forever).
+[[noreturn]] void worker_child_loop(int fd, const ServiceOptions& options);
+
+}  // namespace eco::service

@@ -20,6 +20,7 @@ struct SiteState {
   /// Fire when mix(seed ^ draw-index) / 2^64 < probability.
   uint64_t threshold = 0;  // probability mapped onto [0, 2^64)
   uint64_t seed = 1;
+  uint64_t limit = 0;  ///< max fires; 0 = unlimited
 };
 
 std::atomic<bool> g_any_armed{false};
@@ -29,12 +30,14 @@ std::mutex g_config_mu;
 constexpr const char* kSiteNames[kNumSites] = {
     "sat.budget",  "cnf.load",  "window.extract", "qbf.itercap",
     "verify.timeout", "net.parse", "alloc.guard",
+    "worker.spawn", "worker.crash", "worker.hang",
 };
 constexpr const char* kFiredCounterNames[kNumSites] = {
     "fault.fired.sat.budget",  "fault.fired.cnf.load",
     "fault.fired.window.extract", "fault.fired.qbf.itercap",
     "fault.fired.verify.timeout", "fault.fired.net.parse",
-    "fault.fired.alloc.guard",
+    "fault.fired.alloc.guard", "fault.fired.worker.spawn",
+    "fault.fired.worker.crash", "fault.fired.worker.hang",
 };
 
 void refresh_any_armed() noexcept {
@@ -45,11 +48,12 @@ void refresh_any_armed() noexcept {
 }
 
 bool parse_one(const std::string& entry, std::string* error) {
-  // site[:prob[:seed]]
+  // site[:prob[:seed[:limit]]]
   const size_t c1 = entry.find(':');
   const std::string name = entry.substr(0, c1);
   double prob = 1.0;
   uint64_t seed = 1;
+  uint64_t limit = 0;
   if (c1 != std::string::npos) {
     const size_t c2 = entry.find(':', c1 + 1);
     const std::string prob_str =
@@ -62,12 +66,23 @@ bool parse_one(const std::string& entry, std::string* error) {
       return false;
     }
     if (c2 != std::string::npos) {
-      const std::string seed_str = entry.substr(c2 + 1);
+      const size_t c3 = entry.find(':', c2 + 1);
+      const std::string seed_str =
+          entry.substr(c2 + 1, c3 == std::string::npos ? std::string::npos : c3 - c2 - 1);
       errno = 0;
       seed = std::strtoull(seed_str.c_str(), &end, 10);
       if (errno != 0 || end == seed_str.c_str() || *end != '\0') {
         if (error != nullptr) *error = "bad seed '" + seed_str + "' for '" + name + "'";
         return false;
+      }
+      if (c3 != std::string::npos) {
+        const std::string limit_str = entry.substr(c3 + 1);
+        errno = 0;
+        limit = std::strtoull(limit_str.c_str(), &end, 10);
+        if (errno != 0 || end == limit_str.c_str() || *end != '\0') {
+          if (error != nullptr) *error = "bad limit '" + limit_str + "' for '" + name + "'";
+          return false;
+        }
       }
     }
   }
@@ -78,6 +93,7 @@ bool parse_one(const std::string& entry, std::string* error) {
     s.threshold = prob >= 1.0 ? ~0ULL
                               : static_cast<uint64_t>(prob * 18446744073709551616.0);
     s.seed = SplitMix64::mix(seed + 0x9E3779B97F4A7C15ULL);
+    s.limit = limit;
     s.draws.store(0, std::memory_order_relaxed);
     s.fired.store(0, std::memory_order_relaxed);
     s.armed.store(true, std::memory_order_relaxed);
@@ -145,7 +161,13 @@ bool should_fail(Site site) noexcept {
   const uint64_t index = s.draws.fetch_add(1, std::memory_order_relaxed);
   const uint64_t draw = SplitMix64::mix(s.seed ^ (index + 1));
   if (s.threshold != ~0ULL && draw >= s.threshold) return false;
-  s.fired.fetch_add(1, std::memory_order_relaxed);
+  // Fire-limit: the (limit+1)-th would-be fire and beyond stand down. The
+  // transient over-increment self-corrects, so fired_count() stays exact.
+  const uint64_t prior = s.fired.fetch_add(1, std::memory_order_relaxed);
+  if (s.limit != 0 && prior >= s.limit) {
+    s.fired.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   ECO_TELEMETRY_COUNT(kFiredCounterNames[static_cast<size_t>(site)]);
   return true;
 }

@@ -9,13 +9,16 @@
 /// compiled into every build so the chaos suite and CI exercise the exact
 /// binaries that ship.
 ///
-/// Arming: `ECO_FAULT="site[:prob[:seed]]"` in the environment (read once
-/// at process start) or `arm("spec")` programmatically (the CLI's `--fault`
-/// flag). Multiple sites separated by commas. `prob` in [0,1] (default 1);
-/// `seed` makes the per-call Bernoulli draws deterministic (default 1).
-/// Draws are indexed by a per-site atomic counter and hashed with
-/// SplitMix64, so a run's k-th visit to a site always draws the same value
-/// regardless of thread schedule.
+/// Arming: `ECO_FAULT="site[:prob[:seed[:limit]]]"` in the environment
+/// (read once at process start) or `arm("spec")` programmatically (the
+/// CLI's `--fault` flag). Multiple sites separated by commas. `prob` in
+/// [0,1] (default 1); `seed` makes the per-call Bernoulli draws
+/// deterministic (default 1); `limit` caps the number of fires (0, the
+/// default, = unlimited) — `worker.crash:1:1:1` kills exactly one worker
+/// and then stands down, the one-shot shape chaos CI needs. Draws are
+/// indexed by a per-site atomic counter and hashed with SplitMix64, so a
+/// run's k-th visit to a site always draws the same value regardless of
+/// thread schedule.
 ///
 /// A firing site takes its *natural* failure path — the solver reports
 /// budget exhaustion, the parser throws its parse error, the allocation
@@ -37,17 +40,20 @@ enum class Site : uint8_t {
   kVerifyTimeout,  ///< verify.timeout — final CEC reports inconclusive
   kNetParse,       ///< net.parse — netlist parsing throws ParseError
   kAllocGuard,     ///< alloc.guard — the expansion allocation guard trips
+  kWorkerSpawn,    ///< worker.spawn — spawning an isolated worker fails
+  kWorkerCrash,    ///< worker.crash — a dispatched worker SIGKILLs itself
+  kWorkerHang,     ///< worker.hang — a dispatched worker wedges forever
   kCount_,
 };
 inline constexpr size_t kNumSites = static_cast<size_t>(Site::kCount_);
 
 const char* site_name(Site s) noexcept;
 
-/// Arms sites from a spec: `site[:prob[:seed]]` joined by commas, e.g.
-/// `"sat.budget:0.5:7,net.parse"`. Returns false (and fills \p error when
-/// non-null) on an unknown site or malformed probability/seed; previously
-/// armed sites are kept in that case. Resets the fired/draw counters of the
-/// sites it arms.
+/// Arms sites from a spec: `site[:prob[:seed[:limit]]]` joined by commas,
+/// e.g. `"sat.budget:0.5:7,net.parse,worker.crash:1:1:1"`. Returns false
+/// (and fills \p error when non-null) on an unknown site or malformed
+/// probability/seed/limit; previously armed sites are kept in that case.
+/// Resets the fired/draw counters of the sites it arms.
 bool arm(const std::string& spec, std::string* error = nullptr);
 
 /// Disarms every site and clears all counters.

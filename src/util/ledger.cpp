@@ -325,6 +325,36 @@ bool close_sink() {
   return ok && close_ok && g.sink_ok;
 }
 
+void abandon_sink() noexcept {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  // Deliberately not fclose'd: the FILE (and the offset of the fd under it)
+  // belongs to the parent process; flushing or closing it here would write
+  // duplicate bytes into — or truncate — the parent's stream.
+  g.sink = nullptr;
+  g.sink_ok = true;
+}
+
+namespace {
+/// Buffers locked by fork_prepare(); mutated only under g.mu.
+std::vector<Buffer*> g_fork_locked;
+}  // namespace
+
+void fork_prepare() {
+  Global& g = global();
+  g.mu.lock();
+  g_fork_locked = g.buffers;
+  for (Buffer* b : g_fork_locked) b->mu.lock();
+}
+
+void fork_release() {
+  Global& g = global();
+  for (auto it = g_fork_locked.rbegin(); it != g_fork_locked.rend(); ++it)
+    (*it)->mu.unlock();
+  g_fork_locked.clear();
+  g.mu.unlock();
+}
+
 std::vector<Record> collect() {
   Global& g = global();
   std::vector<Buffer*> buffers;

@@ -193,6 +193,21 @@ bool flush();
 /// Flushes and closes the sink. Recording stays enabled.
 bool close_sink();
 
+/// Drops the sink without flushing or closing the file — for forked worker
+/// children (service/worker.hpp) that inherited the parent's sink: the
+/// FILE, its user-space buffer, and the underlying file offset belong to
+/// the supervisor process. Recording stays enabled; the child's records are
+/// ring-buffered and counted dropped when they wrap, never interleaved into
+/// the parent's JSONL stream.
+void abandon_sink() noexcept;
+
+/// Fork-safety hooks. fork_prepare() acquires the global ledger lock and
+/// every per-thread ring lock so a child forked while another thread is
+/// mid-append cannot inherit a locked mutex; fork_release() must run in
+/// BOTH the parent and the child immediately after fork().
+void fork_prepare();
+void fork_release();
+
 /// All records currently held in the rings, in append (seq) order.
 /// Records already flushed to a sink remain collectable until overwritten.
 std::vector<Record> collect();

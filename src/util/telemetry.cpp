@@ -108,6 +108,9 @@ void reset() {
   r.dropped_trace = 0;
 }
 
+void fork_prepare() { registry().mu.lock(); }
+void fork_release() { registry().mu.unlock(); }
+
 // ---- counters / gauges / timers -----------------------------------------
 
 void counter_add(std::string_view name, uint64_t delta) {

@@ -61,6 +61,13 @@ void set_enabled(bool on) noexcept;
 /// flag and not the process-lifetime solver totals).
 void reset();
 
+/// Fork-safety hooks. fork_prepare() acquires the registry lock so a child
+/// forked while another thread bumps a counter cannot inherit it locked;
+/// fork_release() must run in BOTH the parent and the child right after
+/// fork(). Used by the service worker pool (service/worker.hpp).
+void fork_prepare();
+void fork_release();
+
 // ---- Counters / gauges / timers ----------------------------------------
 
 void counter_add(std::string_view name, uint64_t delta = 1);

@@ -1,0 +1,348 @@
+// Tests for process isolation (src/service/worker.*) and the service front
+// end's line discipline (src/service/lines.*): crash containment, watchdog
+// hard-kills, retry with backoff, recycling, spawn-failure degradation, and
+// the capped line splitter. Suite names deliberately avoid the TSan CI
+// job's -R filter (Service/Executor/...): these tests fork from a
+// multithreaded process, which TSan's runtime refuses to follow; the
+// ASan/UBSan job runs them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/suite.hpp"
+#include "net/verilog.hpp"
+#include "net/weights.hpp"
+#include "service/daemon.hpp"
+#include "service/lines.hpp"
+#include "util/faultpoint.hpp"
+#include "util/jsonr.hpp"
+
+namespace eco::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::array<std::string, 3> write_unit(const std::string& tag, int index,
+                                      int scale = 1) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("wrk_" + tag);
+  fs::create_directories(dir);
+  const benchgen::EcoUnit unit = benchgen::make_unit(index, 20170912, scale);
+  std::array<std::string, 3> files = {(dir / "impl.v").string(),
+                                      (dir / "spec.v").string(),
+                                      (dir / "weights.txt").string()};
+  net::write_verilog_file(files[0], unit.impl);
+  net::write_verilog_file(files[1], unit.spec);
+  net::write_weights_file(files[2], unit.weights);
+  return files;
+}
+
+std::string solve_request(const std::string& id, const std::array<std::string, 3>& f,
+                          double budget = 20) {
+  return "{\"op\":\"solve\",\"id\":\"" + id + "\",\"impl\":\"" + f[0] +
+         "\",\"spec\":\"" + f[1] + "\",\"weights\":\"" + f[2] +
+         "\",\"budget\":" + std::to_string(budget) + "}";
+}
+
+JsonValue parse_response(const std::string& line) {
+  std::string err;
+  const auto doc = json_parse(line, &err);
+  EXPECT_TRUE(doc.has_value()) << err << " in: " << line;
+  return doc ? *doc : JsonValue();
+}
+
+/// Disarms every fault site when a test body exits, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { fault::disarm_all(); }
+};
+
+ServiceOptions isolated_options(int workers) {
+  ServiceOptions o;
+  o.jobs = 1;
+  o.worker.workers = workers;
+  // Keep chaos tests fast: a wedged worker is reaped within ~1s.
+  o.worker.min_kill_seconds = 1.0;
+  o.worker.kill_factor = 1.0;
+  o.worker.backoff_base_seconds = 0.05;
+  return o;
+}
+
+// ---- LineSplitter -------------------------------------------------------
+
+TEST(LineSplit, FragmentedCrlfAndEmptyLines) {
+  LineSplitter split;
+  std::vector<std::string> lines;
+  const auto sink = [&](const std::string& l) { lines.push_back(l); };
+  // One logical stream delivered in awkward fragments: a line split across
+  // three appends, a CRLF line, empty and CR-only lines to skip.
+  EXPECT_TRUE(split.append("hel", 3, sink));
+  EXPECT_TRUE(split.append("lo wor", 6, sink));
+  EXPECT_EQ(lines.size(), 0u);
+  EXPECT_EQ(split.pending(), 9u);
+  EXPECT_TRUE(split.append("ld\nsecond\r\n\n\r\nthi", 17, sink));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "hello world");
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_TRUE(split.append("rd\n", 3, sink));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "third");
+  EXPECT_EQ(split.pending(), 0u);
+  EXPECT_FALSE(split.overflowed());
+}
+
+TEST(LineSplit, OversizedCompleteLineLatches) {
+  LineSplitter split(8);
+  std::vector<std::string> lines;
+  const auto sink = [&](const std::string& l) { lines.push_back(l); };
+  // The line before the oversized one is still delivered; nothing after.
+  const std::string data = "ok\n0123456789ab\nafter\n";
+  EXPECT_FALSE(split.append(data.data(), data.size(), sink));
+  EXPECT_TRUE(split.overflowed());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+  // Latched: further appends are no-ops.
+  EXPECT_FALSE(split.append("more\n", 5, sink));
+  EXPECT_EQ(lines.size(), 1u);
+  EXPECT_EQ(split.pending(), 0u);
+}
+
+TEST(LineSplit, OversizedPartialLineLatches) {
+  LineSplitter split(16);
+  std::vector<std::string> lines;
+  const auto sink = [&](const std::string& l) { lines.push_back(l); };
+  // A newline-free stream must latch once the partial exceeds the cap —
+  // this is the unbounded-receive-buffer DoS the cap exists for.
+  const std::string chunk(10, 'x');
+  EXPECT_TRUE(split.append(chunk.data(), chunk.size(), sink));
+  EXPECT_FALSE(split.append(chunk.data(), chunk.size(), sink));
+  EXPECT_TRUE(split.overflowed());
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(split.pending(), 0u) << "latched splitter must not hold bytes";
+}
+
+// ---- Fault-spec limit field ---------------------------------------------
+
+TEST(FaultLimit, LimitCapsFiresThenStandsDown) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::arm("worker.crash:1:1:2"));
+  EXPECT_TRUE(fault::should_fail(fault::Site::kWorkerCrash));
+  EXPECT_TRUE(fault::should_fail(fault::Site::kWorkerCrash));
+  // Third and later draws: the limit is reached, the site stands down.
+  EXPECT_FALSE(fault::should_fail(fault::Site::kWorkerCrash));
+  EXPECT_FALSE(fault::should_fail(fault::Site::kWorkerCrash));
+  EXPECT_EQ(fault::fired_count(fault::Site::kWorkerCrash), 2u);
+}
+
+TEST(FaultLimit, MalformedLimitRejected) {
+  FaultGuard guard;
+  std::string error;
+  EXPECT_FALSE(fault::arm("worker.crash:1:1:x", &error));
+  EXPECT_NE(error.find("limit"), std::string::npos) << error;
+  EXPECT_FALSE(fault::arm("worker.crash:1:1:", &error));
+}
+
+// ---- Process isolation --------------------------------------------------
+
+TEST(WorkerIsolation, OutcomeBitIdenticalToInProcess) {
+  const auto files = write_unit("identical", 1);
+  std::string inproc, isolated;
+  {
+    ServiceOptions o;
+    o.jobs = 1;
+    Daemon daemon(o);
+    inproc = daemon.submit_and_wait(solve_request("j", files));
+  }
+  {
+    Daemon daemon(isolated_options(1));
+    isolated = daemon.submit_and_wait(solve_request("j", files));
+  }
+  const JsonValue a = parse_response(inproc);
+  const JsonValue b = parse_response(isolated);
+  ASSERT_TRUE(a["ok"].as_bool()) << inproc;
+  ASSERT_TRUE(b["ok"].as_bool()) << isolated;
+  // The outcome fields that define the patch must match exactly; timings
+  // naturally differ. The isolated response additionally reports its
+  // worker.
+  for (const char* key : {"status", "verification", "method"})
+    EXPECT_EQ(a["outcome"][key].as_string(), b["outcome"][key].as_string()) << key;
+  EXPECT_EQ(a["outcome"]["total_cost"].as_number(),
+            b["outcome"]["total_cost"].as_number());
+  EXPECT_EQ(a["outcome"]["patch_gates"].as_number(),
+            b["outcome"]["patch_gates"].as_number());
+  EXPECT_FALSE(a["service"].contains("worker"));
+  EXPECT_GT(b["service"]["worker"]["pid"].as_number(), 0);
+}
+
+TEST(WorkerIsolation, CrashContainedAndNextJobServed) {
+  FaultGuard guard;
+  const auto files = write_unit("crash", 1);
+  Daemon daemon(isolated_options(1));
+  ASSERT_TRUE(fault::arm("worker.crash:1:1:1"));  // exactly one kill
+
+  const JsonValue crashed = parse_response(
+      daemon.submit_and_wait(solve_request("c1", files)));
+  EXPECT_FALSE(crashed["ok"].as_bool());
+  EXPECT_EQ(crashed["error"]["code"].as_string(), "worker_crashed");
+  EXPECT_EQ(crashed["error"]["signal"].as_number(), 9);  // SIGKILL'd itself
+  EXPECT_FALSE(crashed["error"]["watchdog"].as_bool());
+
+  // The daemon survived its worker: the next job respawns and succeeds.
+  const JsonValue ok = parse_response(
+      daemon.submit_and_wait(solve_request("c2", files)));
+  EXPECT_TRUE(ok["ok"].as_bool());
+  EXPECT_EQ(ok["outcome"]["status"].as_string(), "patched");
+  EXPECT_EQ(ok["service"]["worker"]["respawns"].as_number(), 1);
+}
+
+TEST(WorkerIsolation, RetryRunsCrashedJobInFreshWorker) {
+  FaultGuard guard;
+  const auto files = write_unit("retry", 1);
+  ServiceOptions o = isolated_options(1);
+  o.worker.retries = 2;
+  Daemon daemon(o);
+  ASSERT_TRUE(fault::arm("worker.crash:1:1:1"));
+
+  // The first dispatch dies; the retry draws past the one-shot fault and
+  // the job still answers with a real outcome.
+  const JsonValue r = parse_response(
+      daemon.submit_and_wait(solve_request("r1", files)));
+  EXPECT_TRUE(r["ok"].as_bool());
+  EXPECT_EQ(r["outcome"]["status"].as_string(), "patched");
+  EXPECT_EQ(r["service"]["worker"]["retries"].as_number(), 1);
+  EXPECT_EQ(r["service"]["worker"]["respawns"].as_number(), 1);
+}
+
+TEST(WorkerIsolation, WatchdogReapsHungWorker) {
+  FaultGuard guard;
+  const auto files = write_unit("hang", 1);
+  Daemon daemon(isolated_options(1));
+  ASSERT_TRUE(fault::arm("worker.hang:1:1:1"));
+
+  // Budget 0.5s, min_kill 1s: the wedged worker is SIGKILLed at ~1s. A
+  // hang never checks any CancelToken — only the hard watchdog gets it.
+  const JsonValue hung = parse_response(
+      daemon.submit_and_wait(solve_request("h1", files, 0.5)));
+  EXPECT_FALSE(hung["ok"].as_bool());
+  EXPECT_EQ(hung["error"]["code"].as_string(), "worker_crashed");
+  EXPECT_TRUE(hung["error"]["watchdog"].as_bool());
+
+  const JsonValue ok = parse_response(
+      daemon.submit_and_wait(solve_request("h2", files)));
+  EXPECT_TRUE(ok["ok"].as_bool());
+}
+
+TEST(WorkerIsolation, SpawnFailureDegradesToInProcess) {
+  FaultGuard guard;
+  const auto files = write_unit("degrade", 1);
+  ASSERT_TRUE(fault::arm("worker.spawn"));  // every spawn fails
+  Daemon daemon(isolated_options(2));
+
+  // The circuit breaker trips after the consecutive-failure limit and jobs
+  // fall back to the in-process path: served, without a worker block.
+  const JsonValue r = parse_response(
+      daemon.submit_and_wait(solve_request("d1", files)));
+  EXPECT_TRUE(r["ok"].as_bool());
+  EXPECT_EQ(r["outcome"]["status"].as_string(), "patched");
+  EXPECT_FALSE(r["service"].contains("worker"));
+  ASSERT_NE(daemon.worker_pool(), nullptr);
+  EXPECT_TRUE(daemon.worker_pool()->degraded());
+  EXPECT_GE(daemon.worker_pool()->stats().degraded_jobs, 1u);
+}
+
+TEST(WorkerIsolation, RecycleReplacesWorkerAfterJobLimit) {
+  const auto files = write_unit("recycle", 1);
+  ServiceOptions o = isolated_options(1);
+  o.worker.recycle_jobs = 1;  // every job gets a fresh process
+  Daemon daemon(o);
+
+  const JsonValue a = parse_response(
+      daemon.submit_and_wait(solve_request("a", files)));
+  const JsonValue b = parse_response(
+      daemon.submit_and_wait(solve_request("b", files)));
+  ASSERT_TRUE(a["ok"].as_bool());
+  ASSERT_TRUE(b["ok"].as_bool());
+  EXPECT_NE(a["service"]["worker"]["pid"].as_number(),
+            b["service"]["worker"]["pid"].as_number());
+  EXPECT_GE(daemon.worker_pool()->stats().recycled, 1u);
+}
+
+TEST(WorkerIsolation, StatsOpReportsWorkerBlock) {
+  const auto files = write_unit("stats", 1);
+  Daemon daemon(isolated_options(2));
+  ASSERT_TRUE(parse_response(
+      daemon.submit_and_wait(solve_request("s1", files)))["ok"].as_bool());
+  const JsonValue stats = parse_response(
+      daemon.submit_and_wait("{\"op\":\"stats\",\"id\":\"st\"}"));
+  const JsonValue& w = stats["worker"];
+  ASSERT_TRUE(w.is_object()) << "stats must report the pool under isolation";
+  EXPECT_EQ(w["workers"].as_number(), 2);
+  EXPECT_EQ(w["live"].as_number(), 2);
+  EXPECT_GE(w["dispatched"].as_number(), 1);
+  EXPECT_FALSE(w["degraded"].as_bool());
+}
+
+TEST(WorkerIsolation, DrainDeliversEveryAdmittedJob) {
+  const auto files = write_unit("drain", 1);
+  ServiceOptions o = isolated_options(2);
+  o.jobs = 2;
+  o.drain_grace_seconds = 30;
+  Daemon daemon(o);
+
+  std::atomic<int> responded{0};
+  for (int i = 0; i < 4; ++i)
+    daemon.submit_line(solve_request("d" + std::to_string(i), files),
+                       [&](std::string line) {
+                         parse_response(line);
+                         responded.fetch_add(1);
+                       });
+  daemon.drain();
+  EXPECT_EQ(responded.load(), 4) << "drain must answer every admitted job";
+  // Drain reaps the pool: no live workers remain afterwards.
+  ASSERT_NE(daemon.worker_pool(), nullptr);
+  EXPECT_EQ(daemon.worker_pool()->stats().live, 0u);
+}
+
+// ---- Daemon edge cases (transport-independent) --------------------------
+
+TEST(DaemonEdge, SubmitDuringDrainAnswersOrRejects) {
+  const auto files = write_unit("race", 1);
+  ServiceOptions o;
+  o.jobs = 2;
+  o.drain_grace_seconds = 30;
+  Daemon daemon(o);
+
+  // One slow-ish job in flight, then a drain and a submit racing each
+  // other from two threads. The racing submit must ALWAYS get a response —
+  // either "draining" or a real outcome — never silence.
+  std::atomic<int> responded{0};
+  daemon.submit_line(solve_request("base", files),
+                     [&](std::string) { responded.fetch_add(1); });
+  std::atomic<bool> got_race{false};
+  std::string race_response;
+  std::thread drainer([&] { daemon.drain(); });
+  std::thread racer([&] {
+    daemon.submit_line(solve_request("race", files), [&](std::string line) {
+      race_response = line;
+      got_race.store(true);
+      responded.fetch_add(1);
+    });
+  });
+  racer.join();
+  drainer.join();
+  ASSERT_TRUE(got_race.load()) << "submit-during-drain was never answered";
+  const JsonValue r = parse_response(race_response);
+  if (r["ok"].as_bool()) {
+    EXPECT_TRUE(r.contains("outcome"));
+  } else {
+    EXPECT_EQ(r["error"]["code"].as_string(), "draining");
+  }
+  EXPECT_EQ(responded.load(), 2);
+}
+
+}  // namespace
+}  // namespace eco::service

@@ -18,14 +18,24 @@
 //   --drain-grace S    drain: seconds to wait before cancelling (default 30)
 //   --ledger FILE      per-query JSONL ledger sink (flushed on drain)
 //   --par-engine       give jobs the pool for intra-job parallelism
+//   --isolate N        run jobs in N forked worker processes (default 0 =
+//                      in-process; see docs/SERVICE.md "Worker isolation")
+//   --retries K        crash/watchdog retries per job, fresh worker each
+//   --kill-factor F    watchdog SIGKILL at budget x F (default 2)
+//   --recycle-jobs N   replace a worker after N jobs (default: never)
+//   --recycle-rss-mb M replace a worker whose RSS exceeds M MiB
 //
 // Global flags: -v/--verbose, -vv, --fault SPEC (as in ecopatch).
 //
+// Each client's receive buffer is capped at 1 MiB per line: an overlong
+// line answers `bad_request` and closes that client (stdin mode drains).
+//
 // SIGTERM/SIGINT trigger a graceful drain: admission stops, in-flight jobs
 // get drain-grace seconds to finish, then cooperative cancellation; every
-// admitted job still delivers its response, the ledger is flushed, and the
-// process exits 0. Exit codes: 0 clean drain, 2 usage, 6 unusable socket
-// or ledger path.
+// admitted job still delivers its response, worker processes are reaped,
+// the ledger is flushed, and the process exits 0. Exit codes: 0 clean
+// drain, 2 usage (incl. malformed option values), 6 unusable socket or
+// ledger path.
 
 #include <algorithm>
 #include <cerrno>
@@ -44,6 +54,7 @@
 #include <unistd.h>
 
 #include "service/daemon.hpp"
+#include "service/lines.hpp"
 #include "util/faultpoint.hpp"
 #include "util/ledger.hpp"
 #include "util/log.hpp"
@@ -58,8 +69,42 @@ int usage() {
                "usage: ecopatchd [--socket PATH] [--jobs N] [--queue N]\n"
                "                 [--budget S] [--max-budget S] [--cache-mb MB]\n"
                "                 [--no-warm] [--drain-grace S] [--ledger FILE]\n"
-               "                 [--par-engine] [-v|-vv] [--fault SPEC]\n");
+               "                 [--par-engine] [--isolate N] [--retries K]\n"
+               "                 [--kill-factor F] [--recycle-jobs N]\n"
+               "                 [--recycle-rss-mb M] [-v|-vv] [--fault SPEC]\n");
   return 2;
+}
+
+// Strict option-value parsing: the old atoi/atof path silently read
+// "--jobs 4x" as 4 and "--budget nan" as anything — a robustness daemon
+// must reject a command line it does not fully understand. Trailing
+// garbage, empty strings, out-of-range and sub-minimum values all fail.
+
+bool parse_long(const char* s, long min_value, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < min_value) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_seconds(const char* s, double min_value, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  // !(v >= min) also rejects NaN.
+  if (errno != 0 || end == s || *end != '\0' || !(v >= min_value)) return false;
+  *out = v;
+  return true;
+}
+
+int bad_value(const std::string& flag, const char* value) {
+  std::fprintf(stderr, "ecopatchd: %s: invalid value '%s'\n", flag.c_str(),
+               value == nullptr ? "" : value);
+  return usage();
 }
 
 /// One connected peer (a socket client, or stdout for the stdin mode).
@@ -70,7 +115,9 @@ struct Client {
   explicit Client(int fd) : fd(fd) {}
   std::mutex mu;
   int fd = -1;
-  std::string rx;  ///< partial-line receive buffer (poll thread only)
+  /// Capped partial-line receive buffer (poll thread only): a peer
+  /// streaming an unbounded line costs at most kDefaultMaxLine bytes.
+  eco::service::LineSplitter rx;
 
   void send_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mu);
@@ -108,19 +155,22 @@ struct Client {
   }
 };
 
-/// Splits complete lines out of \p c's receive buffer into the daemon.
-void feed(eco::service::Daemon& daemon, const std::shared_ptr<Client>& c) {
-  size_t start = 0;
-  for (;;) {
-    const size_t nl = c->rx.find('\n', start);
-    if (nl == std::string::npos) break;
-    std::string line = c->rx.substr(start, nl - start);
-    start = nl + 1;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    daemon.submit_line(line, [c](std::string response) { c->send_line(response); });
+/// Feeds \p len received bytes through \p c's capped line splitter into the
+/// daemon. Returns false when the client overflowed its 1 MiB line cap: the
+/// overflow is answered with `bad_request` and the caller must drop the
+/// client (lines completed before the oversized one were still submitted).
+bool feed(eco::service::Daemon& daemon, const std::shared_ptr<Client>& c,
+          const char* data, size_t len) {
+  const bool ok = c->rx.append(data, len, [&](const std::string& line) {
+    daemon.submit_line(line,
+                       [c](std::string response) { c->send_line(response); });
+  });
+  if (!ok) {
+    c->send_line(eco::service::error_response(
+        "", "bad_request",
+        "request line exceeds " + std::to_string(c->rx.max_line()) + " bytes"));
   }
-  c->rx.erase(0, start);
+  return ok;
 }
 
 int run_stdin(eco::service::Daemon& daemon) {
@@ -128,7 +178,10 @@ int run_stdin(eco::service::Daemon& daemon) {
   auto out = std::make_shared<Client>(STDOUT_FILENO);
   std::string buf(1 << 16, '\0');
   bool eof = false;
-  while (!eof && g_signal == 0) {
+  // draining() covers the `drain` control op: in stdin mode there is no
+  // other client to serve, so an acknowledged drain ends the read loop just
+  // like EOF or a signal would.
+  while (!eof && g_signal == 0 && !daemon.draining()) {
     struct pollfd pfd{STDIN_FILENO, POLLIN, 0};
     const int r = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (r < 0) {
@@ -145,9 +198,9 @@ int run_stdin(eco::service::Daemon& daemon) {
       eof = true;
       break;
     }
-    out->rx.append(buf.data(), static_cast<size_t>(n));
-    // Reuse Client::rx as the stdin line buffer; responses go to out->fd.
-    feed(daemon, out);
+    // Responses go to out->fd (stdout); an oversized stdin line is answered
+    // bad_request and treated like EOF — the stream is unparseable past it.
+    if (!feed(daemon, out, buf.data(), static_cast<size_t>(n))) break;
   }
   if (g_signal != 0)
     eco::log_info("ecopatchd: signal %d, draining %zu in-flight job(s)",
@@ -209,8 +262,8 @@ int run_socket(eco::service::Daemon& daemon, const std::string& path) {
       if (!gone && (ev & (POLLIN | POLLHUP)) != 0) {
         const ssize_t n = ::read(c->fd, buf.data(), buf.size());
         if (n > 0) {
-          c->rx.append(buf.data(), static_cast<size_t>(n));
-          feed(daemon, c);
+          // Line-cap overflow: bad_request was sent; drop the client.
+          if (!feed(daemon, c, buf.data(), static_cast<size_t>(n))) gone = true;
         } else if (n == 0 || (n < 0 && errno != EINTR)) {
           gone = true;
         }
@@ -252,23 +305,56 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
-    else if (arg == "--jobs" && i + 1 < argc) options.jobs = std::atoi(argv[++i]);
-    else if (arg == "--queue" && i + 1 < argc)
-      options.queue_depth = static_cast<size_t>(std::atoll(argv[++i]));
-    else if (arg == "--budget" && i + 1 < argc)
-      options.default_budget_seconds = std::atof(argv[++i]);
-    else if (arg == "--max-budget" && i + 1 < argc)
-      options.max_budget_seconds = std::atof(argv[++i]);
-    else if (arg == "--cache-mb" && i + 1 < argc)
-      options.cache_budget_bytes = static_cast<uint64_t>(std::atoll(argv[++i])) << 20;
     else if (arg == "--no-warm") options.warm_patterns = false;
-    else if (arg == "--drain-grace" && i + 1 < argc)
-      options.drain_grace_seconds = std::atof(argv[++i]);
-    else if (arg == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
     else if (arg == "--par-engine") options.engine_parallel = true;
-    else return usage();
+    else if (i + 1 < argc &&
+             (arg == "--jobs" || arg == "--queue" || arg == "--budget" ||
+              arg == "--max-budget" || arg == "--cache-mb" ||
+              arg == "--drain-grace" || arg == "--ledger" ||
+              arg == "--isolate" || arg == "--retries" ||
+              arg == "--kill-factor" || arg == "--recycle-jobs" ||
+              arg == "--recycle-rss-mb")) {
+      const char* value = argv[++i];
+      long n = 0;
+      double s = 0;
+      if (arg == "--ledger") ledger_path = value;
+      else if (arg == "--jobs") {
+        if (!parse_long(value, 1, &n)) return bad_value(arg, value);
+        options.jobs = static_cast<int>(n);
+      } else if (arg == "--queue") {
+        if (!parse_long(value, 1, &n)) return bad_value(arg, value);
+        options.queue_depth = static_cast<size_t>(n);
+      } else if (arg == "--budget") {
+        if (!parse_seconds(value, 0, &s)) return bad_value(arg, value);
+        options.default_budget_seconds = s;
+      } else if (arg == "--max-budget") {
+        if (!parse_seconds(value, 0, &s)) return bad_value(arg, value);
+        options.max_budget_seconds = s;
+      } else if (arg == "--cache-mb") {
+        if (!parse_long(value, 0, &n)) return bad_value(arg, value);
+        options.cache_budget_bytes = static_cast<uint64_t>(n) << 20;
+      } else if (arg == "--drain-grace") {
+        if (!parse_seconds(value, 0, &s)) return bad_value(arg, value);
+        options.drain_grace_seconds = s;
+      } else if (arg == "--isolate") {
+        if (!parse_long(value, 0, &n)) return bad_value(arg, value);
+        options.worker.workers = static_cast<int>(n);
+      } else if (arg == "--retries") {
+        if (!parse_long(value, 0, &n)) return bad_value(arg, value);
+        options.worker.retries = static_cast<int>(n);
+      } else if (arg == "--kill-factor") {
+        if (!parse_seconds(value, 1.0, &s)) return bad_value(arg, value);
+        options.worker.kill_factor = s;
+      } else if (arg == "--recycle-jobs") {
+        if (!parse_long(value, 1, &n)) return bad_value(arg, value);
+        options.worker.recycle_jobs = static_cast<uint64_t>(n);
+      } else {  // --recycle-rss-mb
+        if (!parse_long(value, 1, &n)) return bad_value(arg, value);
+        options.worker.recycle_rss_bytes = static_cast<uint64_t>(n) << 20;
+      }
+    } else
+      return usage();
   }
-  if (options.jobs < 1 || options.queue_depth < 1) return usage();
   if (verbosity >= 2) eco::set_log_level(eco::LogLevel::kDebug);
   else if (verbosity == 1) eco::set_log_level(eco::LogLevel::kInfo);
 
